@@ -1,0 +1,127 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **System order (§3.3)** — the paper proves ACK-Send-Forward-Transmit
+   preserves LCC and rejects the naive Send-Forward-Transmit-ACK order.
+   We run both orders: the paper order reproduces the sequential ground
+   truth exactly; the naive order diverges (ACK-generated packets drift
+   by one lookahead batch).
+
+2. **Lookahead = min link delay (§3.3)** — any smaller batch is equally
+   correct (trace-identical) but pays more window/barrier overhead; the
+   modeled cost rises as the batch shrinks.  This is why DONS picks the
+   *largest* safe lookahead.
+
+3. **Stream prefetcher (machine model)** — without prefetching, DONS's
+   sequential sweeps would miss once per line; the prefetcher is what
+   turns the columnar layout into near-zero L3 misses, mirroring real
+   hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.bench import emit, format_table, measure_cmr, scaled_l3_config
+from repro.bench.scenarios import dcn_scenario
+from repro.core.engine import DodEngine
+from repro.des import run_baseline
+from repro.des.simulator import OodSimulator
+from repro.machine import CacheConfig, DodAccessModel, XEON_SERVER, dons_time_s
+from repro.machine.cache import CacheSim
+from repro.machine.cost import cost_cmr
+from repro.metrics import TraceLevel
+from repro.units import us
+
+
+def test_ablation_system_order(benchmark):
+    scenario = dcn_scenario(4, duration_ms=0.5, max_flows=120, seed=5)
+
+    def experiment():
+        truth = run_baseline(scenario, TraceLevel.FULL)
+        paper = DodEngine(scenario, TraceLevel.FULL,
+                          system_order="paper").run()
+        naive = DodEngine(scenario, TraceLevel.FULL,
+                          system_order="naive").run()
+        return truth, paper, naive
+
+    truth, paper, naive = once(benchmark, experiment)
+
+    paper_ok = truth.trace.sorted_entries() == paper.trace.sorted_entries()
+    naive_ok = truth.trace.sorted_entries() == naive.trace.sorted_entries()
+    emit("ablation_system_order", format_table(
+        "Ablation: system execution order vs sequential ground truth",
+        ["order", "trace identical", "completed flows"],
+        [("ACK,Send,Forward,Transmit (paper)", paper_ok, paper.completed()),
+         ("Send,Forward,Transmit,ACK (naive)", naive_ok, naive.completed())],
+        note="the naive order defers ACK-generated packets by one batch "
+             "(the LCC violation of §3.3)",
+    ))
+    assert paper_ok, "paper order must reproduce ground truth"
+    assert not naive_ok, "naive order should observably diverge"
+    # It still simulates *a* network — flows complete, just differently.
+    assert naive.completed() == len(scenario.flows)
+
+
+def test_ablation_lookahead(benchmark):
+    scenario = dcn_scenario(4, duration_ms=0.3, max_flows=120, seed=5)
+    fractions = (1.0, 0.5, 0.25, 0.125)
+
+    def experiment():
+        truth = run_baseline(scenario, TraceLevel.FULL).trace.digest()
+        out = {}
+        for frac in fractions:
+            la = max(1, int(scenario.lookahead_ps * frac))
+            res = DodEngine(scenario, TraceLevel.FULL,
+                            lookahead_override=la).run()
+            out[frac] = (res.trace.digest() == truth,
+                         len(res.window_breakdown), res)
+        return out
+
+    data = once(benchmark, experiment)
+
+    rows = []
+    costs = {}
+    for frac, (identical, windows, res) in data.items():
+        bd = dons_time_s(res.window_breakdown, 0.12, XEON_SERVER, 32)
+        costs[frac] = bd.total_s
+        rows.append((f"{frac:.3f} x min-delay", identical, windows,
+                     f"{bd.total_s * 1e3:.2f} ms"))
+    emit("ablation_lookahead", format_table(
+        "Ablation: batch length (lookahead) vs correctness and cost",
+        ["lookahead", "trace identical", "busy windows", "modeled time"],
+        rows,
+        note="every safe lookahead is exact; the largest one is cheapest "
+             "— hence 'batch length = min link delay'",
+    ))
+    assert all(identical for identical, _w, _r in data.values())
+    assert costs[1.0] <= costs[0.25] <= costs[0.125]
+
+
+def test_ablation_prefetcher(benchmark):
+    scenario = dcn_scenario(8, duration_ms=0.5, max_flows=600, seed=5)
+    topo = scenario.topology
+
+    def experiment():
+        dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
+                             topo.num_hosts, len(scenario.flows))
+        DodEngine(scenario, op_hook=dod).run()
+        base_cfg = scaled_l3_config()
+        with_pf = CacheSim(base_cfg).run(dod.addresses, warmup=0.5)
+        no_pf_cfg = CacheConfig(size_bytes=base_cfg.size_bytes,
+                                prefetch_degree=0)
+        without_pf = CacheSim(no_pf_cfg).run(dod.addresses, warmup=0.5)
+        return with_pf, without_pf
+
+    with_pf, without_pf = once(benchmark, experiment)
+
+    emit("ablation_prefetcher", format_table(
+        "Ablation: stream prefetcher in the cache model (DONS stream)",
+        ["prefetcher", "L3 miss rate"],
+        [("on (degree 4)", f"{with_pf.miss_rate_percent:.3f}%"),
+         ("off", f"{without_pf.miss_rate_percent:.3f}%")],
+        note="sequential column sweeps rely on prefetching, as on real "
+             "hardware; scattered OOD traffic gains almost nothing",
+    ))
+    assert without_pf.miss_rate > 3 * with_pf.miss_rate
+    assert with_pf.prefetched_hits > 0

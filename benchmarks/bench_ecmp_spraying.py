@@ -1,0 +1,97 @@
+"""Feature study: per-flow ECMP vs packet spraying.
+
+Per-flow hashing (the paper's ECMP) can collide elephants onto one core
+path; packet spraying balances perfectly but reorders.  This bench runs
+both modes on a leaf-spine fabric with two colliding elephants and
+reports the load split across spines and the FCT outcome — the classic
+trade-off, reproduced on this repository's engines (which agree under
+both modes, including the reordering-induced retransmission dynamics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.bench import emit, format_table
+from repro.core.engine import run_dons
+from repro.des import run_baseline
+from repro.metrics import TraceLevel
+from repro.metrics.traceview import hops
+from repro.scenario import make_scenario
+from repro.topology import leaf_spine
+from repro.traffic import Flow
+from repro.units import GBPS, ps_to_us
+
+
+def _spine_split(trace, topo, flow_ids, seqs=80):
+    counts = {}
+    for fid in flow_ids:
+        for seq in range(seqs):
+            hop_list = hops(trace, fid, seq)
+            if len(hop_list) >= 2:
+                iface = hop_list[1].iface_id
+                counts[iface] = counts.get(iface, 0) + 1
+    return counts
+
+
+def test_ecmp_spraying_tradeoff(benchmark):
+    topo = leaf_spine(2, 2, hosts_per_leaf=6,
+                      host_rate_bps=10 * GBPS, fabric_rate_bps=10 * GBPS)
+    hosts = topo.hosts
+    leaf0_hosts, leaf1_hosts = hosts[:6], hosts[6:]
+    # Construct a genuine hash collision: find a destination for the
+    # second elephant such that per-flow ECMP puts both flows on the
+    # same leaf uplink (what happens to unlucky elephants in practice).
+    from repro.routing import build_fib
+    fib = build_fib(topo)
+    leaf0 = topo.host_iface(leaf0_hosts[0]).peer_node
+    uplink0 = fib.resolve_port(leaf0, leaf1_hosts[0], 0)
+    dst1 = next(
+        d for d in leaf1_hosts[1:]
+        if fib.resolve_port(leaf0, d, 1) == uplink0
+    )
+    flows = [Flow(0, leaf0_hosts[0], leaf1_hosts[0], 400_000, 0),
+             Flow(1, leaf0_hosts[1], dst1, 400_000, 0)]
+
+    def experiment():
+        out = {}
+        for mode in ("flow", "packet"):
+            sc = make_scenario(topo, flows, ecmp_mode=mode)
+            a = run_baseline(sc, TraceLevel.FULL)
+            b = run_dons(sc, TraceLevel.FULL)
+            assert a.trace.digest() == b.trace.digest(), mode
+            out[mode] = a
+        return out
+
+    results = once(benchmark, experiment)
+
+    rows = []
+    splits = {}
+    for mode, res in results.items():
+        counts = _spine_split(res.trace, topo, [0, 1])
+        total = sum(counts.values())
+        imbalance = max(counts.values()) / total if total else 1.0
+        splits[mode] = imbalance
+        rows.append((
+            mode,
+            f"{len(counts)} uplinks used",
+            f"{imbalance:.0%} on busiest",
+            f"{ps_to_us(max(res.fcts_ps())):.0f} us",
+        ))
+    emit("ecmp_spraying", format_table(
+        "Per-flow ECMP vs packet spraying (2 elephants, 2-spine fabric)",
+        ["mode", "path diversity", "load concentration", "max FCT"],
+        rows,
+        note="engines trace-identical in both modes",
+    ))
+
+    # The colliding elephants pin one uplink under per-flow hashing...
+    assert splits["flow"] > 0.9, f"collision not constructed: {splits}"
+    # ...and spraying splits them roughly evenly.
+    assert splits["packet"] < 0.75, "spraying should roughly halve the load"
+    # Balancing the bottleneck buys completion time despite reordering.
+    assert (max(results["packet"].fcts_ps())
+            < max(results["flow"].fcts_ps()))
+    for res in results.values():
+        assert res.completed() == 2

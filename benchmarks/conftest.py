@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper table/figure: it runs the scaled
+measurement, prints the table (also written to benchmarks/out/), and
+asserts the paper's *shape* claims — who wins, by roughly what factor,
+where crossovers fall.  pytest-benchmark wraps the measurement kernel so
+``pytest benchmarks/ --benchmark-only`` times each experiment once.
+"""
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

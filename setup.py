@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(offline CI containers), via ``python setup.py develop`` or legacy
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "networkx"],
+)

@@ -1,0 +1,11 @@
+"""AI-powered performance approximator (the DQN comparator of §6)."""
+
+from .features import FEATURE_NAMES, baseline_rtt_ps, flow_features
+from .model import Ridge, standardize
+from .dqn import ApaPrediction, DeepQueueNetLike
+
+__all__ = [
+    "FEATURE_NAMES", "baseline_rtt_ps", "flow_features",
+    "Ridge", "standardize",
+    "ApaPrediction", "DeepQueueNetLike",
+]

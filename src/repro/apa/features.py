@@ -1,0 +1,104 @@
+"""Feature extraction for the APA (AI-powered performance approximator).
+
+DeepQueueNet-class approximators embed "facts about the simulation
+scenario" and predict end-to-end metrics without simulating packets.
+Our feature vector per flow captures exactly those facts: flow size,
+path geometry (hops, propagation, serialization), and congestion
+context from the flow-level load estimator (path utilization, sharing
+degree) — everything available *without* running a packet simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..partition.loadest import LoadModel, estimate_scenario_loads
+from ..protocols.packet import HEADER_BYTES, MSS
+from ..scenario import Scenario
+from ..units import PS_PER_S, serialization_time_ps
+
+#: Feature names, in column order.
+FEATURE_NAMES = (
+    "log_size",
+    "hops",
+    "path_delay_us",
+    "bottleneck_ser_us",
+    "max_link_util",
+    "mean_link_util",
+    "log_sharing",
+    "bias",
+)
+
+
+def flow_features(scenario: Scenario, loads: LoadModel = None) -> np.ndarray:
+    """One row of FEATURE_NAMES per flow, ordered by flow id."""
+    if loads is None:
+        loads = estimate_scenario_loads(scenario)
+    topo = scenario.topology
+    fib = scenario.fib
+    horizon = max(
+        scenario.duration_ps or 0,
+        max(f.start_ps for f in scenario.flows) + 1,
+        1,
+    )
+    rows: List[List[float]] = []
+    for flow in sorted(scenario.flows, key=lambda f: f.flow_id):
+        node = flow.src
+        hops = 0
+        delay_ps = 0
+        min_rate = float("inf")
+        utils: List[float] = []
+        share = 1.0
+        while node != flow.dst:
+            port = fib.resolve_port(node, flow.dst, flow.flow_id)
+            iface = topo.iface(node, port)
+            hops += 1
+            delay_ps += iface.delay_ps
+            min_rate = min(min_rate, iface.rate_bps)
+            cap_bytes = iface.rate_bps / 8.0 * (horizon / PS_PER_S)
+            link_bytes = loads.link_load[iface.link_id]
+            utils.append(link_bytes / cap_bytes if cap_bytes > 0 else 0.0)
+            share = max(share, link_bytes / max(flow.size_bytes, 1))
+            node = iface.peer_node
+        ser_us = serialization_time_ps(MSS + HEADER_BYTES, int(min_rate)) / 1e6
+        rows.append([
+            float(np.log1p(flow.size_bytes)),
+            float(hops),
+            delay_ps / 1e6,
+            ser_us,
+            max(utils) if utils else 0.0,
+            float(np.mean(utils)) if utils else 0.0,
+            float(np.log1p(share)),
+            1.0,
+        ])
+    return np.asarray(rows, dtype=np.float64)
+
+
+def baseline_rtt_ps(scenario: Scenario) -> np.ndarray:
+    """Unloaded round-trip estimate per flow (propagation + one MSS +
+    one ACK serialization per hop) — the physics floor the model
+    corrects multiplicatively."""
+    topo = scenario.topology
+    fib = scenario.fib
+    out = np.zeros(len(scenario.flows))
+    for flow in sorted(scenario.flows, key=lambda f: f.flow_id):
+        node = flow.src
+        fwd = 0
+        while node != flow.dst:
+            port = fib.resolve_port(node, flow.dst, flow.flow_id)
+            iface = topo.iface(node, port)
+            fwd += iface.delay_ps + serialization_time_ps(
+                MSS + HEADER_BYTES, iface.rate_bps
+            )
+            node = iface.peer_node
+        node = flow.dst
+        back = 0
+        while node != flow.src:
+            port = fib.resolve_port(node, flow.src, flow.flow_id)
+            iface = topo.iface(node, port)
+            back += iface.delay_ps + serialization_time_ps(64, iface.rate_bps)
+            node = iface.peer_node
+        out[flow.flow_id] = fwd + back
+    return out

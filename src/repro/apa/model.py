@@ -1,0 +1,60 @@
+"""Ridge regression core of the APA — the 'deep' model stand-in.
+
+The paper's DQN baseline is a GPU DNN; what its role in Tables 1-2
+requires is a *fast, trained, approximate* predictor whose error is
+measurable (w1 ~ 0.4-0.6 against the DES ground truth).  A closed-form
+ridge regression on queueing-aware features plays that role faithfully
+(DESIGN.md), trains on exactly the same kind of data (small packet-level
+traces), and — like the real thing — cannot capture transient queueing
+dynamics, which is precisely where its Wasserstein error comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass
+class Ridge:
+    """Closed-form ridge regression: w = (X'X + lam I)^-1 X'y."""
+
+    lam: float = 1e-3
+    weights: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Ridge":
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ConfigError("bad training shapes")
+        if X.shape[0] == 0:
+            raise ConfigError("empty training set")
+        d = X.shape[1]
+        gram = X.T @ X + self.lam * np.eye(d)
+        self.weights = np.linalg.solve(gram, X.T @ y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ConfigError("model is not trained")
+        return X @ self.weights
+
+    def r2(self, X: np.ndarray, y: np.ndarray) -> float:
+        pred = self.predict(X)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+
+
+def standardize(X: np.ndarray, mean: Optional[np.ndarray] = None,
+                std: Optional[np.ndarray] = None):
+    """Column-standardize; zero-variance columns pass through unchanged
+    (this keeps the bias column intact, so the model has an intercept)."""
+    if mean is None:
+        mean = X.mean(axis=0)
+        std = X.std(axis=0)
+    varying = std > 1e-12
+    Z = np.where(varying, (X - mean) / np.where(varying, std, 1.0), X)
+    return Z, mean, std

@@ -1,0 +1,16 @@
+"""Benchmark harness: scenario builders, scaling helpers, table output."""
+
+from .tables import emit, format_table, out_dir, ratio_str
+from .scenarios import (
+    EventRatios, LOOKAHEAD_S, PAPER_DURATION_S, PAPER_LOAD, PAPER_RATE,
+    dcn_scenario, fattree_full_events, full_mesh_packets, isp_scenario,
+    measure_cmr, scaled_l3_config, wan_scenario, windows_at_paper_scale,
+)
+
+__all__ = [
+    "emit", "format_table", "out_dir", "ratio_str",
+    "EventRatios", "LOOKAHEAD_S", "PAPER_DURATION_S", "PAPER_LOAD",
+    "PAPER_RATE", "dcn_scenario", "fattree_full_events",
+    "full_mesh_packets", "isp_scenario", "measure_cmr",
+    "scaled_l3_config", "wan_scenario", "windows_at_paper_scale",
+]

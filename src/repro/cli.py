@@ -1,0 +1,268 @@
+"""Command-line interface: run, compare, and plan simulations.
+
+    python -m repro run --topology fattree:4 --flows mesh:load=0.3 \
+        --engine dons --workers 4
+    python -m repro compare --topology dumbbell:4 --flows fixed:n=8
+    python -m repro plan --topology isp --machines 8
+    python -m repro viz --topology abilene --flows mesh:max=100 \
+        --out-dir ./viz-out
+
+Topology specs: ``fattree:K``, ``dumbbell:PAIRS``, ``abilene``, ``geant``,
+``isp[:SEED]``.  Flow specs: ``mesh:key=value,...`` (load, seed, max,
+duration_ms, sizes in {web,fb,tiny}) or ``fixed:n=..,size=..[,transport=
+dctcp|reno|udp]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional
+
+from .errors import ConfigError, ReproError
+from .metrics import TraceLevel
+from .scenario import Scenario, make_scenario
+from .schedulers import SchedulerKind
+from .topology import Topology, abilene, dumbbell, fattree, geant, isp_wan
+from .traffic import (
+    DISTRIBUTIONS,
+    Flow,
+    Transport,
+    fixed_flows,
+    full_mesh_dynamic,
+)
+from .units import GBPS, ms, ps_to_us
+
+_SIZE_ALIASES = {"web": "web-search", "fb": "fb-cache", "tiny": "tiny"}
+_TRANSPORTS = {"dctcp": Transport.DCTCP, "udp": Transport.UDP,
+               "reno": Transport.RENO}
+
+
+def _parse_kv(spec: str) -> Dict[str, str]:
+    if not spec:
+        return {}
+    out = {}
+    for part in spec.split(","):
+        if not part:
+            continue
+        if "=" not in part:
+            raise ConfigError(f"expected key=value, got {part!r}")
+        key, value = part.split("=", 1)
+        out[key.strip()] = value.strip()
+    return out
+
+
+def build_topology(spec: str) -> Topology:
+    """Parse a topology spec string."""
+    name, _, arg = spec.partition(":")
+    if name == "fattree":
+        return fattree(int(arg or 4), rate_bps=10 * GBPS)
+    if name == "dumbbell":
+        return dumbbell(int(arg or 4))
+    if name == "abilene":
+        return abilene()
+    if name == "geant":
+        return geant()
+    if name == "isp":
+        return isp_wan(seed=int(arg or 2023))
+    raise ConfigError(f"unknown topology {name!r}")
+
+
+def build_flows(spec: str, topo: Topology) -> List[Flow]:
+    """Parse a flow-generator spec string."""
+    name, _, arg = spec.partition(":")
+    kv = _parse_kv(arg)
+    hosts = topo.hosts
+    if name == "mesh":
+        sizes = DISTRIBUTIONS[_SIZE_ALIASES.get(kv.get("sizes", "tiny"),
+                                                kv.get("sizes", "tiny"))]
+        return full_mesh_dynamic(
+            hosts,
+            duration_ps=ms(float(kv.get("duration_ms", 1.0))),
+            load=float(kv.get("load", 0.3)),
+            host_rate_bps=10 * GBPS,
+            sizes=sizes,
+            seed=int(kv.get("seed", 1)),
+            max_flows=int(kv["max"]) if "max" in kv else 500,
+        )
+    if name == "fixed":
+        transport = _TRANSPORTS[kv.get("transport", "dctcp")]
+        return fixed_flows(
+            hosts,
+            n_flows=int(kv.get("n", 16)),
+            size_bytes=int(kv.get("size", 100_000)),
+            transport=transport,
+            seed=int(kv.get("seed", 1)),
+        )
+    raise ConfigError(f"unknown flow generator {name!r}")
+
+
+def build_scenario(args) -> Scenario:
+    if getattr(args, "load", None):
+        from .scenario_io import scenario_from_json
+        with open(args.load) as fh:
+            scenario = scenario_from_json(fh)
+    else:
+        topo = build_topology(args.topology)
+        flows = build_flows(args.flows, topo)
+        scenario = make_scenario(
+            topo, flows,
+            scheduler=SchedulerKind(args.scheduler),
+            num_classes=args.classes,
+            buffer_bytes=args.buffer_kb * 1024,
+        )
+    if getattr(args, "save", None):
+        from .scenario_io import scenario_to_json
+        with open(args.save, "w") as fh:
+            scenario_to_json(scenario, out=fh)
+        print(f"scenario saved to {args.save}")
+    return scenario
+
+
+def _summary(results) -> str:
+    fcts = results.fcts_ps()
+    lines = [
+        f"engine          : {results.engine}",
+        f"events          : {results.events.total} "
+        f"(send {results.events.send}, forward {results.events.forward}, "
+        f"transmit {results.events.transmit}, ack {results.events.ack})",
+        f"flows completed : {results.completed()}/{len(results.flows)}",
+        f"drops / marks   : {results.drops} / {results.marks}",
+    ]
+    if fcts:
+        fcts = sorted(fcts)
+        lines.append(
+            f"FCT us p50/p99  : {ps_to_us(fcts[len(fcts) // 2]):.1f} / "
+            f"{ps_to_us(fcts[-max(1, len(fcts) // 100)]):.1f}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_run(args) -> int:
+    scenario = build_scenario(args)
+    if args.engine == "dons":
+        from .core.engine import run_dons
+        results = run_dons(scenario, workers=args.workers)
+    else:
+        from .des import run_baseline
+        results = run_baseline(scenario)
+    print(_summary(results))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    scenario = build_scenario(args)
+    from .core.engine import run_dons
+    from .des import run_baseline
+    a = run_baseline(scenario, TraceLevel.FULL)
+    b = run_dons(scenario, TraceLevel.FULL, workers=args.workers)
+    same = a.trace.digest() == b.trace.digest()
+    print(_summary(b))
+    print(f"trace digests   : ood={a.trace.digest()}")
+    print(f"                  dons={b.trace.digest()}")
+    print(f"identical       : {same}")
+    return 0 if same else 1
+
+
+def cmd_plan(args) -> int:
+    scenario = build_scenario(args)
+    from .partition import ClusterSpec, machine_times, plan_scenario
+    from .partition.loadest import estimate_scenario_loads
+    cluster = ClusterSpec.homogeneous(args.machines)
+    loads = estimate_scenario_loads(scenario)
+    plan = plan_scenario(scenario, cluster, loads)
+    print(f"machines        : {args.machines}")
+    print(f"planning time   : {plan.planning_time_s * 1000:.1f} ms")
+    print(f"bisections      : {plan.bisections} "
+          f"({plan.rejected_bisections} rejected)")
+    print(f"estimated T     : {plan.estimated_time_s:.6f}")
+    sizes = plan.partition.part_sizes()
+    times = machine_times(scenario.topology, plan.partition, loads, cluster)
+    for machine, (size, t) in enumerate(zip(sizes, times)):
+        print(f"  machine {machine}: {size:5d} nodes  T_a={t:.6f}")
+    return 0
+
+
+def cmd_viz(args) -> int:
+    scenario = build_scenario(args)
+    from .core.engine import run_dons
+    from .partition.loadest import estimate_scenario_loads
+    from .viz import (flow_gantt_svg, link_utilization_svg,
+                      window_breakdown_heatmap)
+    results = run_dons(scenario, workers=args.workers)
+    os.makedirs(args.out_dir, exist_ok=True)
+    gantt = os.path.join(args.out_dir, "flows.svg")
+    with open(gantt, "w") as fh:
+        fh.write(flow_gantt_svg(results, scenario))
+    loads = estimate_scenario_loads(scenario)
+    links = os.path.join(args.out_dir, "links.svg")
+    with open(links, "w") as fh:
+        fh.write(link_utilization_svg(loads, scenario, results.end_time_ps))
+    print(_summary(results))
+    print(f"\nper-system window load:")
+    print(window_breakdown_heatmap(results))
+    print(f"\nwrote {gantt}\nwrote {links}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DONS reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--topology", default="dumbbell:4",
+                        help="fattree:K | dumbbell:N | abilene | geant | isp")
+    common.add_argument("--flows", default="fixed:n=8,size=100000",
+                        help="mesh:... | fixed:...")
+    common.add_argument("--scheduler", default="fifo",
+                        choices=[k.value for k in SchedulerKind])
+    common.add_argument("--classes", type=int, default=3)
+    common.add_argument("--buffer-kb", type=int, default=4096)
+    common.add_argument("--workers", type=int, default=1)
+    common.add_argument("--save", metavar="FILE",
+                        help="write the scenario JSON before running")
+    common.add_argument("--load", metavar="FILE",
+                        help="load a scenario JSON instead of building one")
+
+    run = sub.add_parser("run", parents=[common],
+                         help="run one scenario on one engine")
+    run.add_argument("--engine", choices=["dons", "ood"], default="dons")
+    run.set_defaults(fn=cmd_run)
+
+    compare = sub.add_parser("compare", parents=[common],
+                             help="run both engines, compare traces")
+    compare.set_defaults(fn=cmd_compare)
+
+    plan = sub.add_parser("plan", parents=[common],
+                          help="plan distributed execution")
+    plan.add_argument("--machines", type=int, default=4)
+    plan.set_defaults(fn=cmd_plan)
+
+    viz = sub.add_parser("viz", parents=[common],
+                         help="run and render SVG/ASCII visualizations")
+    viz.add_argument("--out-dir", default="viz-out")
+    viz.set_defaults(fn=cmd_viz)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout was closed (e.g. piped into head); exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

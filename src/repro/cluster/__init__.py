@@ -1,0 +1,17 @@
+"""Distributed execution: Manager, Agents, Cluster Controller (§3.1, §4.2)."""
+
+from .agent import AgentEngine
+from .channel import ClusterTrafficStats, RpcChannel, RPC_FRAME_BYTES, RPC_RECORD_BYTES
+from .manager import ClusterController, DistributedRun, DonsManager, merge_results
+from .migration import MigrationStats, migrate
+from .checkpoint import (
+    ClusterCheckpoint, resume_cluster, take_cluster_checkpoint,
+)
+
+__all__ = [
+    "AgentEngine", "ClusterTrafficStats", "RpcChannel",
+    "RPC_FRAME_BYTES", "RPC_RECORD_BYTES",
+    "ClusterController", "DistributedRun", "DonsManager", "merge_results",
+    "MigrationStats", "migrate",
+    "ClusterCheckpoint", "resume_cluster", "take_cluster_checkpoint",
+]

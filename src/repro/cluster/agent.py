@@ -1,0 +1,76 @@
+"""DONS Agent: one machine's share of a distributed simulation (§3.1).
+
+An Agent wraps the single-machine DOD engine, restricted to its
+partition: its Simulation Builder only instantiates sender state for
+flows starting locally, and its Runner's TransmitSystem hands packets
+whose next hop lives on another machine to an outbox instead of the
+local calendar.  The Cluster Controller flushes outboxes as batched
+RPCs between windows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.engine import DodEngine
+from ..des.partition_types import Partition
+from ..metrics import TraceLevel
+from ..protocols.packet import Row
+from ..scenario import Scenario
+
+
+class AgentEngine(DodEngine):
+    """The DOD engine of one cluster machine."""
+
+    name = "dons-agent"
+
+    def __init__(
+        self,
+        agent_id: int,
+        scenario: Scenario,
+        partition: Partition,
+        trace_level: TraceLevel = TraceLevel.NONE,
+        workers: int = 1,
+    ) -> None:
+        super().__init__(scenario, trace_level, workers)
+        self.agent_id = agent_id
+        self.partition = partition
+        #: per remote agent: (arrival_ps, node, row) records of this window
+        self.outbox: Dict[int, List[Tuple[int, int, Row]]] = {}
+
+    # --- builder: local endpoints only ------------------------------------
+
+    def build(self) -> None:
+        super().build()
+        # Drop the flow starts that belong to other machines: the base
+        # builder registered every flow; non-local starts must not fire
+        # here.  (Sender/receiver tables stay fully allocated — component
+        # tables are dense — but remote rows are never visited.)
+        for win, buckets in list(self.calendar.items()):
+            for node in list(buckets):
+                if self.partition.part_of(node) != self.agent_id:
+                    del buckets[node]
+            if not buckets:
+                del self.calendar[win]
+
+    # --- runner: remote deliveries go to the outbox --------------------------
+
+    def deliver(self, node: int, t: int, row: Row) -> None:
+        owner = self.partition.part_of(node)
+        if owner == self.agent_id:
+            super().deliver(node, t, row)
+        else:
+            self.outbox.setdefault(owner, []).append((t, node, row))
+
+    def accept_remote(self, records: List[Tuple[int, int, Row]]) -> None:
+        """Install packets received via RPC into the local calendar."""
+        for t, node, row in records:
+            super().deliver(node, t, row)
+
+    def take_outbox(self) -> Dict[int, List[Tuple[int, int, Row]]]:
+        out = self.outbox
+        self.outbox = {}
+        return out
+
+    def finish(self) -> None:
+        self._finalize()

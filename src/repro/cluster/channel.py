@@ -1,0 +1,61 @@
+"""Inter-agent communication channels with traffic accounting.
+
+In the paper's deployment, Agents exchange RPCs over the cluster fabric
+(40 Gbps in the evaluation).  Here the channel is an in-process mailbox
+(DESIGN.md substitution); what is preserved and measured is the traffic:
+messages, packet records and bytes per direction, which feed tau_a of
+Eq. (1) and the FINISH-barrier accounting of §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..protocols.packet import Row
+
+#: Modeled wire size of one packet record inside a batch RPC.
+RPC_RECORD_BYTES = 64
+#: Modeled framing overhead of one batch RPC.
+RPC_FRAME_BYTES = 256
+
+
+@dataclass
+class RpcChannel:
+    """Directed channel between two agents."""
+
+    src: int
+    dst: int
+    messages: int = 0
+    records: int = 0
+    bytes_sent: int = 0
+    #: in-flight batch: (arrival_time_ps, node, row) records
+    pending: List[Tuple[int, int, Row]] = field(default_factory=list)
+
+    def send_batch(self, records: List[Tuple[int, int, Row]]) -> None:
+        """One RPC carrying a window's worth of packets (§4.2: "it sends
+        one RPC to carry the information of a batch of packets")."""
+        if not records:
+            return
+        self.pending.extend(records)
+        self.messages += 1
+        self.records += len(records)
+        self.bytes_sent += RPC_FRAME_BYTES + RPC_RECORD_BYTES * len(records)
+
+    def drain(self) -> List[Tuple[int, int, Row]]:
+        out = self.pending
+        self.pending = []
+        return out
+
+
+@dataclass
+class ClusterTrafficStats:
+    """Aggregated communication measurements of a distributed run."""
+
+    windows: int = 0
+    finish_signals: int = 0
+    rpc_messages: int = 0
+    rpc_records: int = 0
+    rpc_bytes: int = 0
+    #: bytes leaving each machine (tau_a of Eq. 1)
+    egress_bytes: List[int] = field(default_factory=list)

@@ -1,0 +1,92 @@
+"""Cluster-wide checkpointing (§8: "In multi-machine environments, DONS
+utilizes checkpointing to periodically preserve the run-time state").
+
+A cluster checkpoint is taken at a window boundary, where the FINISH
+barrier guarantees a clean cut: outboxes are flushed, channels drained,
+every agent paused between batches.  It bundles one engine snapshot per
+agent plus the controller's cursor, partition and remaining migration
+schedule.  Resuming on fresh agents continues the run and produces the
+uninterrupted trace (tests/cluster/test_cluster_checkpoint.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .agent import AgentEngine
+from .manager import ClusterController, merge_results
+from ..core.checkpoint import FORMAT as ENGINE_FORMAT
+from ..core.checkpoint import restore_checkpoint, take_checkpoint
+from ..des.partition_types import Partition
+from ..errors import ClusterError
+from ..metrics import SimResults, TraceLevel
+from ..scenario import Scenario
+
+FORMAT = "dons-cluster-checkpoint-v1"
+
+
+@dataclass
+class ClusterCheckpoint:
+    """Resumable snapshot of a whole distributed run."""
+
+    format: str
+    scenario_name: str
+    current_window: int
+    partition: Tuple[int, ...]
+    num_parts: int
+    schedule: List[Tuple[int, Tuple[int, ...]]]
+    agent_payloads: List[bytes]
+
+
+def take_cluster_checkpoint(controller: ClusterController,
+                            current_window: int) -> ClusterCheckpoint:
+    """Snapshot a controller paused between windows."""
+    for (_s, _d), channel in controller.channels.items():
+        if channel.pending:
+            raise ClusterError("checkpoint requires drained channels")
+    agents = controller.agents
+    partition = agents[0].partition
+    return ClusterCheckpoint(
+        format=FORMAT,
+        scenario_name=agents[0].scenario.name,
+        current_window=current_window,
+        partition=partition.assignment,
+        num_parts=partition.num_parts,
+        schedule=[(w, p.assignment) for w, p in controller.schedule],
+        agent_payloads=[
+            take_checkpoint(agent, current_window).payload
+            for agent in agents
+        ],
+    )
+
+
+def resume_cluster(
+    scenario: Scenario,
+    checkpoint: ClusterCheckpoint,
+    trace_level: TraceLevel = TraceLevel.NONE,
+) -> Tuple[SimResults, ClusterController]:
+    """Rebuild fresh agents from a checkpoint and run to completion."""
+    if checkpoint.format != FORMAT:
+        raise ClusterError(f"unknown checkpoint format {checkpoint.format!r}")
+    if checkpoint.scenario_name != scenario.name:
+        raise ClusterError("checkpoint belongs to a different scenario")
+    partition = Partition(checkpoint.partition, checkpoint.num_parts)
+    agents = [
+        AgentEngine(a, scenario, partition, trace_level)
+        for a in range(checkpoint.num_parts)
+    ]
+    schedule = [
+        (w, Partition(assignment, checkpoint.num_parts))
+        for w, assignment in checkpoint.schedule
+    ]
+    controller = ClusterController(agents, schedule=schedule)
+    from ..core.checkpoint import Checkpoint
+    for agent, payload in zip(agents, checkpoint.agent_payloads):
+        agent.build()
+        restore_checkpoint(agent, Checkpoint(
+            ENGINE_FORMAT, scenario.name,
+            checkpoint.current_window, payload,
+        ))
+    per_agent = controller.run_from(checkpoint.current_window)
+    return merge_results(per_agent, scenario.name), controller

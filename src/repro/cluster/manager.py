@@ -1,0 +1,242 @@
+"""DONS Manager and Cluster Controller (§3.1, §4.2).
+
+The Manager accepts a simulation submission, runs the Load Estimator and
+Partitioner to produce the execution plan, hands each machine's Agent
+its sub-graph, and the Cluster Controller then drives the distributed
+execution:
+
+* every Runner executes the same lookahead batch (windows are agreed
+  cluster-wide);
+* cross-machine packets of a window travel as one batched RPC per
+  destination (overlapping communication with computation);
+* a machine that finished its TransmitSystem and RPCs sends a FINISH
+  signal to the other N-1 machines; receiving N-1 FINISH signals means
+  no further RPC can arrive for this window and the next batch may start
+  — the conservative synchronization of §4.2.
+
+Correctness: the merged distributed trace equals the single-machine
+trace (tests/integration/test_distributed_equivalence.py), because RPCs
+only ever carry packets into *future* windows (link delay >= lookahead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .agent import AgentEngine
+from .channel import ClusterTrafficStats, RpcChannel
+from ..des.partition_types import Partition
+from ..errors import ClusterError
+from ..metrics import SimResults, TraceLevel, TraceRecorder
+from ..partition import (
+    ClusterSpec,
+    LoadModel,
+    PartitionPlan,
+    plan_scenario,
+)
+from ..scenario import Scenario
+
+
+@dataclass
+class DistributedRun:
+    """Everything a distributed execution produced."""
+
+    results: SimResults
+    per_agent: List[SimResults]
+    traffic: ClusterTrafficStats
+    plan: Optional[PartitionPlan]
+    partition: Partition
+
+
+class ClusterController:
+    """Drives N agents window by window with FINISH-signal sync.
+
+    ``schedule`` optionally lists repartitioning points for dynamic
+    execution (Appendix A): ``[(from_window, Partition), ...]`` sorted by
+    window; before the first window at or past each boundary, node state
+    migrates to the new owners (``repro.cluster.migration``).
+    """
+
+    def __init__(self, agents: List[AgentEngine],
+                 schedule: Optional[List[Tuple[int, "Partition"]]] = None) -> None:
+        if not agents:
+            raise ClusterError("no agents")
+        self.agents = agents
+        n = len(agents)
+        self.channels: Dict[Tuple[int, int], RpcChannel] = {
+            (a, b): RpcChannel(a, b)
+            for a in range(n) for b in range(n) if a != b
+        }
+        self.stats = ClusterTrafficStats(egress_bytes=[0] * n)
+        self.schedule = sorted(schedule or [], key=lambda s: s[0])
+        self.migrations: List["MigrationStats"] = []
+
+    def _maybe_migrate(self, window: int) -> None:
+        from .migration import migrate
+        while self.schedule and self.schedule[0][0] <= window:
+            _boundary, new_partition = self.schedule.pop(0)
+            old_partition = self.agents[0].partition
+            if new_partition.assignment != old_partition.assignment:
+                self.migrations.append(
+                    migrate(self.agents, old_partition, new_partition)
+                )
+
+    def run(self) -> List[SimResults]:
+        for agent in self.agents:
+            agent.build()
+        return self.run_from(-1)
+
+    def run_from(self, current: int) -> List[SimResults]:
+        """Drive already-built (or checkpoint-restored) agents from the
+        given window cursor to completion."""
+        agents = self.agents
+        n = len(agents)
+        while True:
+            pending = [a.peek_next_window(current) for a in agents]
+            live = [w for w in pending if w is not None]
+            if not live:
+                break
+            window = min(live)
+            duration = agents[0].scenario.duration_ps
+            if duration is not None and window * agents[0].lookahead > duration:
+                break
+            self._maybe_migrate(window)
+            # Every Runner executes the same batch (§4.2).
+            for agent in agents:
+                agent.process_window(window)
+            # TransmitSystem done everywhere: flush batched RPCs.
+            for agent in agents:
+                for dst, records in sorted(agent.take_outbox().items()):
+                    self.channels[(agent.agent_id, dst)].send_batch(records)
+            for (src, dst), ch in self.channels.items():
+                records = ch.drain()
+                if records:
+                    agents[dst].accept_remote(records)
+            # FINISH barrier: everyone tells everyone (N*(N-1) signals).
+            self.stats.finish_signals += n * (n - 1)
+            self.stats.windows += 1
+            current = window
+        for agent in agents:
+            agent.finish()
+        # Final traffic accounting.
+        self.stats.rpc_messages = sum(c.messages for c in self.channels.values())
+        self.stats.rpc_records = sum(c.records for c in self.channels.values())
+        self.stats.rpc_bytes = sum(c.bytes_sent for c in self.channels.values())
+        self.stats.egress_bytes = [
+            sum(c.bytes_sent for (s, _d), c in self.channels.items() if s == a)
+            for a in range(n)
+        ]
+        return [a.results for a in agents]
+
+
+class DonsManager:
+    """Accepts a submission, plans it, and orchestrates the cluster."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        cluster: ClusterSpec,
+        trace_level: TraceLevel = TraceLevel.NONE,
+        workers_per_agent: int = 1,
+    ) -> None:
+        self.scenario = scenario
+        self.cluster = cluster
+        self.trace_level = trace_level
+        self.workers_per_agent = workers_per_agent
+
+    def run(
+        self,
+        partition: Optional[Partition] = None,
+        loads: Optional[LoadModel] = None,
+    ) -> DistributedRun:
+        """Plan (unless a partition is supplied) and execute."""
+        plan = None
+        if partition is None:
+            plan = plan_scenario(self.scenario, self.cluster, loads)
+            partition = plan.partition
+        if len(partition.assignment) != self.scenario.topology.num_nodes:
+            raise ClusterError("partition does not match topology")
+        agents = [
+            AgentEngine(a, self.scenario, partition, self.trace_level,
+                        self.workers_per_agent)
+            for a in range(partition.num_parts)
+        ]
+        controller = ClusterController(agents)
+        per_agent = controller.run()
+        merged = merge_results(per_agent, self.scenario.name)
+        return DistributedRun(
+            results=merged,
+            per_agent=per_agent,
+            traffic=controller.stats,
+            plan=plan,
+            partition=partition,
+        )
+
+    def run_dynamic(
+        self,
+        bin_ps: int,
+        threshold: float = 0.25,
+    ) -> Tuple[DistributedRun, List]:
+        """Appendix A end to end: detect traffic phases, partition each,
+        and execute with live state migration at the phase boundaries.
+
+        Returns ``(run, migrations)`` where ``migrations`` lists the
+        :class:`~repro.cluster.migration.MigrationStats` of each
+        repartitioning event.
+        """
+        from ..partition import dynamic_partition_plan
+        phases = dynamic_partition_plan(
+            self.scenario.topology, self.scenario.fib, self.scenario.flows,
+            bin_ps, self.cluster, threshold,
+        )
+        if not phases:
+            raise ClusterError("no phases detected")
+        lookahead = self.scenario.lookahead_ps
+        first = phases[0].plan.partition
+        schedule = [
+            (phase.start_bin * bin_ps // lookahead, phase.plan.partition)
+            for phase in phases[1:]
+        ]
+        agents = [
+            AgentEngine(a, self.scenario, first, self.trace_level,
+                        self.workers_per_agent)
+            for a in range(first.num_parts)
+        ]
+        controller = ClusterController(agents, schedule=schedule)
+        per_agent = controller.run()
+        merged = merge_results(per_agent, self.scenario.name)
+        run = DistributedRun(
+            results=merged,
+            per_agent=per_agent,
+            traffic=controller.stats,
+            plan=phases[0].plan,
+            partition=agents[0].partition,
+        )
+        return run, controller.migrations
+
+
+def merge_results(per_agent: List[SimResults], scenario_name: str) -> SimResults:
+    """Aggregate agent results the way the Cluster Controller reports."""
+    merged = SimResults("dons-cluster", scenario_name, 0)
+    merged.trace = TraceRecorder(
+        per_agent[0].trace.level if per_agent[0].trace else 0
+    )
+    for res in per_agent:
+        merged.end_time_ps = max(merged.end_time_ps, res.end_time_ps)
+        merged.events.add(res.events)
+        merged.drops += res.drops
+        merged.marks += res.marks
+        merged.tx_bytes += res.tx_bytes
+        merged.rtt_samples.extend(res.rtt_samples)
+        for node, count in res.node_events.items():
+            merged.node_events[node] = merged.node_events.get(node, 0) + count
+        for flow_id, fr in res.flows.items():
+            have = merged.flows.get(flow_id)
+            if have is None or (fr.complete_ps is not None
+                                and have.complete_ps is None):
+                merged.flows[flow_id] = fr
+        if res.trace:
+            merged.trace.entries.extend(res.trace.entries)
+    merged.rtt_samples.sort()
+    return merged

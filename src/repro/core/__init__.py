@@ -1,0 +1,7 @@
+"""The DONS core: ECS substrate, batch-based engine, four systems."""
+
+from .engine import DodEngine, run_dons
+from .runtime import WorkerPool, chunk_ranges
+from .window import WindowContext
+
+__all__ = ["DodEngine", "run_dons", "WorkerPool", "chunk_ranges", "WindowContext"]

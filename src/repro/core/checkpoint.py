@@ -1,0 +1,188 @@
+"""Checkpointing and fault tolerance (paper §8, Discussion).
+
+"DONS utilizes checkpointing to periodically preserve the run-time state
+of the simulation ... the internal state of the simulator, including the
+current simulation time, object positions and attributes, and other
+necessary variables and data structures", with replication across
+multiple locations against single-point failures.
+
+A checkpoint captures everything the batch engine needs to resume —
+the window cursor, the calendar, every egress port's queue/line state,
+the component tables, accumulated results — as one pickled blob.
+Restoring into a fresh engine and continuing produces *exactly* the
+trace the uninterrupted run would have produced (asserted in
+tests/core/test_checkpoint.py), because the engine state between two
+windows is a pure function of the windows executed so far.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import io
+import os
+import pickle
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .engine import DodEngine
+from ..errors import SimulationError
+
+#: Format tag so stale checkpoints fail loudly instead of misloading.
+FORMAT = "dons-checkpoint-v1"
+
+
+@dataclass
+class Checkpoint:
+    """A resumable snapshot of a paused engine."""
+
+    format: str
+    scenario_name: str
+    current_window: int
+    payload: bytes  # pickled engine state
+
+    def digest(self) -> str:
+        return hashlib.blake2b(self.payload, digest_size=16).hexdigest()
+
+
+def _engine_state(engine: DodEngine, current_window: int) -> dict:
+    return {
+        "current_window": current_window,
+        "calendar": engine.calendar,
+        "win_heap": engine._win_heap,
+        "win_queued": engine._win_queued,
+        "active_ports": engine.active_ports,
+        "ports": engine.ports,
+        "world": engine.world,
+        "results": engine.results,
+        "trace": engine.trace,
+        "carried_staged": engine._carried_staged,
+    }
+
+
+def take_checkpoint(engine: DodEngine, current_window: int) -> Checkpoint:
+    """Snapshot a paused engine (between windows)."""
+    state = copy.deepcopy(_engine_state(engine, current_window))
+    return Checkpoint(
+        format=FORMAT,
+        scenario_name=engine.scenario.name,
+        current_window=current_window,
+        payload=pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+
+
+def restore_checkpoint(engine: DodEngine, checkpoint: Checkpoint) -> int:
+    """Load a checkpoint into a *built* engine for the same scenario.
+
+    Returns the window cursor to resume from.
+    """
+    if checkpoint.format != FORMAT:
+        raise SimulationError(f"unknown checkpoint format {checkpoint.format!r}")
+    if checkpoint.scenario_name != engine.scenario.name:
+        raise SimulationError(
+            f"checkpoint is for scenario {checkpoint.scenario_name!r}, "
+            f"engine runs {engine.scenario.name!r}"
+        )
+    state = pickle.loads(checkpoint.payload)
+    engine.calendar = state["calendar"]
+    engine._win_heap = state["win_heap"]
+    engine._win_queued = state["win_queued"]
+    engine.active_ports = state["active_ports"]
+    engine.ports = state["ports"]
+    engine.world = state["world"]
+    engine.results = state["results"]
+    engine.trace = state["trace"]
+    engine._carried_staged = state.get("carried_staged", {})
+    engine._running_window = state["current_window"]
+    return state["current_window"]
+
+
+class CheckpointStore:
+    """Replicated persistent storage for checkpoints (§8: "replicate
+    checkpoints across multiple locations to mitigate the risks of
+    single-point failures")."""
+
+    def __init__(self, locations: Sequence[str]) -> None:
+        if not locations:
+            raise SimulationError("need at least one checkpoint location")
+        self.locations = list(locations)
+        for loc in self.locations:
+            os.makedirs(loc, exist_ok=True)
+
+    def _path(self, location: str, name: str) -> str:
+        return os.path.join(location, f"{name}.ckpt")
+
+    def save(self, name: str, checkpoint: Checkpoint) -> List[str]:
+        """Write the checkpoint to every replica location."""
+        blob = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+        paths = []
+        for loc in self.locations:
+            path = self._path(loc, name)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)  # atomic publish
+            paths.append(path)
+        return paths
+
+    def load(self, name: str) -> Checkpoint:
+        """Read from the first healthy replica."""
+        last_error: Optional[Exception] = None
+        for loc in self.locations:
+            path = self._path(loc, name)
+            try:
+                with open(path, "rb") as fh:
+                    ckpt = pickle.loads(fh.read())
+                if ckpt.format != FORMAT:
+                    raise SimulationError("bad checkpoint format")
+                return ckpt
+            except (OSError, pickle.UnpicklingError, SimulationError) as exc:
+                last_error = exc
+        raise SimulationError(
+            f"no replica of {name!r} is readable: {last_error}"
+        )
+
+
+class CheckpointingEngine(DodEngine):
+    """A DodEngine that snapshots itself every N windows.
+
+    ``run()`` behaves exactly like the base engine (checkpointing is
+    observationally transparent); ``resume_from`` continues a previous
+    run from its latest stored snapshot.
+    """
+
+    def __init__(self, *args, store: Optional[CheckpointStore] = None,
+                 every_windows: int = 100, name: str = "run",
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.store = store
+        self.every_windows = max(1, every_windows)
+        self.checkpoint_name = name
+        self.checkpoints_taken = 0
+        self._windows_done = 0
+
+    def process_window(self, index: int):
+        ctx = super().process_window(index)
+        self._windows_done += 1
+        if self.store is not None and self._windows_done % self.every_windows == 0:
+            self.store.save(self.checkpoint_name,
+                            take_checkpoint(self, index))
+            self.checkpoints_taken += 1
+        return ctx
+
+    def resume_from(self, checkpoint: Checkpoint):
+        """Restore state and run the remainder of the simulation."""
+        if not self._built:
+            self.build()
+        current = restore_checkpoint(self, checkpoint)
+        duration = self.scenario.duration_ps
+        while True:
+            nxt = self._next_window(current)
+            if nxt is None:
+                break
+            current = nxt
+            if duration is not None and current * self.lookahead > duration:
+                break
+            self.process_window(current)
+        self._finalize()
+        return self.results

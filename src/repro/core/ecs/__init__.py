@@ -1,0 +1,15 @@
+"""Entity-Component-System substrate used by the DOD engine."""
+
+from .components import CHUNK_ENTITIES, FieldSpec, SoATable
+from .commands import CommandBuffer, consolidate
+from .entity import (
+    EGRESS_SCHEMA, EntityKind, INGRESS_SCHEMA, RECEIVER_SCHEMA,
+    SENDER_SCHEMA, World,
+)
+
+__all__ = [
+    "CHUNK_ENTITIES", "FieldSpec", "SoATable",
+    "CommandBuffer", "consolidate",
+    "EntityKind", "World",
+    "SENDER_SCHEMA", "RECEIVER_SCHEMA", "INGRESS_SCHEMA", "EGRESS_SCHEMA",
+]

@@ -1,0 +1,48 @@
+"""Command buffers: the write-conflict fix of Appendix C.
+
+The ForwardSystem has a many-to-one write conflict: several IngressPorts
+forward into one EgressPort buffer.  Per the paper, each worker records
+its writes in a private command buffer, and the main thread consolidates
+all buffers afterwards — the *command pattern*.
+
+Consolidation happens in ascending worker order, so the result is
+deterministic regardless of thread scheduling; the TransmitSystem's
+merge-sort then establishes the canonical chronological order anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class CommandBuffer(Generic[T]):
+    """Private append-only log of (target, item) writes for one worker."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[int, T]] = []
+
+    def append(self, target: int, item: T) -> None:
+        self.entries.append((target, item))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def consolidate(
+    buffers: Sequence[CommandBuffer[T]],
+    sink: Dict[int, List[T]],
+) -> int:
+    """Merge worker buffers into per-target lists, in worker order.
+
+    Returns the number of consolidated writes (cost-model input).
+    """
+    total = 0
+    for buf in buffers:
+        for target, item in buf.entries:
+            sink.setdefault(target, []).append(item)
+        total += len(buf.entries)
+    return total

@@ -1,0 +1,305 @@
+"""The DONS engine: batch-based, data-oriented discrete event simulation.
+
+This is the paper's primary contribution (§3): instead of one global
+event heap, simulated time advances in *lookahead windows* whose length
+is the smallest link delay.  Within each window the four systems run in
+the LCC-safe order — ACKSystem, SendSystem, ForwardSystem,
+TransmitSystem — and each system processes *all* entities of its aspect
+together, data-parallel across a worker pool.
+
+Deliveries, flow starts and timer wakeups are kept in a window calendar:
+``calendar[window][node] -> entries``.  The LCC argument (§3.3) shows up
+as an invariant here: every entry of window *w* was inserted by a window
+strictly before *w* (link delay >= lookahead), so a window's inputs are
+complete before it runs, and no synchronization is ever needed within a
+machine.
+
+The engine produces the same :class:`~repro.metrics.SimResults` as the
+OOD baseline, and — the headline fidelity claim — byte-identical event
+traces (see ``tests/integration/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set
+
+from .ecs import World
+from .runtime import WorkerPool
+from .systems import (
+    run_ack_system, run_forward_system, run_send_system, run_transmit_system,
+)
+from .window import (
+    ENTRY_ARRIVAL, ENTRY_FLOW_START, ENTRY_TIMER, ENTRY_UDP, Entry,
+    WindowContext,
+)
+from ..errors import SimulationError
+from ..metrics import SimResults, TraceLevel, TraceRecorder
+from ..metrics.results import FlowResult
+from ..protocols import EgressPort
+from ..protocols.packet import PRIO_ARRIVAL, Row, segment_count
+from ..scenario import Scenario
+from ..traffic import Transport
+
+
+class DodEngine:
+    """Single-machine DONS: one logical process, many worker threads."""
+
+    name = "dons"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        trace_level: TraceLevel = TraceLevel.NONE,
+        workers: int = 1,
+        max_windows: Optional[int] = None,
+        op_hook=None,
+        lookahead_override: Optional[int] = None,
+        system_order: str = "paper",
+        sample_queues: bool = False,
+    ) -> None:
+        """``lookahead_override`` shrinks the batch below the minimum
+        link delay (correct but slower — the ablation of the §3.3 design
+        choice).  ``system_order='naive'`` runs the systems in the naive
+        Send-Forward-Transmit-ACK order the paper rejects; ACK outputs
+        then miss their window's TransmitSystem and drift by one batch —
+        the LCC violation §3.3 proves the paper order avoids.
+        """
+        self.scenario = scenario
+        self.trace = TraceRecorder(trace_level)
+        self.pool = WorkerPool(workers)
+        self.max_windows = max_windows
+        #: machine-model probe: hook(op, location, uid), called from the
+        #: main thread in batched processing order (see repro.machine.access).
+        self.op_hook = op_hook
+        if system_order not in ("paper", "naive"):
+            raise SimulationError(f"unknown system order {system_order!r}")
+        self.system_order = system_order
+        self._carried_staged: Dict[int, list] = {}
+        self._running_window = -1
+        self.sample_queues = sample_queues
+
+        self.lookahead = scenario.lookahead_ps
+        if lookahead_override is not None:
+            if not 0 < lookahead_override <= self.lookahead:
+                raise SimulationError(
+                    "lookahead override must be in (0, min link delay]: "
+                    f"{lookahead_override} vs {self.lookahead}"
+                )
+            self.lookahead = lookahead_override
+        if self.lookahead <= 0:
+            raise SimulationError("lookahead must be positive")
+
+        self.world = World()
+        self.ports: List[EgressPort] = []
+        self.results = SimResults(self.name, scenario.name, 0)
+
+        # Window calendar + scheduling heap of pending window indices.
+        self.calendar: Dict[int, Dict[int, List[Entry]]] = {}
+        self._win_heap: List[int] = []
+        self._win_queued: Set[int] = set()
+        self.active_ports: Set[int] = set()
+        self._built = False
+
+    # --- construction -------------------------------------------------------
+
+    def build(self) -> None:
+        """Simulation Builder: entities, ports, and initial flow starts."""
+        sc = self.scenario
+        topo = sc.topology
+        from ..protocols.egress import TableClassifier
+        classifier = TableClassifier(sc.classifier_table())
+
+        for iface in topo.interfaces:
+            cfg = (
+                sc.host_egress if topo.nodes[iface.node].is_host
+                else sc.switch_egress
+            )
+            self.ports.append(EgressPort(iface, cfg, classifier,
+                                         sample_queue=self.sample_queues))
+            eidx = self.world.egress.add(
+                iface_id=iface.iface_id, node=iface.node,
+                port_ref=self.ports[-1],
+            )
+            self.world.egress_of_iface[iface.iface_id] = eidx
+            self.world.ingress.add(iface_id=iface.iface_id, node=iface.peer_node)
+
+        for flow in sc.flows:
+            total = segment_count(flow.size_bytes)
+            cca = sc.cca_params(flow.transport)
+            sidx = self.world.senders.add(
+                flow_id=flow.flow_id, src=flow.src, dst=flow.dst,
+                transport=int(flow.transport), size_bytes=flow.size_bytes,
+                total_segs=total, start_ps=flow.start_ps,
+                cwnd=cca.init_cwnd, rto_ps=cca.init_rto_ps,
+            )
+            self.world.sender_of_flow[flow.flow_id] = sidx
+            ridx = self.world.receivers.add(
+                flow_id=flow.flow_id, host=flow.dst, total_segs=total,
+                needs_ack=int(flow.transport != Transport.UDP),
+                out_of_order=set(),
+            )
+            self.world.receiver_of_flow[flow.flow_id] = ridx
+            self.results.flows[flow.flow_id] = FlowResult(
+                flow.flow_id, flow.start_ps, None, flow.size_bytes
+            )
+            if flow.transport == Transport.UDP:
+                # UDP pacing is driven by wakeup visits.
+                self._insert(flow.start_ps, flow.src,
+                             (ENTRY_UDP, flow.flow_id))
+            else:
+                self._insert(flow.start_ps, flow.src,
+                             (ENTRY_FLOW_START, flow.start_ps, flow.flow_id))
+        self._built = True
+
+    # --- calendar -------------------------------------------------------------
+
+    def _window_of(self, t: int) -> int:
+        return t // self.lookahead
+
+    def _insert(self, t: int, node: int, entry: Entry) -> None:
+        win = self._window_of(t)
+        # Under the paper order, LCC guarantees win > the running window;
+        # the naive-order ablation can violate that (its whole point), so
+        # late entries are clamped forward instead of silently lost.
+        if win <= self._running_window:
+            win = self._running_window + 1
+        bucket = self.calendar.setdefault(win, {})
+        bucket.setdefault(node, []).append(entry)
+        if win not in self._win_queued:
+            self._win_queued.add(win)
+            heapq.heappush(self._win_heap, win)
+
+    def deliver(self, node: int, t: int, row: Row) -> None:
+        """TransmitSystem callback: a packet reaches ``node`` at ``t``."""
+        self._insert(t, node, (ENTRY_ARRIVAL, t, PRIO_ARRIVAL, row))
+
+    def register_wakeup(self, t: int, node: int, tag: int, flow_id: int) -> None:
+        """SendSystem callback: revisit ``flow_id`` in the window of ``t``."""
+        self._insert(t, node, (tag, flow_id))
+
+    def bump_node(self, node: int, count: int = 1) -> None:
+        if count:
+            self.results.node_events[node] = (
+                self.results.node_events.get(node, 0) + count
+            )
+
+    # --- main loop --------------------------------------------------------------
+
+    def _next_window(self, current: int) -> Optional[int]:
+        heap = self._win_heap
+        while heap and heap[0] <= current:
+            self._win_queued.discard(heapq.heappop(heap))
+        candidates = []
+        if self.active_ports:
+            candidates.append(current + 1)
+        if heap:
+            candidates.append(heap[0])
+        if not candidates:
+            return None
+        nxt = min(candidates)
+        if heap and heap[0] == nxt:
+            self._win_queued.discard(heapq.heappop(heap))
+        return nxt
+
+    def peek_next_window(self, current: int) -> Optional[int]:
+        """The next window index with pending work, without consuming it.
+
+        Used by the distributed coordinator to agree on the cluster-wide
+        window (§4.2: every Runner executes the same batch).
+        """
+        heap = self._win_heap
+        while heap and heap[0] <= current:
+            self._win_queued.discard(heapq.heappop(heap))
+        candidates = []
+        if self.active_ports:
+            candidates.append(current + 1)
+        if heap:
+            candidates.append(heap[0])
+        return min(candidates) if candidates else None
+
+    def process_window(self, index: int) -> WindowContext:
+        """Execute one lookahead batch: the four systems in §3.3 order."""
+        L = self.lookahead
+        self._running_window = index
+        start = index * L
+        ctx = WindowContext(
+            index=index, start=start, end=start + L,
+            node_entries=self.calendar.pop(index, {}),
+        )
+        if self.op_hook:
+            self.op_hook(9, 0, 0)  # OP_WINDOW: buffer arenas recycle
+        if self.system_order == "paper":
+            # The paper's execution order (§3.3): ACK, Send, Forward,
+            # Transmit.
+            run_ack_system(self, ctx)
+            run_send_system(self, ctx)
+            run_forward_system(self, ctx)
+            run_transmit_system(self, ctx)
+        else:
+            # Naive order (ablation): ACK last.  Its staged packets miss
+            # this window's TransmitSystem and carry into the next batch.
+            if self._carried_staged:
+                for iface_id, staged in self._carried_staged.items():
+                    ctx.staged.setdefault(iface_id, []).extend(staged)
+                self._carried_staged = {}
+            run_send_system(self, ctx)
+            run_forward_system(self, ctx)
+            run_transmit_system(self, ctx)
+            before = {k: len(v) for k, v in ctx.staged.items()}
+            run_ack_system(self, ctx)
+            self._carried_staged = {
+                k: v[before.get(k, 0):]
+                for k, v in ctx.staged.items()
+                if len(v) > before.get(k, 0)
+            }
+            if self._carried_staged:
+                # Something is pending: the next window must run.
+                self._insert((ctx.index + 1) * self.lookahead, 0, (ENTRY_TIMER, -1))
+        self.results.end_time_ps = start + L
+        if ctx.counts.total:
+            self.results.events.add(ctx.counts)
+            self.results.window_breakdown.append(
+                (start, ctx.counts.ack, ctx.counts.send,
+                 ctx.counts.forward, ctx.counts.transmit)
+            )
+        return ctx
+
+    def run(self) -> SimResults:
+        """Run to completion (or duration / max_windows)."""
+        if not self._built:
+            self.build()
+        duration = self.scenario.duration_ps
+        current = -1
+        windows = 0
+        while True:
+            nxt = self._next_window(current)
+            if nxt is None:
+                break
+            current = nxt
+            if duration is not None and current * self.lookahead > duration:
+                break
+            self.process_window(current)
+            windows += 1
+            if self.max_windows is not None and windows >= self.max_windows:
+                break
+        self._finalize()
+        return self.results
+
+    def _finalize(self) -> None:
+        res = self.results
+        res.trace = self.trace
+        res.rtt_samples.sort()
+        for port in self.ports:
+            res.marks += port.stats.marked
+            res.tx_bytes += port.stats.tx_bytes
+        self.pool.shutdown()
+
+
+def run_dons(
+    scenario: Scenario,
+    trace_level: TraceLevel = TraceLevel.NONE,
+    workers: int = 1,
+) -> SimResults:
+    """Convenience one-shot run of the DOD engine."""
+    return DodEngine(scenario, trace_level, workers).run()

@@ -1,0 +1,12 @@
+"""The four systems of the DOD engine, executed in LCC-safe order:
+ACKSystem, SendSystem, ForwardSystem, TransmitSystem (§3.3)."""
+
+from .ack import run_ack_system
+from .send import run_send_system
+from .forward import run_forward_system
+from .transmit import run_transmit_system
+
+__all__ = [
+    "run_ack_system", "run_send_system",
+    "run_forward_system", "run_transmit_system",
+]

@@ -1,0 +1,122 @@
+"""ACKSystem: receiver-side processing of delivered data packets (§3.2).
+
+For every Receiver entity with data deliveries in the current window,
+the system checks sequence numbers, tracks flow completion, and registers
+ACK packets toward the paired Sender — i.e. it stages them on the
+receiving host's NIC egress queue at the data packet's arrival time.
+
+Entities (receivers grouped by host) are independent, so the work is
+chunked across the worker pool; ACK registrations go through per-task
+lists consolidated in task order (command-buffer pattern).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..window import ENTRY_ARRIVAL, WindowContext
+from ...protocols.packet import (
+    F_CE,
+    F_FLOW,
+    F_ISACK,
+    F_SEND_TS,
+    F_SEQ,
+    PRIO_ARRIVAL,
+    Row,
+    ack_row,
+)
+
+
+def run_ack_system(engine, ctx: WindowContext) -> None:
+    """Process all data deliveries of this window."""
+    # Gather (host, sorted data arrivals) work items.
+    work: List[Tuple[int, List[Tuple[int, int, Row]]]] = []
+    for node, entries in sorted(ctx.node_entries.items()):
+        if not engine.scenario.topology.nodes[node].is_host:
+            continue
+        data = [
+            (e[1], e[2], e[3])
+            for e in entries
+            if e[0] == ENTRY_ARRIVAL and not e[3][F_ISACK]
+        ]
+        if not data:
+            continue
+        data.sort(key=lambda a: (a[0], a[1], a[2][F_FLOW], a[2][F_ISACK], a[2][F_SEQ]))
+        work.append((node, data))
+    if not work:
+        return
+
+    world = engine.world
+    rec = world.receivers
+    expected_col = rec.col("expected")
+    ooo_col = rec.col("out_of_order")
+    unique_col = rec.col("unique_received")
+    complete_col = rec.col("complete_ps")
+    total_col = rec.col("total_segs")
+    needs_ack_col = rec.col("needs_ack")
+
+    def process(item: Tuple[int, List[Tuple[int, int, Row]]]):
+        """One host's deliveries; returns staged ACKs and completions."""
+        node, arrivals = item
+        acks: List[Tuple[int, int, Row]] = []
+        completions: List[Tuple[int, int]] = []
+        n = 0
+        for t, _prio, row in arrivals:
+            n += 1
+            flow_id = row[F_FLOW]
+            ridx = world.receiver_of_flow[flow_id]
+            seq = row[F_SEQ]
+            # Inline cumulative-reassembly over the component columns.
+            expected = expected_col[ridx]
+            is_new = False
+            if seq == expected:
+                is_new = True
+                expected += 1
+                ooo = ooo_col[ridx]
+                if ooo:
+                    while expected in ooo:
+                        ooo.remove(expected)
+                        expected += 1
+                expected_col[ridx] = expected
+            elif seq > expected:
+                ooo = ooo_col[ridx]
+                if seq not in ooo:
+                    is_new = True
+                    ooo.add(seq)
+            if is_new:
+                unique_col[ridx] += 1
+                if unique_col[ridx] == total_col[ridx] and complete_col[ridx] < 0:
+                    complete_col[ridx] = t
+                    completions.append((flow_id, t))
+            if needs_ack_col[ridx]:
+                flow = engine.scenario.flows[flow_id]
+                out = ack_row(
+                    flow_id, expected_col[ridx], row[F_CE], row[F_SEND_TS],
+                    flow.dst, flow.src,
+                )
+                acks.append((t, node, out))
+        return node, arrivals, acks, completions, n
+
+    results = engine.pool.map(
+        "ack", process, work, sizes=[len(w[1]) for w in work]
+    )
+
+    trace = engine.trace
+    hook = engine.op_hook
+    for node, arrivals, acks, completions, n in results:
+        ctx.counts.ack += n
+        engine.bump_node(node, n)
+        if hook:
+            from ...protocols.packet import packet_uid
+            for _t, _prio, row in arrivals:
+                hook(3, node, packet_uid(row))  # OP_HOST_RX
+        if trace.level:
+            for t, _prio, row in arrivals:
+                trace.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+        for t, host, out in acks:
+            iface = engine.scenario.topology.host_iface(host)
+            ctx.stage(iface.iface_id, t, PRIO_ARRIVAL, out)
+        for flow_id, t in completions:
+            engine.results.flows[flow_id].complete_ps = t
+            if trace.level:
+                trace.flow_done(t, engine.scenario.flows[flow_id].dst, flow_id)

@@ -1,0 +1,59 @@
+"""ForwardSystem: ingress -> egress moves at switches (§3.2).
+
+For every switch arrival of the window, look up the FIB (shared routing
+component), resolve the ECMP port, and register the packet on the chosen
+EgressPort's buffer.  Because many IngressPorts can target one
+EgressPort, writes go through per-task command buffers consolidated by
+the main thread (Appendix C's write-conflict fix); chronological order is
+established later by the TransmitSystem's merge sort, so forwarding
+itself is embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..ecs import CommandBuffer, consolidate
+from ..window import ENTRY_ARRIVAL, WindowContext
+from ...protocols.packet import F_DST, F_FLOW, F_SEQ, Row
+
+
+def run_forward_system(engine, ctx: WindowContext) -> None:
+    """Forward all switch arrivals of this window."""
+    topo = engine.scenario.topology
+    work: List[Tuple[int, List[Tuple[int, int, Row]]]] = []
+    for node, entries in sorted(ctx.node_entries.items()):
+        if topo.nodes[node].is_host:
+            continue
+        arrivals = [(e[1], e[2], e[3]) for e in entries if e[0] == ENTRY_ARRIVAL]
+        if arrivals:
+            work.append((node, arrivals))
+    if not work:
+        return
+
+    fib = engine.scenario.fib
+    spray = engine.scenario.ecmp_mode == "packet"
+
+    def process(item: Tuple[int, List[Tuple[int, int, Row]]]):
+        node, arrivals = item
+        buf: CommandBuffer = CommandBuffer()
+        for t, prio, row in arrivals:
+            salt = row[F_SEQ] if spray else None
+            port = fib.resolve_port(node, row[F_DST], row[F_FLOW], salt)
+            buf.append(topo.iface_id(node, port), (t, prio, row))
+        return node, len(arrivals), buf
+
+    results = engine.pool.map(
+        "forward", process, work, sizes=[len(w[1]) for w in work]
+    )
+    hook = engine.op_hook
+    buffers = []
+    for node, n, buf in results:
+        ctx.counts.forward += n
+        engine.bump_node(node, n)
+        if hook:
+            from ...protocols.packet import packet_uid
+            for _target, (_t, _prio, row) in buf.entries:
+                hook(1, node, packet_uid(row))  # OP_FORWARD
+        buffers.append(buf)
+    consolidate(buffers, ctx.staged)

@@ -1,0 +1,209 @@
+"""SendSystem: traffic generation and transport state machines (§3.2).
+
+For every Sender entity with work in the current window — delivered
+ACKs, a flow start, a pending retransmission deadline, or a paced UDP
+schedule — the system replays that flow's events in chronological order
+using the *same* pure DCTCP/UDP transitions as the OOD baseline, and
+stages the resulting data segments on the source host's NIC queue.
+
+Sender state lives in the columnar sender table; each visit loads the
+flow's row into a :class:`~repro.protocols.DctcpState`, applies the
+transitions, and stores the row back (one read/write per column — the
+columnar access pattern the machine model measures).
+
+Flows are independent entities, so visits are chunked across the worker
+pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..window import (
+    ENTRY_ARRIVAL, ENTRY_FLOW_START, ENTRY_TIMER, ENTRY_UDP, WindowContext,
+)
+from ...protocols import DctcpState, UdpSchedule
+from ...protocols.packet import (
+    F_ECE, F_FLOW, F_ISACK, F_SEND_TS, F_SEQ, PRIO_ARRIVAL,
+    PRIO_FLOW_START, PRIO_TIMER, Row, data_row, segment_payload,
+)
+from ...traffic import Transport
+
+#: Sender-table columns mirrored into DctcpState (same names both sides).
+_DCTCP_FIELDS = (
+    "snd_una", "next_seq", "cwnd", "ssthresh", "alpha", "acked_win",
+    "marked_win", "alpha_seq", "cut_seq", "dupacks", "srtt_ps",
+    "rttvar_ps", "rto_ps", "backoff", "timer_gen",
+)
+
+
+def load_dctcp(table, idx: int, params) -> DctcpState:
+    """Materialize a flow's sender row as a DctcpState."""
+    state = DctcpState(
+        flow_id=table.get(idx, "flow_id"),
+        total_segs=table.get(idx, "total_segs"),
+        params=params,
+    )
+    for name in _DCTCP_FIELDS:
+        setattr(state, name, table.get(idx, name))
+    deadline = table.get(idx, "rtx_deadline")
+    state.rtx_deadline = None if deadline < 0 else deadline
+    state.done = bool(table.get(idx, "done"))
+    done_ps = table.get(idx, "done_ps")
+    state.done_ps = None if done_ps < 0 else done_ps
+    return state
+
+
+def store_dctcp(table, idx: int, state: DctcpState) -> None:
+    """Write a DctcpState back into the sender row."""
+    for name in _DCTCP_FIELDS:
+        table.set(idx, name, getattr(state, name))
+    table.set(idx, "rtx_deadline",
+              -1 if state.rtx_deadline is None else state.rtx_deadline)
+    table.set(idx, "done", int(state.done))
+    table.set(idx, "done_ps", -1 if state.done_ps is None else state.done_ps)
+
+
+#: Per-flow events inside a window: (time, kind, row-or-None).
+FlowEvent = Tuple[int, int, Optional[Row]]
+
+
+def run_send_system(engine, ctx: WindowContext) -> None:
+    """Visit every sender with window work, in flow-id order."""
+    topo = engine.scenario.topology
+    # flow id -> (acks, has_start, visit_only)
+    acks_of: Dict[int, List[Tuple[int, Row]]] = {}
+    starts: Dict[int, int] = {}
+    visits: List[int] = []
+    deliver_trace: List[Tuple[int, int, Row]] = []
+    for node, entries in ctx.node_entries.items():
+        if not topo.nodes[node].is_host:
+            continue
+        for e in entries:
+            tag = e[0]
+            if tag == ENTRY_ARRIVAL:
+                if e[3][F_ISACK]:
+                    acks_of.setdefault(e[3][F_FLOW], []).append((e[1], e[3]))
+                    deliver_trace.append((e[1], node, e[3]))
+            elif tag == ENTRY_FLOW_START:
+                starts[e[2]] = e[1]
+            else:  # ENTRY_TIMER / ENTRY_UDP wakeups
+                if e[1] >= 0:  # negative ids are bare window wakeups
+                    visits.append(e[1])
+
+    flow_ids = sorted(set(acks_of) | set(starts) | set(visits))
+    if not flow_ids:
+        return
+
+    if engine.trace.level:
+        for t, node, row in sorted(
+            deliver_trace,
+            key=lambda d: (d[0], d[2][F_FLOW], d[2][F_ISACK], d[2][F_SEQ]),
+        ):
+            engine.trace.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+
+    world = engine.world
+    table = world.senders
+
+    def visit(flow_id: int):
+        """Replay one flow's window; returns staged segments + stats."""
+        flow = engine.scenario.flows[flow_id]
+        sidx = world.sender_of_flow[flow_id]
+        out: List[Tuple[int, int, Row]] = []  # (t, prio, row)
+        rtts: List[Tuple[int, int, int]] = []
+        wakeup: Optional[int] = None  # rtx deadline to register
+        events = 0
+
+        if flow.transport == Transport.UDP:
+            size = flow.size_bytes
+            sched = UdpSchedule(flow_id, size, flow.start_ps,
+                                topo.host_iface(flow.src).rate_bps)
+            seq = table.get(sidx, "udp_next_seq")
+            total = sched.total_segs
+            while seq < total:
+                t = sched.enqueue_time(seq)
+                if t >= ctx.end:
+                    break
+                row = data_row(flow_id, seq, sched.payload(seq), t,
+                               flow.src, flow.dst)
+                out.append((t, PRIO_FLOW_START, row))
+                events += 1
+                seq += 1
+            table.set(sidx, "udp_next_seq", seq)
+            udp_wakeup = sched.enqueue_time(seq) if seq < total else None
+            return flow_id, out, rtts, None, udp_wakeup, events
+
+        # --- window CCA (DCTCP / RENO): per-flow chronological replay ---
+        state = load_dctcp(table, sidx,
+                           engine.scenario.cca_params(flow.transport))
+        evs: List[FlowEvent] = [
+            (t, PRIO_ARRIVAL, row) for t, row in acks_of.get(flow_id, ())
+        ]
+        if flow_id in starts:
+            evs.append((starts[flow_id], PRIO_FLOW_START, None))
+        evs.sort(key=lambda e: (e[0], e[1], e[2][F_SEQ] if e[2] else 0))
+
+        def emit(seqs: List[int], now: int, prio: int) -> None:
+            for seq in seqs:
+                payload = segment_payload(flow.size_bytes, seq)
+                out.append((now, prio,
+                            data_row(flow_id, seq, payload, now,
+                                     flow.src, flow.dst)))
+
+        i, n = 0, len(evs)
+        while True:
+            deadline = state.rtx_deadline
+            fire = (
+                deadline is not None
+                and deadline < ctx.end
+                and (i >= n or deadline < evs[i][0])
+            )
+            if fire:
+                emit(state.on_timeout(deadline), deadline, PRIO_TIMER)
+                events += 1
+                continue
+            if i >= n:
+                break
+            t, kind, row = evs[i]
+            i += 1
+            events += 1
+            if kind == PRIO_ARRIVAL:
+                assert row is not None
+                rtts.append((t, t - row[F_SEND_TS], flow_id))
+                emit(state.on_ack(row[F_SEQ], row[F_ECE], row[F_SEND_TS], t),
+                     t, PRIO_ARRIVAL)
+            else:  # flow start
+                emit(state.on_start(t), t, PRIO_FLOW_START)
+
+        if state.rtx_deadline is not None and not state.done:
+            wakeup = state.rtx_deadline
+        store_dctcp(table, sidx, state)
+        return flow_id, out, rtts, wakeup, None, events
+
+    results = engine.pool.map(
+        "send", visit, flow_ids,
+        sizes=[len(acks_of.get(f, ())) + 1 for f in flow_ids],
+    )
+
+    hook = engine.op_hook
+    for flow_id, out, rtts, rtx_wakeup, udp_wakeup, events in results:
+        flow = engine.scenario.flows[flow_id]
+        nic = topo.host_iface(flow.src).iface_id
+        segments = 0
+        if hook:
+            from ...protocols.packet import packet_uid
+            for _ in rtts:
+                hook(3, flow.src, (flow_id << 25) | (1 << 24))  # ack handled
+            for _t, _prio, row in out:
+                hook(0, flow.src, packet_uid(row))  # OP_SEND
+        for t, prio, row in out:
+            ctx.stage(nic, t, prio, row)
+            segments += 1
+        ctx.counts.send += segments
+        ctx.counts.ack += len(rtts)  # ack deliveries processed at the sender
+        engine.bump_node(flow.src, segments + len(rtts))
+        engine.results.rtt_samples.extend(rtts)
+        if rtx_wakeup is not None:
+            engine.register_wakeup(rtx_wakeup, flow.src, ENTRY_TIMER, flow_id)
+        if udp_wakeup is not None:
+            engine.register_wakeup(udp_wakeup, flow.src, ENTRY_UDP, flow_id)

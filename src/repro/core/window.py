@@ -1,0 +1,43 @@
+"""Per-window context shared by the four systems.
+
+A lookahead window's inputs are fully determined before the window's
+systems run (the LCC argument of §3.3): all packet deliveries, flow
+starts and timer wakeups with timestamps inside the window were produced
+by earlier windows.  :class:`WindowContext` is that input slice plus the
+staging area the systems fill for the TransmitSystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..metrics.results import EventCounts
+from ..protocols.packet import Row
+
+# Calendar entry tags.
+ENTRY_ARRIVAL = 0     # (ENTRY_ARRIVAL, t, prio, row): delivery at this node
+ENTRY_FLOW_START = 1  # (ENTRY_FLOW_START, t, flow_id)
+ENTRY_TIMER = 2       # (ENTRY_TIMER, flow_id): visit flow, check deadline
+ENTRY_UDP = 3         # (ENTRY_UDP, flow_id): visit flow, emit paced segs
+
+Entry = Tuple  # heterogeneous small tuples, see tags above
+Staged = Tuple[int, int, Row]  # (t, prio, row) awaiting an egress queue
+
+
+@dataclass
+class WindowContext:
+    """One lookahead batch."""
+
+    index: int
+    start: int
+    end: int
+    #: node -> calendar entries landing in this window.
+    node_entries: Dict[int, List[Entry]]
+    #: egress iface id -> arrivals staged by ACK/Send/Forward systems.
+    staged: Dict[int, List[Staged]] = field(default_factory=dict)
+    #: events processed per system in this window (Fig. 13 breakdown).
+    counts: EventCounts = field(default_factory=EventCounts)
+
+    def stage(self, iface_id: int, t: int, prio: int, row: Row) -> None:
+        self.staged.setdefault(iface_id, []).append((t, prio, row))

@@ -1,0 +1,5 @@
+"""Continuous-time (fluid) simulation: the CTS family of §2.1."""
+
+from .fluid import FluidSimulator, max_min_rates, run_fluid
+
+__all__ = ["FluidSimulator", "max_min_rates", "run_fluid"]

@@ -1,0 +1,18 @@
+"""The OOD baseline family: sequential engine and multi-LP parallel engine."""
+
+from .events import EventQueue
+from .simulator import OodSimulator, run_baseline
+from .parallel import (
+    Channel, ParallelOodSimulator, ParallelRunStats, lp_duplicated_state,
+)
+from .partition_types import (
+    Partition, contiguous_partition, random_partition, single_partition,
+)
+
+__all__ = [
+    "EventQueue", "OodSimulator", "run_baseline",
+    "Channel", "ParallelOodSimulator", "ParallelRunStats",
+    "lp_duplicated_state",
+    "Partition", "contiguous_partition", "random_partition",
+    "single_partition",
+]

@@ -1,0 +1,60 @@
+"""Event heap of the OOD baseline, encoding the ordering contract.
+
+Heap entries are plain tuples ``(time, kind, k1, k2, k3, payload)``.
+``kind`` is the trigger class of ``repro.protocols.packet``:
+
+    PORT_DONE(0) < ARRIVAL(1) < FLOW_START(2) < TIMER(3)
+
+and ``(k1, k2, k3)`` is the intra-kind tiebreak:
+
+* PORT_DONE:  (iface_id, 0, 0)
+* ARRIVAL:    (flow_id, is_ack, seq) of the arriving packet
+* FLOW_START: (flow_id, 0, seq)   (seq > 0 for paced UDP sends)
+* TIMER:      (flow_id, 0, 0)
+
+The same total order is reproduced by the DOD engine's window replays,
+which is what Theorem 2's trace equality rests on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Tuple
+
+from ..protocols.packet import PRIO_ARRIVAL, PRIO_FLOW_START, PRIO_SERVICE, PRIO_TIMER
+
+KIND_PORT_DONE = PRIO_SERVICE
+KIND_ARRIVAL = PRIO_ARRIVAL
+KIND_FLOW_START = PRIO_FLOW_START
+KIND_TIMER = PRIO_TIMER
+
+Event = Tuple[int, int, int, int, int, Any]
+
+
+class EventQueue:
+    """A thin deterministic wrapper over ``heapq``."""
+
+    __slots__ = ("_heap", "pushed", "popped")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self.pushed = 0
+        self.popped = 0
+
+    def push(self, time_ps: int, kind: int, k1: int, k2: int, k3: int,
+             payload: Any) -> None:
+        heapq.heappush(self._heap, (time_ps, kind, k1, k2, k3, payload))
+        self.pushed += 1
+
+    def pop(self) -> Event:
+        self.popped += 1
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> int:
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

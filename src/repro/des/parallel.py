@@ -1,0 +1,344 @@
+"""Parallel OOD baseline: logical processes + null-message synchronization.
+
+This reproduces how ns-3/OMNeT++ parallelize (§2.2): the topology is
+partitioned into sub-graphs, each simulated by a Logical Process (LP)
+with its own event queue, synchronized conservatively with the
+Chandy-Misra-Bryant null-message algorithm [8, 10, 16].  Each LP
+duplicates the full topology and routing state — the memory blow-up of
+paper Fig. 2b — which :func:`lp_duplicated_state` quantifies for the
+memory model.
+
+The LPs here run cooperatively in one OS process (CPython cannot give
+them real parallelism anyway; DESIGN.md); what is executed for real is
+the *algorithm*: per-LP chronological processing, channel clocks,
+null-message exchange, blocking on unsafe timestamps.  The cost model
+turns the measured per-LP event counts, null-message counts and blocked
+rounds into modeled wall-clock, which is where Fig. 3's "2 LPs slower
+than 1" emerges.
+
+Correctness: conservative synchronization never processes an event
+before its inputs are final, so the merged trace equals the sequential
+baseline's — asserted in tests/integration/test_parallel_baseline.py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .events import KIND_ARRIVAL
+from .partition_types import Partition
+from .simulator import OodSimulator
+from ..errors import SimulationError
+from ..metrics import SimResults, TraceLevel, TraceRecorder
+from ..protocols.egress import EgressPort
+from ..protocols.packet import F_FLOW, F_ISACK, F_SEQ, Row
+from ..scenario import Scenario
+
+
+@dataclass
+class Channel:
+    """A directed cross-LP channel (one per cut directed interface).
+
+    ``bound`` is the channel clock: the sender guarantees no future
+    message with timestamp < bound.  Messages arrive timestamp-ordered
+    because a single egress port emits in nondecreasing time.
+    """
+
+    src_lp: int
+    dst_lp: int
+    iface_id: int
+    lookahead_ps: int
+    bound: int = 0
+    queue: List[Tuple[int, Row, int]] = field(default_factory=list)  # (t, row, node)
+    null_messages: int = 0
+    data_messages: int = 0
+
+    def send(self, t: int, row: Row, node: int) -> None:
+        if self.queue and t < self.queue[-1][0]:
+            raise SimulationError("channel violated FIFO timestamp order")
+        self.queue.append((t, row, node))
+        self.data_messages += 1
+        if t > self.bound:
+            self.bound = t
+
+    def send_null(self, new_bound: int) -> None:
+        if new_bound > self.bound:
+            self.bound = new_bound
+            self.null_messages += 1
+
+
+class _LpSimulator(OodSimulator):
+    """One LP: the sequential engine restricted to its sub-graph."""
+
+    def __init__(self, lp_id: int, scenario: Scenario, partition: Partition,
+                 trace_level: TraceLevel) -> None:
+        super().__init__(scenario, trace_level)
+        self.lp_id = lp_id
+        self.partition = partition
+        self.out_channels: Dict[int, Channel] = {}  # by egress iface id
+        self.in_channels: List[Channel] = []
+        self.clock = 0
+
+    def build(self) -> None:
+        """Like the sequential build, but an LP only owns the sender state
+        of flows starting in its sub-graph and the receiver state of flows
+        terminating there (each LP still duplicates topology + FIB, which
+        is exactly the paper's P2 memory problem)."""
+        from ..protocols import DctcpState, ReceiverState, UdpSchedule
+        from ..protocols.packet import segment_count
+        from ..metrics.results import FlowResult
+        from ..traffic import Transport
+        from .events import KIND_FLOW_START
+
+        sc = self.scenario
+        for flow in sc.flows:
+            total = segment_count(flow.size_bytes)
+            if self.partition.part_of(flow.dst) == self.lp_id:
+                self.receivers[flow.flow_id] = ReceiverState(
+                    flow.flow_id, total, flow.transport != Transport.UDP
+                )
+                self.results.flows[flow.flow_id] = FlowResult(
+                    flow.flow_id, flow.start_ps, None, flow.size_bytes
+                )
+            if self.partition.part_of(flow.src) != self.lp_id:
+                continue
+            if flow.transport != Transport.UDP:
+                self.senders[flow.flow_id] = DctcpState(
+                    flow.flow_id, total, sc.cca_params(flow.transport)
+                )
+                self.queue.push(flow.start_ps, KIND_FLOW_START,
+                                flow.flow_id, 0, 0, (flow.flow_id, None))
+            else:
+                nic_rate = sc.topology.host_iface(flow.src).rate_bps
+                self.udp[flow.flow_id] = UdpSchedule(
+                    flow.flow_id, flow.size_bytes, flow.start_ps, nic_rate
+                )
+                self.queue.push(flow.start_ps, KIND_FLOW_START,
+                                flow.flow_id, 0, 0, (flow.flow_id, 0))
+        self._built = True
+
+    def _emit(self, port: EgressPort, row: Row, start: int, end: int) -> None:
+        """Cross-LP emissions go to a channel instead of the local heap."""
+        iface = port.iface
+        channel = self.out_channels.get(iface.iface_id)
+        if channel is None:
+            super()._emit(port, row, start, end)
+            return
+        # Local bookkeeping identical to the sequential engine.
+        if self.trace.level:
+            self.trace.deq(start, iface.iface_id, row[F_FLOW],
+                           row[F_ISACK], row[F_SEQ])
+        self.results.events.transmit += 1
+        self._bump_node(iface.node)
+        from .events import KIND_PORT_DONE
+        self.queue.push(end, KIND_PORT_DONE, iface.iface_id, 0, 0,
+                        iface.iface_id)
+        channel.send(end + iface.delay_ps, row, iface.peer_node)
+
+    # --- conservative execution ------------------------------------------
+
+    def safe_bound(self) -> int:
+        """Largest timestamp (exclusive) this LP may process."""
+        if not self.in_channels:
+            return 1 << 62
+        return min(ch.bound for ch in self.in_channels)
+
+    def drain_channels(self) -> None:
+        """Move committed channel messages into the local event heap."""
+        for ch in self.in_channels:
+            if ch.dst_lp != self.lp_id:
+                continue
+            for t, row, node in ch.queue:
+                self.queue.push(t, KIND_ARRIVAL, row[F_FLOW],
+                                row[F_ISACK], row[F_SEQ], (node, row))
+            ch.queue.clear()
+
+    def step(self, limit: Optional[int] = None) -> int:
+        """Process all safe events; returns how many were handled."""
+        self.drain_channels()
+        bound = self.safe_bound()
+        duration = self.scenario.duration_ps
+        handled = 0
+        while self.queue:
+            t = self.queue.peek_time()
+            if t >= bound:
+                break
+            if duration is not None and t > duration:
+                break
+            time_ps, kind, _a, _b, _c, payload = self.queue.pop()
+            self.clock = time_ps
+            from .events import KIND_FLOW_START, KIND_PORT_DONE
+            if kind == KIND_PORT_DONE:
+                self._on_port_done(time_ps, payload)
+            elif kind == KIND_ARRIVAL:
+                self._on_arrival(time_ps, payload)
+            elif kind == KIND_FLOW_START:
+                self._on_flow_start(time_ps, payload)
+            else:
+                self._on_timer(time_ps, payload)
+            self.results.end_time_ps = time_ps
+            handled += 1
+            if limit is not None and handled >= limit:
+                break
+            # New channel input may raise the safe bound mid-step.
+            if not self.queue or self.queue.peek_time() >= bound:
+                self.drain_channels()
+                bound = self.safe_bound()
+        return handled
+
+    def next_local_time(self) -> Optional[int]:
+        return self.queue.peek_time() if self.queue else None
+
+    def advertise(self) -> None:
+        """Send null messages (CMB): promise no output earlier than the
+        earliest event this LP could still process, plus the channel's
+        lookahead (its link's propagation delay).
+
+        The earliest processable event is the smaller of the local queue
+        head and the earliest possible future channel input (the safe
+        bound) — the classic null-message timestamp.  Positive link delays
+        make the bounds strictly increase, which is the CMB deadlock-
+        freedom argument.
+        """
+        nxt = self.next_local_time()
+        earliest = self.safe_bound()
+        if nxt is not None and nxt < earliest:
+            earliest = nxt
+        floor = max(self.clock, min(earliest, 1 << 62))
+        for ch in self.out_channels.values():
+            ch.send_null(floor + ch.lookahead_ps)
+
+
+@dataclass
+class ParallelRunStats:
+    """Synchronization measurements (cost-model inputs)."""
+
+    rounds: int = 0
+    null_messages: int = 0
+    data_messages: int = 0
+    blocked_lp_rounds: int = 0
+    global_flushes: int = 0
+    lp_events: List[int] = field(default_factory=list)
+
+
+class ParallelOodSimulator:
+    """Multi-LP conservative parallel simulation of one scenario."""
+
+    name = "ood-des-parallel"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        partition: Partition,
+        trace_level: TraceLevel = TraceLevel.NONE,
+        max_rounds: int = 100_000_000,
+    ) -> None:
+        if len(partition.assignment) != scenario.topology.num_nodes:
+            raise SimulationError("partition does not match topology")
+        self.scenario = scenario
+        self.partition = partition
+        self.max_rounds = max_rounds
+        self.lps = [
+            _LpSimulator(i, scenario, partition, trace_level)
+            for i in range(partition.num_parts)
+        ]
+        self.channels: List[Channel] = []
+        self._wire_channels()
+        self.stats = ParallelRunStats()
+
+    def _wire_channels(self) -> None:
+        topo = self.scenario.topology
+        for iface in topo.interfaces:
+            src_lp = self.partition.part_of(iface.node)
+            dst_lp = self.partition.part_of(iface.peer_node)
+            if src_lp == dst_lp:
+                continue
+            ch = Channel(src_lp, dst_lp, iface.iface_id, iface.delay_ps)
+            self.channels.append(ch)
+            self.lps[src_lp].out_channels[iface.iface_id] = ch
+            self.lps[dst_lp].in_channels.append(ch)
+
+    def run(self) -> SimResults:
+        for lp in self.lps:
+            lp.build()
+        rounds = 0
+        while True:
+            progressed = 0
+            for lp in self.lps:
+                handled = lp.step()
+                if handled == 0 and lp.queue:
+                    self.stats.blocked_lp_rounds += 1
+                progressed += handled
+            if progressed == 0 and all(not lp.queue for lp in self.lps) and all(
+                not ch.queue for ch in self.channels
+            ):
+                rounds += 1
+                break  # globally quiescent: simulation complete
+            bounds_before = [ch.bound for ch in self.channels]
+            for lp in self.lps:
+                lp.advertise()
+            if progressed == 0 and all(not ch.queue for ch in self.channels):
+                # Every LP is blocked and nothing is in flight: jump the
+                # channel clocks to the global minimum next event (a global
+                # reduction, as real PDES kernels do across idle periods).
+                # Sound: no LP can emit before processing its next event.
+                nexts = [
+                    t for t in (lp.next_local_time() for lp in self.lps)
+                    if t is not None
+                ]
+                if nexts:
+                    gmin = min(nexts)
+                    for ch in self.channels:
+                        ch.send_null(gmin + ch.lookahead_ps)
+                    self.stats.global_flushes += 1
+            bounds_moved = bounds_before != [ch.bound for ch in self.channels]
+            rounds += 1
+            if progressed == 0 and not bounds_moved:
+                raise SimulationError(
+                    "null-message deadlock (zero lookahead somewhere?)"
+                )
+            if rounds >= self.max_rounds:
+                raise SimulationError("exceeded max synchronization rounds")
+        self.stats.rounds = rounds
+        self.stats.null_messages = sum(ch.null_messages for ch in self.channels)
+        self.stats.data_messages = sum(ch.data_messages for ch in self.channels)
+        self.stats.lp_events = [lp.results.events.total for lp in self.lps]
+        return self._merge_results()
+
+    def _merge_results(self) -> SimResults:
+        merged = SimResults(self.name, self.scenario.name, 0)
+        trace_level = self.lps[0].trace.level
+        merged.trace = TraceRecorder(trace_level)
+        for lp in self.lps:
+            lp._finalize()
+            merged.end_time_ps = max(merged.end_time_ps, lp.results.end_time_ps)
+            merged.events.add(lp.results.events)
+            merged.drops += lp.results.drops
+            merged.marks += lp.results.marks
+            merged.tx_bytes += lp.results.tx_bytes
+            merged.rtt_samples.extend(lp.results.rtt_samples)
+            for node, count in lp.results.node_events.items():
+                merged.node_events[node] = merged.node_events.get(node, 0) + count
+            for flow_id, fr in lp.results.flows.items():
+                if flow_id not in merged.flows:
+                    merged.flows[flow_id] = fr
+                elif fr.complete_ps is not None:
+                    merged.flows[flow_id] = fr
+            merged.trace.entries.extend(lp.trace.entries)
+        merged.rtt_samples.sort()
+        return merged
+
+
+def lp_duplicated_state(scenario: Scenario, num_lps: int) -> Dict[str, int]:
+    """What each LP duplicates (paper P2): topology objects + full FIB.
+
+    Returns structural counts; the memory model prices them in bytes.
+    """
+    topo = scenario.topology
+    return {
+        "lps": num_lps,
+        "nodes_per_lp": topo.num_nodes,
+        "links_per_lp": topo.num_links,
+        "fib_entries_per_lp": scenario.fib.entry_count(),
+    }

@@ -1,0 +1,83 @@
+"""Partition representation shared by the parallel baseline, the
+partitioner package and the cluster runtime.
+
+A partition assigns every node of the topology to a logical process /
+machine: ``assignment[node_id] -> part index``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+from ..errors import PartitionError
+from ..rng import substream
+from ..topology import Topology
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A k-way node partition of a topology."""
+
+    assignment: Tuple[int, ...]
+    num_parts: int
+
+    def __post_init__(self) -> None:
+        if not self.assignment:
+            raise PartitionError("empty partition")
+        if self.num_parts < 1:
+            raise PartitionError("need at least one part")
+        bad = [p for p in self.assignment if not 0 <= p < self.num_parts]
+        if bad:
+            raise PartitionError(f"part ids out of range: {sorted(set(bad))}")
+
+    def part_of(self, node: int) -> int:
+        return self.assignment[node]
+
+    def nodes_of(self, part: int) -> List[int]:
+        return [n for n, p in enumerate(self.assignment) if p == part]
+
+    def part_sizes(self) -> List[int]:
+        sizes = [0] * self.num_parts
+        for p in self.assignment:
+            sizes[p] += 1
+        return sizes
+
+    def cut_links(self, topo: Topology) -> List[int]:
+        """Link ids whose endpoints lie in different parts."""
+        return [
+            link.link_id for link in topo.links
+            if self.assignment[link.node_a] != self.assignment[link.node_b]
+        ]
+
+    def is_cut(self, topo: Topology, link_id: int) -> bool:
+        link = topo.links[link_id]
+        return self.assignment[link.node_a] != self.assignment[link.node_b]
+
+
+def single_partition(topo: Topology) -> Partition:
+    """Everything on one machine."""
+    return Partition(tuple([0] * topo.num_nodes), 1)
+
+
+def random_partition(topo: Topology, k: int, seed: int = 0) -> Partition:
+    """Uniform random node assignment — the paper's Fig. 3 'bad case'
+    where parallel execution is slower than serial."""
+    if k < 1:
+        raise PartitionError("k must be >= 1")
+    rng = substream(seed, 0xDEAD)
+    assign = rng.integers(0, k, size=topo.num_nodes)
+    # Guarantee every part is non-empty for small topologies.
+    for part in range(min(k, topo.num_nodes)):
+        assign[part] = part
+    return Partition(tuple(int(a) for a in assign), k)
+
+
+def contiguous_partition(topo: Topology, k: int) -> Partition:
+    """Nodes split by id into k equal slabs (a crude manual partition)."""
+    if k < 1:
+        raise PartitionError("k must be >= 1")
+    n = topo.num_nodes
+    assign = [min(i * k // n, k - 1) for i in range(n)]
+    return Partition(tuple(assign), k)

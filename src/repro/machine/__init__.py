@@ -1,0 +1,37 @@
+"""The machine model: the documented substitution for the paper's
+hardware (DESIGN.md).  Cache simulator + per-architecture access models,
+memory accounting, and the calibrated time-cost model."""
+
+from .cache import CacheConfig, CacheSim, CacheStats, measure_miss_rate
+from .access import (
+    DodAccessModel, LayoutParams, OodAccessModel,
+    OP_FORWARD, OP_HOST_RX, OP_SEND, OP_SERVICE, OP_WINDOW,
+)
+from .calibration import MACBOOK_M1, MachineSpec, XEON_SERVER
+from .memory import (
+    StructuralCounts, dons_memory_bytes, max_fattree, memory_by_simulator,
+    ns3_memory_bytes, omnet_memory_bytes, ood_state_bytes,
+)
+from .cost import (
+    DonsTimeBreakdown, apa_time_s, cluster_time_s, dons_time_s,
+    eq1_machine_time_s, format_duration, multiprocess_time_s,
+    omnet_cluster_time_s, per_event_ns, sequential_time_s,
+)
+from .cpu import (
+    dons_system_timeline, dons_utilization_percent, ood_utilization_percent,
+)
+
+__all__ = [
+    "CacheConfig", "CacheSim", "CacheStats", "measure_miss_rate",
+    "DodAccessModel", "LayoutParams", "OodAccessModel",
+    "OP_FORWARD", "OP_HOST_RX", "OP_SEND", "OP_SERVICE", "OP_WINDOW",
+    "MACBOOK_M1", "MachineSpec", "XEON_SERVER",
+    "StructuralCounts", "dons_memory_bytes", "max_fattree",
+    "memory_by_simulator", "ns3_memory_bytes", "omnet_memory_bytes",
+    "ood_state_bytes",
+    "DonsTimeBreakdown", "apa_time_s", "cluster_time_s", "dons_time_s",
+    "eq1_machine_time_s", "format_duration", "multiprocess_time_s",
+    "omnet_cluster_time_s", "per_event_ns", "sequential_time_s",
+    "dons_system_timeline", "dons_utilization_percent",
+    "ood_utilization_percent",
+]

@@ -1,0 +1,150 @@
+"""Set-associative cache simulator with a stream prefetcher.
+
+Stands in for the hardware L3 + PMU of the paper's evaluation (Fig. 2a,
+Fig. 12b): cache behaviour is a pure function of the memory-access
+stream and the cache geometry, so we measure the miss rate of each
+engine by replaying the address streams its data layout actually
+generates (see ``repro.machine.access``).
+
+The prefetcher matters: streaming over columnar arrays misses once per
+line *without* prefetch, but every modern LLC hides sequential streams
+almost completely — which is why the paper's DOD engine reports < 0.15%
+L3 miss rate.  We model the standard next-N-line stream prefetcher:
+an access that continues a detected ascending stream pulls the next
+``prefetch_degree`` lines in.  Scattered OOD object accesses defeat it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of the modeled last-level cache."""
+
+    size_bytes: int = 32 * 1024 * 1024   # Xeon-class L3
+    line_bytes: int = 64
+    ways: int = 16
+    prefetch_degree: int = 4
+    stream_table: int = 32               # concurrently tracked streams
+
+    def __post_init__(self) -> None:
+        lines = self.size_bytes // self.line_bytes
+        if lines % self.ways:
+            raise ConfigError("cache lines must divide evenly into ways")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.ways
+
+
+@dataclass
+class CacheStats:
+    """Outcome of a replay."""
+
+    accesses: int = 0
+    misses: int = 0
+    prefetched_hits: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def miss_rate_percent(self) -> float:
+        return 100.0 * self.miss_rate
+
+
+class CacheSim:
+    """LRU set-associative cache + next-line stream prefetcher."""
+
+    def __init__(self, config: CacheConfig = CacheConfig()) -> None:
+        self.config = config
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(config.num_sets)]
+        self._tick = 0
+        self._streams: Dict[int, int] = {}  # last line -> stream hits
+        self._prefetched: set = set()
+        self.stats = CacheStats()
+
+    # --- internals ----------------------------------------------------------
+
+    def _touch_line(self, line: int, is_prefetch: bool = False) -> bool:
+        """Install/refresh a line; returns True on hit."""
+        cfg = self.config
+        s = self._sets[line % cfg.num_sets]
+        self._tick += 1
+        if line in s:
+            s[line] = self._tick
+            return True
+        if len(s) >= cfg.ways:
+            victim = min(s, key=s.get)
+            del s[victim]
+            self._prefetched.discard(victim)
+        s[line] = self._tick
+        if is_prefetch:
+            self._prefetched.add(line)
+        return False
+
+    def _prefetch_check(self, line: int) -> None:
+        """Detect ascending streams and pull lines ahead."""
+        cfg = self.config
+        streams = self._streams
+        if line - 1 in streams or line in streams:
+            # Continuation of a stream: move the tracker forward.
+            hits = streams.pop(line - 1, streams.pop(line, 0)) + 1
+            streams[line] = hits
+            if hits >= 2:
+                for d in range(1, cfg.prefetch_degree + 1):
+                    self._touch_line(line + d, is_prefetch=True)
+        else:
+            streams[line] = 0
+        if len(streams) > cfg.stream_table:
+            # Evict the oldest tracked stream (dict preserves insertion).
+            streams.pop(next(iter(streams)))
+
+    # --- public API -------------------------------------------------------------
+
+    def access(self, addr: int) -> bool:
+        """One load/store; returns True on hit."""
+        line = addr // self.config.line_bytes
+        hit = self._touch_line(line)
+        self.stats.accesses += 1
+        if hit:
+            if line in self._prefetched:
+                self._prefetched.discard(line)
+                self.stats.prefetched_hits += 1
+        else:
+            self.stats.misses += 1
+        self._prefetch_check(line)
+        return hit
+
+    def run(self, addrs: Iterable[int], warmup: float = 0.0) -> CacheStats:
+        """Replay a stream and return the accumulated stats.
+
+        ``warmup`` discards the first fraction of accesses from the
+        statistics (the cache state still evolves).  Sampled replays of
+        long-running simulations use this to measure the steady state
+        rather than compulsory cold misses, which real runs amortize
+        over orders of magnitude more accesses than we replay.
+        """
+        addrs = list(addrs)
+        cut = int(len(addrs) * warmup)
+        for addr in addrs[:cut]:
+            self.access(addr)
+        self.stats = CacheStats()
+        for addr in addrs[cut:]:
+            self.access(addr)
+        return self.stats
+
+
+def measure_miss_rate(addrs: Iterable[int],
+                      config: CacheConfig = CacheConfig(),
+                      warmup: float = 0.0) -> CacheStats:
+    """One-shot replay with a fresh cache."""
+    return CacheSim(config).run(addrs, warmup)

@@ -1,0 +1,316 @@
+"""Time-cost model: modeled wall-clock for every simulator family.
+
+This is the substitution for the paper's testbed wall-clocks (DESIGN.md):
+completion time is assembled from *measured* quantities — event counts,
+per-LP/per-machine load balance, synchronization rounds and message
+counts from the actually-executed algorithms, and the cache model's miss
+rates — priced with the fixed calibration constants.
+
+The formulae:
+
+* sequential OOD:      T = E * c(cmr)
+* multi-process OOD:   T = max_lp E_lp * c(cmr) + R * c_sync + M * c_msg
+* DONS single machine: T = sum_w sum_s ( ceil(n_ws / cores) * c(cmr)
+                                          + barrier )
+* DONS cluster (Eq. 1): T_a = E_a / P_a + tau_a / B_a;  T = max_a T_a
+* DQN (APA):           T = setup + packets / (gpus * rate)
+
+where c(cmr) = BASE_EVENT_NS * (1 + CMR_PENALTY * cmr%) — the measured
+cache miss rate is what makes the same event count cost more on the
+OOD architecture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from . import calibration as cal
+from .calibration import MachineSpec, XEON_SERVER
+
+
+def per_event_ns(cmr_percent: float, machine: MachineSpec = XEON_SERVER) -> float:
+    """Cost of one simulation event on one core, given the L3 miss rate."""
+    return (cal.BASE_EVENT_NS / machine.core_speed) * (
+        1.0 + cal.CMR_PENALTY_PER_PERCENT * cmr_percent
+    )
+
+
+# --- sequential & multi-process OOD -----------------------------------------
+
+
+def sequential_time_s(
+    events: int,
+    cmr_percent: float,
+    machine: MachineSpec = XEON_SERVER,
+) -> float:
+    """Single-process ns-3/OMNeT++-style run (one core)."""
+    return events * per_event_ns(cmr_percent, machine) * 1e-9
+
+
+def cost_cmr(measured_percent: float, is_dod: bool = False) -> float:
+    """Map a scaled-replay miss rate to the cost model's input band.
+
+    The scaled-L3 replays can overshoot on the largest scaled topologies
+    (their flows are ~100x shorter than the paper's, so cold misses
+    amortize less); the hardware band the paper measures tops out around
+    6% for the OOD family and 0.15% for DONS, and the cost model should
+    not extrapolate beyond physics.
+    """
+    if is_dod:
+        return min(measured_percent, 0.15)
+    return min(measured_percent, 6.0)
+
+
+def multiprocess_paper_scale_s(
+    events: int,
+    windows: int,
+    cmr_percent: float,
+    n_procs: int,
+    max_share: float,
+    burstiness: float,
+    machine: MachineSpec = XEON_SERVER,
+    sync_scale: float = 1.0,
+) -> float:
+    """MPI-parallel OOD run projected to paper scale, window-structured.
+
+    Conservative parallel DES advances in lookahead windows: each window
+    costs the slowest LP's compute plus one synchronization exchange.
+
+    Args:
+        events: Total events of the projected run.
+        windows: Lookahead windows (sim seconds / 1 us).
+        n_procs: Logical processes.
+        max_share: Heaviest LP's share of total events (measured from an
+            executed partition; 1/n_procs is perfect balance).
+        burstiness: Ratio of a busy window's load to the mean window
+            load (measured from the per-window breakdown); per-window
+            max-over-LPs scales with it.
+    """
+    c_ev = per_event_ns(cmr_percent, machine)
+    per_window_events = events / max(windows, 1)
+    lp_window = per_window_events * min(1.0, max_share * burstiness)
+    sync = (cal.MPI_WINDOW_SYNC_NS * sync_scale
+            * max(1.0, math.log2(max(n_procs, 2))))
+    return windows * (lp_window * c_ev + sync) * 1e-9
+
+
+def multiprocess_time_s(
+    lp_events: Sequence[int],
+    cmr_percent: float,
+    sync_rounds: int,
+    messages: int,
+    machine: MachineSpec = XEON_SERVER,
+) -> float:
+    """Multi-LP conservative run on one machine (one core per LP).
+
+    ``sync_rounds`` / ``messages`` come from the executed null-message
+    algorithm (:class:`repro.des.ParallelRunStats`: rounds, null + data
+    messages).  The slowest LP sets the compute term; synchronization is
+    serialized on top — which is how a bad partition ends up slower than
+    one process (Fig. 3).
+    """
+    if not lp_events:
+        return 0.0
+    compute = max(lp_events) * per_event_ns(cmr_percent, machine)
+    sync = sync_rounds * cal.LP_SYNC_ROUND_NS + messages * cal.LP_MESSAGE_NS
+    return (compute + sync) * 1e-9
+
+
+# --- DONS single machine ---------------------------------------------------------
+
+
+@dataclass
+class DonsTimeBreakdown:
+    """Modeled DONS wall-clock plus utilization details."""
+
+    total_s: float
+    work_s: float          # pure event-processing work (all cores combined)
+    barrier_s: float
+    utilization: float     # work / (total * cores), in [0, 1]
+    per_system_s: Dict[str, float]
+
+
+def dons_time_s(
+    window_breakdown: Sequence[Tuple[int, int, int, int, int]],
+    cmr_percent: float,
+    machine: MachineSpec = XEON_SERVER,
+    workers: Optional[int] = None,
+) -> DonsTimeBreakdown:
+    """DONS on one machine, from the engine's per-window system counts.
+
+    Each window runs its four systems back to back; a system with n items
+    on c cores spans ceil(n/c) event-times (entity chunks balance well),
+    plus one barrier.  Small windows therefore parallelize poorly — which
+    is why the paper's speedup grows from 3x on FatTree4 to 22x on
+    FatTree32.
+    """
+    cores = workers if workers is not None else machine.cores
+    cores = max(1, min(cores, cal.DOD_MEM_PARALLEL_STREAMS))
+    c_ev = per_event_ns(cmr_percent, machine)
+    names = ("ack", "send", "forward", "transmit")
+    span_ns = 0.0
+    work_ns = 0.0
+    barrier_ns = 0.0
+    per_system = dict.fromkeys(names, 0.0)
+    for entry in window_breakdown:
+        counts = entry[1:5]
+        for name, n in zip(names, counts):
+            if n <= 0:
+                continue
+            s = math.ceil(n / cores) * c_ev + cal.DOD_BARRIER_NS
+            span_ns += s
+            barrier_ns += cal.DOD_BARRIER_NS
+            work_ns += n * c_ev
+            per_system[name] += s * 1e-9
+    total_s = span_ns * 1e-9
+    util = (work_ns / (span_ns * cores)) if span_ns > 0 else 0.0
+    return DonsTimeBreakdown(
+        total_s=total_s,
+        work_s=work_ns * 1e-9,
+        barrier_s=barrier_ns * 1e-9,
+        utilization=util,
+        per_system_s=per_system,
+    )
+
+
+def dons_time_uniform(
+    events: int,
+    windows: int,
+    system_shares: Sequence[float],
+    cmr_percent: float,
+    machine: MachineSpec = XEON_SERVER,
+    workers: Optional[int] = None,
+) -> DonsTimeBreakdown:
+    """DONS wall-clock for a *projected* run (paper-scale extrapolation).
+
+    Events are spread uniformly over ``windows`` lookahead batches and
+    split across the four systems by ``system_shares`` (measured from a
+    scaled run of the same scenario family).  Equivalent to
+    :func:`dons_time_s` on a synthetic uniform breakdown, in O(1).
+    """
+    cores = max(1, min(workers if workers is not None else machine.cores,
+                       cal.DOD_MEM_PARALLEL_STREAMS))
+    c_ev = per_event_ns(cmr_percent, machine)
+    shares = list(system_shares)
+    total_share = sum(shares) or 1.0
+    span_ns = 0.0
+    work_ns = 0.0
+    per_system: Dict[str, float] = {}
+    names = ("ack", "send", "forward", "transmit")
+    per_window_events = events / max(windows, 1)
+    for name, share in zip(names, shares):
+        n = per_window_events * share / total_share
+        if n <= 0:
+            continue
+        s = (math.ceil(n / cores) * c_ev + cal.DOD_BARRIER_NS) * windows
+        span_ns += s
+        work_ns += n * windows * c_ev
+        per_system[name] = s * 1e-9
+    util = work_ns / (span_ns * cores) if span_ns > 0 else 0.0
+    return DonsTimeBreakdown(
+        total_s=span_ns * 1e-9,
+        work_s=work_ns * 1e-9,
+        barrier_s=4 * windows * cal.DOD_BARRIER_NS * 1e-9,
+        utilization=util,
+        per_system_s=per_system,
+    )
+
+
+# --- DONS / OMNeT++ cluster (Eq. 1-2) ------------------------------------------
+
+
+def eq1_machine_time_s(
+    events: int,
+    egress_bytes: int,
+    machine: MachineSpec = XEON_SERVER,
+    cmr_percent: float = 0.12,
+    parallel_efficiency: float = cal.DONS_CLUSTER_EFFICIENCY,
+    link_bps: int = cal.CLUSTER_LINK_BPS,
+    bandwidth_capped: bool = True,
+) -> float:
+    """T_a = E_a / P_a + tau_a / B_a for one machine (paper Eq. 1).
+
+    ``bandwidth_capped`` applies the DRAM-stream limit of the DOD engine;
+    the OOD cluster model passes False (its efficiency constant already
+    reflects its own bottleneck).
+    """
+    cores = machine.cores
+    if bandwidth_capped:
+        cores = min(cores, cal.DOD_MEM_PARALLEL_STREAMS)
+    p_a = (cores * parallel_efficiency
+           / (per_event_ns(cmr_percent, machine) * 1e-9))
+    compute = events / p_a if p_a > 0 else 0.0
+    comms = egress_bytes * 8.0 / link_bps
+    return compute + comms
+
+
+def cluster_time_s(
+    part_events: Sequence[int],
+    part_egress_bytes: Sequence[int],
+    windows: int,
+    machine: MachineSpec = XEON_SERVER,
+    cmr_percent: float = 0.12,
+    parallel_efficiency: float = 0.85,
+) -> float:
+    """Distributed DONS: Eq. (2) max over machines plus the per-window
+    FINISH-signal barrier of §4.2."""
+    per_machine = [
+        eq1_machine_time_s(e, b, machine, cmr_percent, parallel_efficiency)
+        for e, b in zip(part_events, part_egress_bytes)
+    ]
+    barrier = windows * (cal.CLUSTER_BARRIER_NS + cal.CLUSTER_RPC_NS) * 1e-9
+    return (max(per_machine) if per_machine else 0.0) + barrier
+
+
+def omnet_cluster_time_s(
+    part_events: Sequence[int],
+    part_egress_bytes: Sequence[int],
+    windows: int,
+    machine: MachineSpec = XEON_SERVER,
+    cmr_percent: float = 4.5,
+    mpi_efficiency: Optional[float] = None,
+) -> float:
+    """Distributed OMNeT++ with all cores per machine: same Eq. (1)
+    structure but OOD per-event cost and a parallel efficiency that
+    *decays* with cluster size (conservative-sync stalls; calibrated
+    against both Table 1 anchors — see calibration module)."""
+    if mpi_efficiency is None:
+        mpi_efficiency = cal.omnet_cluster_efficiency(len(part_events))
+    per_machine = [
+        eq1_machine_time_s(e, b, machine, cmr_percent, mpi_efficiency,
+                           bandwidth_capped=False)
+        for e, b in zip(part_events, part_egress_bytes)
+    ]
+    n = max(1, len(part_events))
+    sync = windows * (cal.LP_SYNC_ROUND_NS * n) * 1e-9
+    return (max(per_machine) if per_machine else 0.0) + sync
+
+
+# --- APA (DQN) -------------------------------------------------------------------
+
+
+def apa_time_s(packets: int, gpus: int) -> float:
+    """DeepQueueNet-style inference sweep over all packets."""
+    if gpus < 1:
+        raise ValueError("APA needs at least one GPU")
+    return cal.APA_SETUP_S + packets / (gpus * cal.APA_PACKETS_PER_GPU_PER_S)
+
+
+# --- formatting helpers ------------------------------------------------------------
+
+
+def format_duration(seconds: float) -> str:
+    """Render like the paper's tables: '9d 14h 24m', '2h 56m', '48s'."""
+    s = int(round(seconds))
+    d, s = divmod(s, 86400)
+    h, s = divmod(s, 3600)
+    m, s = divmod(s, 60)
+    if d:
+        return f"{d}d {h}h {m}m"
+    if h:
+        return f"{h}h {m}m"
+    if m:
+        return f"{m}m {s}s"
+    return f"{s}s"

@@ -1,0 +1,86 @@
+"""CPU-utilization model (Fig. 12c, Fig. 13).
+
+Utilization is reported top-style: 100% = one busy core, a 32-core
+server tops out at 3200%.  A core counts as busy whenever it holds a
+task — including cycles stalled on DRAM — which is why DONS can report
+2634% utilization while its *throughput* is bandwidth-capped at ~10
+concurrent streams (see ``calibration.DOD_MEM_PARALLEL_STREAMS``): the
+two observations are consistent, and this module models the busy-core
+view while ``cost.dons_time_s`` models the throughput view.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from . import calibration as cal
+from .calibration import MachineSpec, XEON_SERVER
+from .cost import per_event_ns
+
+
+def ood_utilization_percent(processes: int,
+                            lp_events: Sequence[int]) -> float:
+    """Multi-process baseline: each LP pins a core; the slowest LP
+    defines the span and the others idle once their window is done."""
+    if not lp_events or max(lp_events) == 0:
+        return 100.0 * max(1, processes)
+    span = max(lp_events)
+    busy = sum(lp_events) / span
+    return 100.0 * busy
+
+
+def _window_spans(
+    window_breakdown: Sequence[Tuple[int, int, int, int, int]],
+    cmr_percent: float,
+    machine: MachineSpec,
+    cores: int,
+):
+    """Yield (window_t_ps, system, n_items, span_ns, busy_cores)."""
+    streams = max(1, min(cores, cal.DOD_MEM_PARALLEL_STREAMS))
+    c_ev = per_event_ns(cmr_percent, machine)
+    names = ("ack", "send", "forward", "transmit")
+    for entry in window_breakdown:
+        for name, n in zip(names, entry[1:5]):
+            if n <= 0:
+                continue
+            span = math.ceil(n / streams) * c_ev + cal.DOD_BARRIER_NS
+            busy = min(float(cores), float(n))
+            yield entry[0], name, n, span, busy
+
+
+def dons_utilization_percent(
+    window_breakdown: Sequence[Tuple[int, int, int, int, int]],
+    cmr_percent: float,
+    machine: MachineSpec = XEON_SERVER,
+    workers: int = None,
+) -> float:
+    """Span-weighted busy-core average (Fig. 12c)."""
+    cores = workers if workers is not None else machine.cores
+    total_span = 0.0
+    weighted = 0.0
+    for _t, _name, _n, span, busy in _window_spans(
+            window_breakdown, cmr_percent, machine, cores):
+        total_span += span
+        weighted += busy * span
+    if total_span == 0.0:
+        return 0.0
+    return 100.0 * weighted / total_span
+
+
+def dons_system_timeline(
+    window_breakdown: Sequence[Tuple[int, int, int, int, int]],
+    cmr_percent: float,
+    machine: MachineSpec = XEON_SERVER,
+    workers: int = None,
+) -> List[Dict[str, float]]:
+    """Fig. 13: per window, the busy-core count of each system."""
+    cores = workers if workers is not None else machine.cores
+    rows: Dict[int, Dict[str, float]] = {}
+    for t, name, _n, _span, busy in _window_spans(
+            window_breakdown, cmr_percent, machine, cores):
+        row = rows.setdefault(t, {"t_ps": float(t), "ack": 0.0,
+                                  "send": 0.0, "forward": 0.0,
+                                  "transmit": 0.0})
+        row[name] = busy
+    return [rows[t] for t in sorted(rows)]

@@ -1,0 +1,122 @@
+"""Memory model: modeled resident footprint of each simulator family.
+
+Reproduces Fig. 2b (ns-3 memory vs #processes), Fig. 12a (memory by
+simulator and topology) and the §6.1 scale-limit analysis (which
+simulator can hold which FatTree in 128 GB / 8 GB).
+
+Footprints are computed from *structural counts* — nodes, interfaces,
+FIB entries — priced with the calibrated per-structure constants of
+``repro.machine.calibration``.  Counts come either from a built topology
+/ FIB or, for 65k-server topologies nobody should build in RAM, from the
+closed-form :func:`~repro.topology.fattree_counts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from . import calibration as cal
+from ..topology import Topology, fattree_counts
+
+
+@dataclass(frozen=True)
+class StructuralCounts:
+    """What the memory model needs to know about a scenario."""
+
+    nodes: int
+    hosts: int
+    interfaces: int
+    fib_entries: int
+
+    @classmethod
+    def from_topology(cls, topo: Topology) -> "StructuralCounts":
+        hosts = topo.num_hosts
+        # Full routing state: every node stores a route to every host
+        # (what both ns-3 global routing and DONS's builder install).
+        return cls(
+            nodes=topo.num_nodes,
+            hosts=hosts,
+            interfaces=topo.num_interfaces,
+            fib_entries=(topo.num_nodes - 1) * hosts,
+        )
+
+    @classmethod
+    def from_fattree_k(cls, k: int) -> "StructuralCounts":
+        c = fattree_counts(k)
+        return cls(
+            nodes=c["nodes"],
+            hosts=c["hosts"],
+            interfaces=c["interfaces"],
+            fib_entries=(c["nodes"] - 1) * c["hosts"],
+        )
+
+
+def ood_state_bytes(counts: StructuralCounts) -> int:
+    """Footprint of one complete OOD simulation state (one LP)."""
+    return (
+        cal.OOD_BASE_BYTES
+        + counts.nodes * cal.OOD_NODE_BYTES
+        + counts.interfaces * cal.OOD_IFACE_BYTES
+        + counts.fib_entries * cal.OOD_FIB_ENTRY_BYTES
+    )
+
+
+def ns3_memory_bytes(counts: StructuralCounts, processes: int = 1) -> int:
+    """ns-3 multi-process: every LP duplicates the full state (paper P2)."""
+    return ood_state_bytes(counts) * max(1, processes)
+
+
+def omnet_memory_bytes(counts: StructuralCounts, processes: int = 1) -> int:
+    """OMNeT++ partitions modules across LPs: memory ~ flat in #LPs
+    (Fig. 2b), with a small per-LP runtime overhead."""
+    per_lp_overhead = cal.OOD_BASE_BYTES // 16
+    return ood_state_bytes(counts) + max(0, processes - 1) * per_lp_overhead
+
+
+def dons_memory_bytes(counts: StructuralCounts,
+                      measured_component_bytes: int = 0) -> int:
+    """DONS single process: dense columnar state.
+
+    ``measured_component_bytes`` (from ``World.memory_bytes()``) is added
+    when an actual run is available; for closed-form projections it is
+    approximated inside the node/interface terms.
+    """
+    return (
+        cal.DOD_BASE_BYTES
+        + counts.nodes * cal.DOD_NODE_BYTES
+        + counts.interfaces * cal.DOD_IFACE_BUFFER_BYTES
+        + counts.fib_entries * cal.DOD_FIB_ENTRY_BYTES
+        + measured_component_bytes
+    )
+
+
+def memory_by_simulator(counts: StructuralCounts,
+                        processes: int = 1) -> Dict[str, int]:
+    """Fig. 12a row: bytes per simulator for one scenario."""
+    return {
+        "ns-3": ns3_memory_bytes(counts, processes),
+        "omnet++": omnet_memory_bytes(counts, processes),
+        "dons": dons_memory_bytes(counts),
+    }
+
+
+def max_fattree(mem_bytes: int, simulator: str, processes: int = 1,
+                k_max: int = 128) -> int:
+    """Largest even k whose FatTree fits in ``mem_bytes`` (§6.1 'Scale')."""
+    best = 0
+    for k in range(2, k_max + 1, 2):
+        counts = StructuralCounts.from_fattree_k(k)
+        if simulator == "ns-3":
+            need = ns3_memory_bytes(counts, processes)
+        elif simulator == "omnet++":
+            need = omnet_memory_bytes(counts, processes)
+        elif simulator == "dons":
+            need = dons_memory_bytes(counts)
+        else:
+            raise ValueError(f"unknown simulator {simulator!r}")
+        if need <= mem_bytes:
+            best = k
+        else:
+            break
+    return best

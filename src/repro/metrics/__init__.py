@@ -1,0 +1,19 @@
+"""Metrics: traces, results, Wasserstein distances."""
+
+from .trace import Entry, TraceKind, TraceLevel, TraceRecorder
+from .results import EventCounts, FlowResult, SimResults
+from .wasserstein import load_vector_distance, normalized_w1, wasserstein_1d
+from .export import flows_csv, rtt_csv, window_breakdown_csv
+from .traceview import (
+    drops_by_port, flow_timeline, hops, marked_fraction, packet_journey,
+    per_hop_latency, queueing_delays,
+)
+
+__all__ = [
+    "Entry", "TraceKind", "TraceLevel", "TraceRecorder",
+    "EventCounts", "FlowResult", "SimResults",
+    "load_vector_distance", "normalized_w1", "wasserstein_1d",
+    "flows_csv", "rtt_csv", "window_breakdown_csv",
+    "drops_by_port", "flow_timeline", "hops", "marked_fraction",
+    "packet_journey", "per_hop_latency", "queueing_delays",
+]

@@ -1,0 +1,54 @@
+"""Result export: CSV writers for downstream analysis.
+
+Simulation studies end in plots; these helpers dump per-flow and
+per-sample data in the shape pandas/gnuplot expect, with no third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Optional, TextIO
+
+from .results import SimResults
+from ..units import ps_to_us
+
+
+def flows_csv(results: SimResults, out: Optional[TextIO] = None) -> str:
+    """Per-flow rows: flow_id, start_us, complete_us, fct_us, size_bytes."""
+    buf = out or io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["flow_id", "start_us", "complete_us", "fct_us",
+                     "size_bytes"])
+    for fid in sorted(results.flows):
+        fr = results.flows[fid]
+        writer.writerow([
+            fid,
+            f"{ps_to_us(fr.start_ps):.3f}",
+            f"{ps_to_us(fr.complete_ps):.3f}" if fr.complete_ps is not None else "",
+            f"{ps_to_us(fr.fct_ps):.3f}" if fr.fct_ps is not None else "",
+            fr.size_bytes,
+        ])
+    return buf.getvalue() if out is None else ""
+
+
+def rtt_csv(results: SimResults, out: Optional[TextIO] = None) -> str:
+    """Per-ACK RTT samples: t_us, rtt_us, flow_id."""
+    buf = out or io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["t_us", "rtt_us", "flow_id"])
+    for t, rtt, fid in results.rtt_samples:
+        writer.writerow([f"{ps_to_us(t):.3f}", f"{ps_to_us(rtt):.3f}", fid])
+    return buf.getvalue() if out is None else ""
+
+
+def window_breakdown_csv(results: SimResults,
+                         out: Optional[TextIO] = None) -> str:
+    """Per-window system event counts (the Fig. 13 series)."""
+    buf = out or io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["t_us", "ack", "send", "forward", "transmit"])
+    for start, ack, send, fwd, tx in results.window_breakdown:
+        writer.writerow([f"{ps_to_us(start):.3f}", ack, send, fwd, tx])
+    return buf.getvalue() if out is None else ""

@@ -1,0 +1,97 @@
+"""Result containers: what a simulation run returns.
+
+Both engines return a :class:`SimResults`; every downstream consumer
+(fidelity checks, the cost model, the benches) works from this one type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .trace import TraceRecorder
+from ..units import ps_to_s
+
+
+@dataclass
+class FlowResult:
+    """Per-flow outcome."""
+
+    flow_id: int
+    start_ps: int
+    complete_ps: Optional[int]  # None if unfinished at sim end
+    size_bytes: int
+
+    @property
+    def fct_ps(self) -> Optional[int]:
+        if self.complete_ps is None:
+            return None
+        return self.complete_ps - self.start_ps
+
+
+@dataclass
+class EventCounts:
+    """Events processed, bucketed by the paper's four behavioural aspects.
+
+    These are *measured* counts; the machine cost model multiplies them
+    by calibrated per-event costs to obtain modeled wall-clocks.
+    """
+
+    send: int = 0      # segments put on the wire by senders
+    forward: int = 0   # FIB lookups / ingress->egress moves at switches
+    transmit: int = 0  # egress service starts (per-packet serialization)
+    ack: int = 0       # receiver-side packet handling + ACK generation
+
+    @property
+    def total(self) -> int:
+        return self.send + self.forward + self.transmit + self.ack
+
+    def add(self, other: "EventCounts") -> None:
+        self.send += other.send
+        self.forward += other.forward
+        self.transmit += other.transmit
+        self.ack += other.ack
+
+
+@dataclass
+class SimResults:
+    """Everything a run produces."""
+
+    engine: str
+    scenario_name: str
+    end_time_ps: int
+    flows: Dict[int, FlowResult] = field(default_factory=dict)
+    #: (sample_time_ps, rtt_ps, flow_id) per ACK processed at a sender.
+    rtt_samples: List[Tuple[int, int, int]] = field(default_factory=list)
+    events: EventCounts = field(default_factory=EventCounts)
+    #: events processed at each node (partition-evaluation input).
+    node_events: Dict[int, int] = field(default_factory=dict)
+    drops: int = 0
+    marks: int = 0
+    tx_bytes: int = 0
+    trace: Optional[TraceRecorder] = None
+    #: DOD engine only: per lookahead window, events per system
+    #: [(window_start_ps, ack, send, forward, transmit), ...] (Fig. 13).
+    window_breakdown: List[Tuple[int, int, int, int, int]] = field(default_factory=list)
+
+    # --- summaries -------------------------------------------------------
+
+    def fcts_ps(self) -> List[int]:
+        """Completed flows' FCTs, ordered by flow id."""
+        return [
+            fr.fct_ps for _, fr in sorted(self.flows.items())
+            if fr.fct_ps is not None
+        ]
+
+    def completed(self) -> int:
+        return sum(1 for fr in self.flows.values() if fr.complete_ps is not None)
+
+    def mean_fct_s(self) -> Optional[float]:
+        fcts = self.fcts_ps()
+        if not fcts:
+            return None
+        return ps_to_s(sum(fcts)) / len(fcts)
+
+    def rtts_ps(self) -> List[int]:
+        """RTT samples in measurement order (Fig. 10a plots the first 200)."""
+        return [rtt for _, rtt, _ in self.rtt_samples]

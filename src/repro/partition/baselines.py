@@ -1,0 +1,111 @@
+"""The two partitioning baselines of Table 2/3.
+
+* **Static balanced cut** — "aims to distribute the number of nodes
+  across multiple machines evenly": BFS-order the nodes and slice into k
+  equal-count slabs, with no notion of traffic or cut size.
+* **Coupling-factor-based partitioning (CFP)** — OMNeT++'s recipe [52]:
+  it "only considers the relationship between communication delay and
+  the lookahead time", i.e. it prefers cutting links whose propagation
+  delay is large (so the lookahead earned per synchronization is large)
+  and balances module *count*, but is blind to the traffic pattern.
+  Implemented as recursive bisection with unit node weights and edge
+  weights 1/delay.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import List, Set
+
+import numpy as np
+
+from .mbc import mbc_bisect
+from .partitioner import PartitionPlan
+from .loadest import LoadModel
+from .timecost import ClusterSpec, completion_time
+from ..des.partition_types import Partition
+from ..errors import PartitionError
+from ..topology import Topology
+
+
+def _bfs_order(topo: Topology) -> List[int]:
+    seen = [False] * topo.num_nodes
+    order: List[int] = []
+    for root in range(topo.num_nodes):
+        if seen[root]:
+            continue
+        seen[root] = True
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v, _link in topo.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+    return order
+
+
+def balanced_cut(topo: Topology, k: int) -> Partition:
+    """Node-count-balanced static partition (BFS slabs)."""
+    if k < 1:
+        raise PartitionError("k must be >= 1")
+    order = _bfs_order(topo)
+    n = len(order)
+    assignment = [0] * n
+    for rank, node in enumerate(order):
+        assignment[node] = min(rank * k // n, k - 1)
+    return Partition(tuple(assignment), k)
+
+
+def balanced_cut_plan(topo: Topology, k: int, loads: LoadModel,
+                      cluster: ClusterSpec) -> PartitionPlan:
+    t0 = time.perf_counter()
+    part = balanced_cut(topo, k)
+    return PartitionPlan(
+        partition=part,
+        estimated_time_s=completion_time(topo, part, loads, cluster),
+        planning_time_s=time.perf_counter() - t0,
+        bisections=0,
+        rejected_bisections=0,
+        method="balanced-cut",
+    )
+
+
+def cfp_partition(topo: Topology, k: int, balance_tol: float = 0.1) -> Partition:
+    """Coupling-factor partitioning: recursive bisection preferring cuts
+    over long-delay links, balancing node count."""
+    if k < 1:
+        raise PartitionError("k must be >= 1")
+    node_w = np.ones(topo.num_nodes)
+    # Cheap-to-cut = long delay (big lookahead): weight = 1/delay.
+    edge_w = np.array([1.0 / max(l.delay_ps, 1) for l in topo.links])
+    subnets: List[Set[int]] = [set(range(topo.num_nodes))]
+    while len(subnets) < k:
+        subnets.sort(key=len, reverse=True)
+        big = subnets.pop(0)
+        if len(big) < 2:
+            subnets.append(big)
+            break
+        s1, s2 = mbc_bisect(topo, sorted(big), node_w, edge_w, balance_tol)
+        subnets.extend([s1, s2])
+    assignment = [0] * topo.num_nodes
+    for part_id, subnet in enumerate(subnets):
+        for node in subnet:
+            assignment[node] = part_id
+    return Partition(tuple(assignment), k)
+
+
+def cfp_plan(topo: Topology, k: int, loads: LoadModel,
+             cluster: ClusterSpec) -> PartitionPlan:
+    t0 = time.perf_counter()
+    part = cfp_partition(topo, k)
+    return PartitionPlan(
+        partition=part,
+        estimated_time_s=completion_time(topo, part, loads, cluster),
+        planning_time_s=time.perf_counter() - t0,
+        bisections=k - 1,
+        rejected_bisections=0,
+        method="cfp",
+    )

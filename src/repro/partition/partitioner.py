@@ -1,0 +1,153 @@
+"""DONS Partitioner: the recursive heuristic of Algorithm 1 (Appendix B).
+
+    partitioner(network):
+        subnet1, subnet2 = MBC(network, k=2)
+        if num_subnet + 1 > num_machines: return
+        if max(tc(subnet1), tc(subnet2)) < tc(network):
+            num_subnet += 1
+            partitioner(subnet1); partitioner(subnet2)
+
+Each recursion bisects the currently-worst sub-graph with the weighted
+MBC primitive and accepts the split only if the time-cost model says it
+helps; recursion stops when the cluster is fully used or further cuts
+stop paying (the two termination conditions of §4.1).  Finished subnets
+are assigned heaviest-load-to-fastest-machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from .loadest import LoadModel, estimate_scenario_loads
+from .mbc import mbc_bisect
+from .timecost import ClusterSpec, completion_time, subnet_time
+from ..des.partition_types import Partition
+from ..errors import PartitionError
+from ..scenario import Scenario
+from ..topology import Topology
+
+
+@dataclass
+class PartitionPlan:
+    """Result of planning: the partition plus planning diagnostics."""
+
+    partition: Partition
+    estimated_time_s: float
+    planning_time_s: float
+    bisections: int
+    rejected_bisections: int
+    method: str = "dons-partitioner"
+
+
+def _external_links(topo: Topology, nodes: Set[int]) -> List[int]:
+    return [
+        link.link_id for link in topo.links
+        if (link.node_a in nodes) != (link.node_b in nodes)
+    ]
+
+
+def _subnet_tc(topo: Topology, nodes: Set[int], loads: LoadModel,
+               cluster: ClusterSpec) -> float:
+    """Eq. (1) of a subnet on a representative (fastest) machine."""
+    compute = max(cluster.compute)
+    bandwidth = max(cluster.bandwidth_bps)
+    return subnet_time(sorted(nodes), loads, topo, compute, bandwidth,
+                       _external_links(topo, nodes))
+
+
+def dons_partition(
+    topo: Topology,
+    loads: LoadModel,
+    cluster: ClusterSpec,
+    balance_tol: float = 0.15,
+) -> PartitionPlan:
+    """Run Algorithm 1 and return the machine assignment."""
+    t0 = time.perf_counter()
+    if cluster.num_machines < 1:
+        raise PartitionError("empty cluster")
+    all_nodes: Set[int] = set(range(topo.num_nodes))
+    subnets: List[Set[int]] = [all_nodes]
+    bisections = 0
+    rejected = 0
+
+    # Worst-subnet-first queue (recursion order of Algorithm 1 refined to
+    # always attack the current bottleneck, which the max() objective of
+    # Eq. (2) makes the only split that can reduce T).
+    while len(subnets) < cluster.num_machines:
+        subnets.sort(key=lambda s: _subnet_tc(topo, s, loads, cluster),
+                     reverse=True)
+        split_made = False
+        for idx, candidate in enumerate(subnets):
+            if len(candidate) < 2:
+                continue
+            try:
+                s1, s2 = mbc_bisect(
+                    topo, sorted(candidate), loads.node_load,
+                    loads.link_load, balance_tol,
+                )
+            except PartitionError:
+                continue
+            bisections += 1
+            tc_parent = _subnet_tc(topo, candidate, loads, cluster)
+            tc_children = max(
+                _subnet_tc(topo, s1, loads, cluster),
+                _subnet_tc(topo, s2, loads, cluster),
+            )
+            if tc_children < tc_parent:
+                subnets.pop(idx)
+                subnets.extend([s1, s2])
+                split_made = True
+                break
+            rejected += 1
+        if not split_made:
+            break  # no subnet benefits from further cutting
+
+    partition = assign_to_machines(topo, subnets, loads, cluster)
+    est = completion_time(topo, partition, loads, cluster)
+    return PartitionPlan(
+        partition=partition,
+        estimated_time_s=est,
+        planning_time_s=time.perf_counter() - t0,
+        bisections=bisections,
+        rejected_bisections=rejected,
+    )
+
+
+def assign_to_machines(
+    topo: Topology,
+    subnets: Sequence[Set[int]],
+    loads: LoadModel,
+    cluster: ClusterSpec,
+) -> Partition:
+    """Heaviest subnet to fastest machine (heterogeneous clusters)."""
+    order = sorted(
+        range(len(subnets)),
+        key=lambda i: sum(loads.node_load[n] for n in subnets[i]),
+        reverse=True,
+    )
+    machines = sorted(
+        range(cluster.num_machines),
+        key=lambda a: cluster.compute[a],
+        reverse=True,
+    )
+    assignment = [0] * topo.num_nodes
+    parts_used = max(1, len(subnets))
+    for rank, subnet_idx in enumerate(order):
+        machine = machines[rank % cluster.num_machines]
+        for node in subnets[subnet_idx]:
+            assignment[node] = machine
+    return Partition(tuple(assignment), cluster.num_machines)
+
+
+def plan_scenario(
+    scenario: Scenario,
+    cluster: ClusterSpec,
+    loads: Optional[LoadModel] = None,
+) -> PartitionPlan:
+    """Load-estimate a scenario and plan its distributed execution —
+    what the DONS Manager does on submission (§3.1)."""
+    if loads is None:
+        loads = estimate_scenario_loads(scenario)
+    return dons_partition(scenario.topology, loads, cluster)

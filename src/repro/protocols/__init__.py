@@ -1,0 +1,22 @@
+"""Protocol semantics shared by both engines: packets, AQM, the egress
+automaton, DCTCP, UDP and the receiver state machine."""
+
+from .packet import (
+    MSS, PRIO_ARRIVAL, PRIO_FLOW_START, PRIO_SERVICE, PRIO_TIMER,
+    Packet, Row, ack_row, data_row, order_key, segment_count,
+    segment_payload, with_ce,
+)
+from .aqm import AqmConfig, AqmKind, red_mark_probability, should_mark
+from .egress import EgressConfig, EgressPort, PortStats
+from .dctcp import DctcpParams, DctcpState, RENO_ECN_PARAMS
+from .udp import UdpSchedule
+from .receiver import ReceiverState
+
+__all__ = [
+    "MSS", "PRIO_ARRIVAL", "PRIO_FLOW_START", "PRIO_SERVICE", "PRIO_TIMER",
+    "Packet", "Row", "ack_row", "data_row", "order_key", "segment_count",
+    "segment_payload", "with_ce",
+    "AqmConfig", "AqmKind", "red_mark_probability", "should_mark",
+    "EgressConfig", "EgressPort", "PortStats",
+    "DctcpParams", "DctcpState", "RENO_ECN_PARAMS", "UdpSchedule", "ReceiverState",
+]

@@ -1,0 +1,103 @@
+"""Active queue management: tail drop, DCTCP ECN threshold, RED tagging.
+
+The paper's prototype supports "Random Early Detection (packet tagging)"
+— i.e. RED used for ECN marking — plus the instantaneous-threshold
+marking DCTCP requires, and tail drop when the buffer is full
+(Appendix C: "We currently use tail-drop in our prototype").
+
+Determinism: RED's probabilistic marking uses a pure hash of the packet
+identity instead of an RNG stream, so that both engines (and a re-run of
+either) make identical choices — randomness in this library only exists
+at scenario-generation time (see ``repro.rng``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from .packet import F_FLOW, F_ISACK, F_SEQ, Row
+from ..errors import ConfigError
+from ..rng import ecmp_hash
+
+
+class AqmKind(IntEnum):
+    """Marking discipline of an egress queue."""
+
+    NONE = 0            # tail drop only, no marking
+    ECN_THRESHOLD = 1   # DCTCP: mark when instantaneous queue >= K
+    RED = 2             # RED with marking (packet tagging)
+
+
+@dataclass(frozen=True)
+class AqmConfig:
+    """AQM configuration of one egress queue.
+
+    Attributes:
+        kind: Marking discipline.
+        ecn_threshold_bytes: DCTCP K (bytes of queue that trigger marks).
+        red_min_bytes / red_max_bytes: RED thresholds on the averaged queue.
+        red_max_p: RED maximum marking probability at ``red_max_bytes``.
+        red_weight_shift: EWMA weight as a right-shift (w = 2**-shift),
+            integer so the averaged queue stays exact across engines.
+    """
+
+    kind: AqmKind = AqmKind.ECN_THRESHOLD
+    ecn_threshold_bytes: int = 65 * 1_460  # ~65 MTU packets, DCTCP-at-10G ballpark
+    red_min_bytes: int = 30 * 1_460
+    red_max_bytes: int = 90 * 1_460
+    red_max_p: float = 0.1
+    red_weight_shift: int = 9
+
+    def __post_init__(self) -> None:
+        if self.kind == AqmKind.RED and self.red_min_bytes >= self.red_max_bytes:
+            raise ConfigError("RED needs min < max threshold")
+
+
+_HASH_SPACE = float(1 << 32)
+
+
+def red_mark_probability(avg_bytes: int, cfg: AqmConfig) -> float:
+    """RED marking probability for the current averaged queue size."""
+    if avg_bytes <= cfg.red_min_bytes:
+        return 0.0
+    if avg_bytes >= cfg.red_max_bytes:
+        return 1.0
+    span = cfg.red_max_bytes - cfg.red_min_bytes
+    return cfg.red_max_p * (avg_bytes - cfg.red_min_bytes) / span
+
+
+def should_mark(
+    cfg: AqmConfig,
+    row: Row,
+    queued_bytes: int,
+    avg_bytes: int,
+    iface_id: int,
+) -> bool:
+    """Pure marking decision for an arriving packet.
+
+    Args:
+        cfg: The queue's AQM configuration.
+        row: The arriving packet.
+        queued_bytes: Instantaneous queue occupancy *before* the packet.
+        avg_bytes: EWMA queue occupancy (RED only).
+        iface_id: Interface id, part of RED's deterministic hash.
+    """
+    if row[F_ISACK]:
+        return False  # pure ACKs are never marked in the prototype
+    if cfg.kind == AqmKind.ECN_THRESHOLD:
+        return queued_bytes >= cfg.ecn_threshold_bytes
+    if cfg.kind == AqmKind.RED:
+        p = red_mark_probability(avg_bytes, cfg)
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        u = ecmp_hash(row[F_FLOW], row[F_SEQ], iface_id) % (1 << 32)
+        return (u / _HASH_SPACE) < p
+    return False
+
+
+def ewma_update(avg_bytes: int, queued_bytes: int, shift: int) -> int:
+    """Integer EWMA: avg += (q - avg) >> shift, exact on both engines."""
+    return avg_bytes + ((queued_bytes - avg_bytes) >> shift)

@@ -1,0 +1,214 @@
+"""DCTCP sender state machine as pure transition functions.
+
+The paper runs DCTCP (Alizadeh et al., SIGCOMM 2010) as the congestion
+control in every evaluation scenario.  This module implements the sender
+side: slow start, congestion avoidance, per-window alpha estimation from
+ECN echoes, the alpha/2 multiplicative cut once per window, fast
+retransmit on three duplicate ACKs, and an RTO timer with exponential
+backoff.
+
+Everything is a *pure transition*: ``on_start`` / ``on_ack`` /
+``on_timeout`` mutate a :class:`DctcpState` and return the list of
+segment sequence numbers to put on the wire **now**.  Both engines call
+these functions — the OOD baseline per connection object, the DOD engine
+over rows of its sender component table — so congestion control behaviour
+is identical by construction (the paper's "same network functions,
+different data layout" argument, §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..units import ms
+
+
+@dataclass(frozen=True)
+class DctcpParams:
+    """Protocol constants (paper defaults in comments).
+
+    ``ecn_cut_factor`` is the CCA-extension hook of §8 ("DONS offers a
+    foundational TCP-based state machine ... integration of a novel CCA
+    a relatively simple task"): ``None`` selects DCTCP's proportional
+    alpha/2 reduction; a constant (e.g. 0.5) selects classic ECN-TCP
+    behaviour — cut by that fixed factor once per window, ignoring the
+    mark *fraction*.  New window-based CCAs plug in the same way.
+    """
+
+    init_cwnd: float = 10.0         # initial window, segments
+    g: float = 1.0 / 16.0           # DCTCP gain for the alpha EWMA
+    min_rto_ps: int = ms(5)         # clamped retransmission timeout
+    init_rto_ps: int = ms(10)       # RTO before the first RTT sample
+    max_rto_ps: int = ms(320)       # backoff ceiling
+    dupack_threshold: int = 3       # fast retransmit trigger
+    ecn_cut_factor: Optional[float] = None  # None = DCTCP alpha/2
+
+
+#: Classic ECN-TCP (NewReno-with-ECN): halve on any marked window.
+RENO_ECN_PARAMS = DctcpParams(ecn_cut_factor=0.5)
+
+
+@dataclass
+class DctcpState:
+    """Mutable per-flow sender state.
+
+    ``snd_una``/``next_seq`` are segment indices (the engines convert to
+    byte payloads via ``packet.segment_payload``).  ``timer_gen`` versions
+    the RTO timer: an event-driven engine tags scheduled timeouts with the
+    generation and discards stale firings; the windowed engine simply
+    reads ``rtx_deadline``.
+    """
+
+    flow_id: int
+    total_segs: int
+    params: DctcpParams = field(default_factory=DctcpParams)
+
+    snd_una: int = 0
+    next_seq: int = 0
+    cwnd: float = 0.0
+    ssthresh: float = float("inf")
+
+    alpha: float = 1.0
+    acked_win: int = 0
+    marked_win: int = 0
+    alpha_seq: int = 0      # window boundary for the next alpha update
+    cut_seq: int = -1       # acks beyond this may trigger a new cut
+
+    dupacks: int = 0
+    srtt_ps: int = 0
+    rttvar_ps: int = 0
+    rto_ps: int = 0
+    backoff: int = 1
+
+    rtx_deadline: Optional[int] = None
+    timer_gen: int = 0
+
+    done: bool = False
+    done_ps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.cwnd = self.params.init_cwnd
+        self.rto_ps = self.params.init_rto_ps
+
+    # --- helpers -----------------------------------------------------------
+
+    def window_limit(self) -> int:
+        """Highest sendable segment index (exclusive)."""
+        return min(self.total_segs, self.snd_una + max(1, int(self.cwnd)))
+
+    def _fill_window(self) -> List[int]:
+        """Sequence numbers newly allowed by the current window."""
+        out = []
+        limit = self.window_limit()
+        while self.next_seq < limit:
+            out.append(self.next_seq)
+            self.next_seq += 1
+        return out
+
+    def _arm_timer(self, now: int) -> None:
+        self.rtx_deadline = now + self.rto_ps * self.backoff
+        self.timer_gen += 1
+
+    def _cancel_timer(self) -> None:
+        self.rtx_deadline = None
+        self.timer_gen += 1
+
+    def _update_rtt(self, sample_ps: int) -> None:
+        """RFC 6298 smoothing with integer picoseconds."""
+        p = self.params
+        if self.srtt_ps == 0:
+            self.srtt_ps = sample_ps
+            self.rttvar_ps = sample_ps // 2
+        else:
+            err = sample_ps - self.srtt_ps
+            self.rttvar_ps += (abs(err) - self.rttvar_ps) // 4
+            self.srtt_ps += err // 8
+        rto = self.srtt_ps + 4 * self.rttvar_ps
+        self.rto_ps = min(max(rto, p.min_rto_ps), p.max_rto_ps)
+
+    # --- transitions ---------------------------------------------------------
+
+    def on_start(self, now: int) -> List[int]:
+        """Flow start: send the initial window, arm the timer."""
+        segs = self._fill_window()
+        if segs:
+            self._arm_timer(now)
+        return segs
+
+    def on_ack(self, ack_seq: int, ece: int, echo_ts: int,
+               now: int) -> List[int]:
+        """Process a cumulative ACK; return segments to transmit at ``now``.
+
+        ``ack_seq`` is the receiver's next expected segment; ``ece`` the
+        ECN echo; ``echo_ts`` the echoed sender timestamp (RTT sample).
+        """
+        if self.done:
+            return []
+        p = self.params
+        self._update_rtt(now - echo_ts)
+
+        if ack_seq > self.snd_una:
+            newly = ack_seq - self.snd_una
+            self.snd_una = ack_seq
+            self.dupacks = 0
+            self.backoff = 1
+
+            # --- DCTCP alpha bookkeeping (one estimate per window) -------
+            self.acked_win += newly
+            if ece:
+                self.marked_win += newly
+            if ack_seq >= self.alpha_seq:
+                if self.acked_win > 0:
+                    frac = self.marked_win / self.acked_win
+                    self.alpha = (1.0 - p.g) * self.alpha + p.g * frac
+                self.acked_win = 0
+                self.marked_win = 0
+                self.alpha_seq = self.next_seq
+
+            # --- window evolution ----------------------------------------
+            if ece and ack_seq > self.cut_seq:
+                # Multiplicative cut once per window: DCTCP scales it by
+                # the estimated mark fraction; classic ECN-TCP cuts by a
+                # fixed factor (the CCA hook).
+                cut = (p.ecn_cut_factor if p.ecn_cut_factor is not None
+                       else self.alpha / 2.0)
+                self.cwnd = max(1.0, self.cwnd * (1.0 - cut))
+                self.ssthresh = self.cwnd
+                self.cut_seq = self.next_seq
+            elif self.cwnd < self.ssthresh:
+                self.cwnd += 1.0                      # slow start
+            else:
+                self.cwnd += 1.0 / self.cwnd          # congestion avoidance
+
+            if self.snd_una >= self.total_segs:
+                self.done = True
+                self.done_ps = now
+                self._cancel_timer()
+                return []
+            segs = self._fill_window()
+            self._arm_timer(now)
+            return segs
+
+        # --- duplicate ACK --------------------------------------------------
+        self.dupacks += 1
+        if self.dupacks == p.dupack_threshold and self.snd_una < self.total_segs:
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = self.ssthresh
+            self.cut_seq = self.next_seq
+            self._arm_timer(now)
+            return [self.snd_una]  # fast retransmit
+        return []
+
+    def on_timeout(self, now: int) -> List[int]:
+        """RTO fired: retransmit ``snd_una`` with cwnd collapse + backoff."""
+        if self.done or self.snd_una >= self.total_segs:
+            self._cancel_timer()
+            return []
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.backoff = min(self.backoff * 2, 64)
+        self.cut_seq = self.next_seq
+        self._arm_timer(now)
+        return [self.snd_una]

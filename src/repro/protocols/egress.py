@@ -1,0 +1,249 @@
+"""The egress-port automaton: queueing, AQM, scheduling, serialization.
+
+Both engines instantiate one :class:`EgressPort` per directed interface.
+The automaton's observable behaviour is a pure function of the sequence
+of ``arrive``/service actions it sees, so as long as the two engines feed
+it the same chronologically-ordered action sequence (the ordering
+contract in ``repro.protocols.packet``), they transmit identical packets
+at identical times.
+
+The OOD baseline drives the automaton *event by event*:
+``arrive`` on packet arrival, ``start_service``/``complete_service``
+around PORT_DONE events.
+
+The DOD engine drives it *window by window* through
+:meth:`replay_window`, the TransmitSystem inner loop of §3.3/Appendix C:
+arrivals of one lookahead window are merge-sorted and replayed against
+service completions in chronological order, which also reconstructs the
+exact queue length seen by every arriving packet (the paper's TXhistory
+mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from .aqm import AqmConfig, ewma_update, should_mark
+from .packet import F_SIZE, Row, with_ce
+from ..errors import SimulationError
+from ..schedulers import Scheduler, SchedulerKind, make_scheduler
+from ..topology import Interface
+from ..units import serialization_time_ps
+
+
+@dataclass(frozen=True)
+class EgressConfig:
+    """Static configuration of an egress queue."""
+
+    buffer_bytes: int = 4 * 1024 * 1024
+    aqm: AqmConfig = field(default_factory=AqmConfig)
+    scheduler: SchedulerKind = SchedulerKind.FIFO
+    num_classes: int = 1
+    drr_quantum_bytes: int = 1_500
+
+
+@dataclass
+class PortStats:
+    """Counters a port accumulates; inputs to the machine and cost models.
+
+    When ``sample_queue`` is enabled on the port, ``queue_samples`` holds
+    ``(time_ps, queued_bytes_after_enqueue)`` — the exact occupancy every
+    arriving packet observed, i.e. the TXhistory view of Appendix C made
+    inspectable.  Identical between engines because sampling lives in the
+    shared ``arrive`` primitive.
+    """
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    marked: int = 0
+    tx_bytes: int = 0
+    max_queue_bytes: int = 0
+    queue_samples: List[Tuple[int, int]] = field(default_factory=list)
+
+
+#: An emission: (row, service_start_ps, service_end_ps).
+Emission = Tuple[Row, int, int]
+
+
+class TableClassifier:
+    """Maps a packet to its traffic class via the flow-priority table.
+
+    A plain picklable object (not a closure) so engine state — which
+    holds one classifier per port — can be checkpointed (§8).
+    """
+
+    __slots__ = ("classes",)
+
+    def __init__(self, classes) -> None:
+        self.classes = list(classes)
+
+    def __call__(self, row: Row) -> int:
+        from .packet import F_FLOW
+        return self.classes[row[F_FLOW]]
+
+
+class EgressPort:
+    """State machine of one egress interface (see module docstring)."""
+
+    __slots__ = (
+        "iface", "config", "classifier", "sched", "queued_bytes",
+        "avg_bytes", "free_at", "in_service", "stats", "sample_queue",
+    )
+
+    def __init__(
+        self,
+        iface: Interface,
+        config: EgressConfig,
+        classifier: Optional[Callable[[Row], int]] = None,
+        sample_queue: bool = False,
+    ) -> None:
+        self.iface = iface
+        self.config = config
+        self.classifier = classifier
+        self.sched: Scheduler = make_scheduler(
+            config.scheduler, config.num_classes, config.drr_quantum_bytes
+        )
+        self.queued_bytes = 0
+        self.avg_bytes = 0
+        self.free_at = 0          # time the line becomes free
+        self.in_service = False   # baseline-engine service flag
+        self.stats = PortStats()
+        self.sample_queue = sample_queue
+
+    # --- shared primitives ------------------------------------------------
+
+    def serialization_ps(self, row: Row) -> int:
+        return serialization_time_ps(row[F_SIZE], self.iface.rate_bps)
+
+    def arrive(self, row: Row, now: int) -> Optional[Row]:
+        """Handle a packet arriving at this queue at ``now``.
+
+        Returns the enqueued row (possibly CE-marked) or ``None`` on tail
+        drop.  The marking decision sees the queue occupancy *before* the
+        packet, per the DCTCP convention.
+        """
+        size = row[F_SIZE]
+        cfg = self.config
+        self.avg_bytes = ewma_update(
+            self.avg_bytes, self.queued_bytes, cfg.aqm.red_weight_shift
+        )
+        if self.queued_bytes + size > cfg.buffer_bytes:
+            self.stats.dropped += 1
+            return None
+        if should_mark(cfg.aqm, row, self.queued_bytes, self.avg_bytes,
+                       self.iface.iface_id):
+            row = with_ce(row)
+            self.stats.marked += 1
+        cls = self.classifier(row) if self.classifier is not None else 0
+        self.sched.enqueue(cls, row)
+        self.queued_bytes += size
+        self.stats.enqueued += 1
+        if self.queued_bytes > self.stats.max_queue_bytes:
+            self.stats.max_queue_bytes = self.queued_bytes
+        if self.sample_queue:
+            self.stats.queue_samples.append((now, self.queued_bytes))
+        return row
+
+    def _dequeue(self) -> Optional[Row]:
+        row = self.sched.dequeue()
+        if row is not None:
+            self.queued_bytes -= row[F_SIZE]
+            self.stats.dequeued += 1
+            self.stats.tx_bytes += row[F_SIZE]
+        return row
+
+    # --- event-driven interface (OOD baseline) ----------------------------
+
+    def start_service(self, now: int) -> Optional[Tuple[Row, int]]:
+        """Begin transmitting the scheduler's pick at ``now``.
+
+        Only legal when the port is idle; returns ``(row, end_ps)`` or
+        ``None`` if the queue is empty.
+        """
+        if self.in_service:
+            raise SimulationError(
+                f"iface {self.iface.iface_id}: start_service while busy"
+            )
+        if now < self.free_at:
+            raise SimulationError(
+                f"iface {self.iface.iface_id}: service at {now} before "
+                f"line free at {self.free_at}"
+            )
+        if len(self.sched) == 0:
+            # Never issue empty dequeues: stateful schedulers (DRR) must
+            # see exactly the same call sequence in both engines.
+            return None
+        row = self._dequeue()
+        if row is None:
+            return None
+        end = now + self.serialization_ps(row)
+        self.free_at = end
+        self.in_service = True
+        return row, end
+
+    def complete_service(self) -> None:
+        """Mark the in-flight packet as fully serialized (PORT_DONE)."""
+        if not self.in_service:
+            raise SimulationError(
+                f"iface {self.iface.iface_id}: completion while idle"
+            )
+        self.in_service = False
+
+    # --- windowed interface (DOD engine, §3.3) ----------------------------
+
+    def replay_window(
+        self,
+        arrivals: List[Tuple[int, int, Row]],
+        window_start: int,
+        window_end: int,
+        emissions: List[Emission],
+        drops: Optional[List[Tuple[int, Row]]] = None,
+        enq: Optional[List[Tuple[int, Row]]] = None,
+    ) -> None:
+        """Replay one lookahead window of this port's timeline.
+
+        Args:
+            arrivals: ``(time, prio, row)`` sorted by the ordering
+                contract; every time lies in ``[window_start, window_end)``.
+            window_start / window_end: The lookahead window.
+            emissions: Output list; ``(row, start, end)`` appended for
+                every service started in this window.
+            drops: Optional output list of ``(time, row)`` tail drops.
+            enq: Optional output list of ``(time, accepted_row)`` for
+                trace recording (the row carries any CE mark applied).
+
+        Service starts and arrivals are interleaved in chronological
+        order; at equal timestamps service precedes arrival, matching the
+        baseline's PORT_DONE-before-ARRIVAL event priority.
+        """
+        i = 0
+        n = len(arrivals)
+        cursor = window_start
+        while True:
+            next_arr = arrivals[i][0] if i < n else None
+            start: Optional[int] = None
+            if len(self.sched) > 0:
+                start = self.free_at if self.free_at > cursor else cursor
+                if start >= window_end:
+                    start = None
+            if start is not None and (next_arr is None or start <= next_arr):
+                row = self._dequeue()
+                assert row is not None
+                end = start + self.serialization_ps(row)
+                self.free_at = end
+                emissions.append((row, start, end))
+                cursor = start
+            elif next_arr is not None:
+                t, _prio, row = arrivals[i]
+                i += 1
+                accepted = self.arrive(row, t)
+                if accepted is None:
+                    if drops is not None:
+                        drops.append((t, row))
+                elif enq is not None:
+                    enq.append((t, accepted))
+                cursor = t
+            else:
+                break

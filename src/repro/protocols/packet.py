@@ -1,0 +1,125 @@
+"""Packet representation and the deterministic ordering contract.
+
+Both engines describe a packet on the wire by the same nine fields.  The
+OOD baseline wraps them in a heap-allocated :class:`Packet` object (that
+is the point of the baseline: one object per packet, fields interleaved);
+the DOD engine keeps them as rows of columnar buffers.  The tuple layout
+(:data:`ROW_FIELDS`) is the neutral interchange format used by the shared
+egress-port automaton.
+
+**Ordering contract.**  Whenever two packet actions carry the same
+timestamp, every engine resolves the tie with the same key:
+
+    (time, prio, flow_id, is_ack, seq)
+
+where ``prio`` is the *trigger class* of the action: 0 for port service
+completions, 1 for packet arrivals, 2 for flow starts, 3 for timer
+expiries.  The OOD baseline encodes this key in its event heap; the DOD
+engine encodes it in the merge-sort of the TransmitSystem and in the
+per-flow event replay of the Send/ACK systems.  Identical keys imply
+identical processing order, which is what makes the engines' traces equal
+timestamp for timestamp (paper Theorem 2 / Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..units import ACK_BYTES, HEADER_BYTES
+
+#: Maximum segment payload; wire size is payload + HEADER_BYTES <= MTU.
+MSS = 1_440
+
+#: Trigger classes of the ordering contract.
+PRIO_SERVICE = 0
+PRIO_ARRIVAL = 1
+PRIO_FLOW_START = 2
+PRIO_TIMER = 3
+
+#: Field order of a packet row.
+ROW_FIELDS = (
+    "flow_id",    # flow the packet belongs to
+    "is_ack",     # 0 = data, 1 = ACK
+    "seq",        # data: segment index; ACK: cumulative ack (next expected)
+    "size",       # wire size in bytes (payload + headers, or ACK_BYTES)
+    "ce",         # ECN Congestion Experienced mark (set by AQM in flight)
+    "ece",        # ACK only: ECN echo of the acked data packet
+    "send_ts",    # data: sender timestamp; ACK: echo of it (RTT measurement)
+    "src",        # source host node id
+    "dst",        # destination host node id
+)
+
+Row = Tuple[int, int, int, int, int, int, int, int, int]
+
+F_FLOW, F_ISACK, F_SEQ, F_SIZE, F_CE, F_ECE, F_SEND_TS, F_SRC, F_DST = range(9)
+
+
+def data_row(flow_id: int, seq: int, payload: int, send_ts: int,
+             src: int, dst: int) -> Row:
+    """Build a data-segment row; wire size includes headers."""
+    return (flow_id, 0, seq, payload + HEADER_BYTES, 0, 0, send_ts, src, dst)
+
+
+def ack_row(flow_id: int, ack_seq: int, ece: int, echo_ts: int,
+            src: int, dst: int) -> Row:
+    """Build an ACK row travelling ``src`` (receiver) -> ``dst`` (sender)."""
+    return (flow_id, 1, ack_seq, ACK_BYTES, 0, ece, echo_ts, src, dst)
+
+
+def with_ce(row: Row) -> Row:
+    """Copy of ``row`` with the CE mark set (AQM marking)."""
+    return row[:F_CE] + (1,) + row[F_CE + 1:]  # type: ignore[return-value]
+
+
+def order_key(row: Row) -> Tuple[int, int, int]:
+    """The intra-timestamp, intra-prio part of the ordering contract."""
+    return (row[F_FLOW], row[F_ISACK], row[F_SEQ])
+
+
+@dataclass
+class Packet:
+    """OOD packet object used by the baseline engine.
+
+    Deliberately a conventional simulator object: all per-packet fields
+    live together on one heap object, the layout the paper's §2.3 blames
+    for the baseline's cache behaviour.  ``row()``/``from_row`` convert to
+    the neutral format at engine boundaries.
+    """
+
+    flow_id: int
+    is_ack: int
+    seq: int
+    size: int
+    ce: int
+    ece: int
+    send_ts: int
+    src: int
+    dst: int
+
+    @classmethod
+    def from_row(cls, row: Row) -> "Packet":
+        return cls(*row)
+
+    def row(self) -> Row:
+        return (self.flow_id, self.is_ack, self.seq, self.size, self.ce,
+                self.ece, self.send_ts, self.src, self.dst)
+
+
+def packet_uid(row: Row) -> int:
+    """Stable compact identity of a packet, shared by both engines'
+    machine-model probes: (flow, is_ack) in the high bits, seq below."""
+    return (((row[F_FLOW] << 1) | row[F_ISACK]) << 24) | (row[F_SEQ] & 0xFFFFFF)
+
+
+def segment_count(size_bytes: int) -> int:
+    """Number of MSS segments a flow of ``size_bytes`` needs."""
+    return (size_bytes + MSS - 1) // MSS
+
+
+def segment_payload(size_bytes: int, seq: int) -> int:
+    """Payload bytes of segment ``seq`` of a flow of ``size_bytes``."""
+    total = segment_count(size_bytes)
+    if seq < total - 1:
+        return MSS
+    return size_bytes - MSS * (total - 1)

@@ -1,0 +1,63 @@
+"""Receiver-side state: cumulative ACK generation and flow completion.
+
+The paper's ACKSystem "checks the packet sequence number and then
+registers an ACK packet to its paired Sender Entity".  This module is
+the per-flow logic behind that: for DCTCP flows the receiver emits one
+cumulative ACK per data segment (echoing the segment's CE mark and
+timestamp); for UDP it only tracks completion.
+
+Flow Completion Time is receiver-side: the arrival of the last byte of
+application payload (the instant every unique segment has been seen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+
+@dataclass
+class ReceiverState:
+    """Per-flow receiver bookkeeping, identical in both engines."""
+
+    flow_id: int
+    total_segs: int
+    needs_ack: bool  # DCTCP yes, UDP no
+
+    expected: int = 0                    # next in-order segment
+    out_of_order: Set[int] = field(default_factory=set)
+    unique_received: int = 0
+    complete_ps: Optional[int] = None
+
+    def on_data(self, seq: int, ce: int, send_ts: int,
+                now: int) -> Optional[Tuple[int, int, int]]:
+        """Process a data segment arriving at ``now``.
+
+        Returns ``(ack_seq, ece, echo_ts)`` when an ACK must be sent
+        (DCTCP), else ``None``.  Duplicate data still triggers a
+        (duplicate) ACK — that is what drives fast retransmit.
+        """
+        is_new = False
+        if seq == self.expected:
+            is_new = True
+            self.expected += 1
+            while self.expected in self.out_of_order:
+                self.out_of_order.remove(self.expected)
+                self.expected += 1
+        elif seq > self.expected and seq not in self.out_of_order:
+            is_new = True
+            self.out_of_order.add(seq)
+
+        if is_new:
+            self.unique_received += 1
+            if self.unique_received == self.total_segs and self.complete_ps is None:
+                self.complete_ps = now
+
+        if not self.needs_ack:
+            return None
+        # Cumulative ACK; DCTCP's per-packet ECN echo.
+        return self.expected, int(ce), send_ts
+
+    @property
+    def complete(self) -> bool:
+        return self.complete_ps is not None

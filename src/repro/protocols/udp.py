@@ -1,0 +1,64 @@
+"""UDP sender: open-loop, NIC-rate-paced transmission.
+
+A UDP flow simply puts all its segments on the wire paced at the host
+NIC's line rate, with no feedback.  Enqueue times are closed-form, so the
+windowed DOD engine can generate exactly the segments whose enqueue time
+falls inside a lookahead window without simulating the whole schedule —
+and the event-driven baseline computes the same times one event at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .packet import HEADER_BYTES, MSS, segment_count, segment_payload
+from ..units import serialization_time_ps
+
+
+@dataclass(frozen=True)
+class UdpSchedule:
+    """Deterministic enqueue schedule of one UDP flow."""
+
+    flow_id: int
+    size_bytes: int
+    start_ps: int
+    nic_rate_bps: int
+
+    @property
+    def total_segs(self) -> int:
+        return segment_count(self.size_bytes)
+
+    def enqueue_time(self, seq: int) -> int:
+        """Time segment ``seq`` is handed to the NIC queue.
+
+        Segment i starts once segments 0..i-1 have fully serialized at
+        NIC rate (source pacing).  Closed form over the cumulative wire
+        bytes of the preceding full-MSS segments.
+        """
+        if seq == 0:
+            return self.start_ps
+        wire_before = seq * (MSS + HEADER_BYTES)  # all non-final segs are MSS
+        return self.start_ps + serialization_time_ps(wire_before, self.nic_rate_bps)
+
+    def segments_in(self, window_start: int, window_end: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(seq, enqueue_ps)`` for segments starting in the window."""
+        total = self.total_segs
+        # First candidate by inverting the linear schedule, then scan.
+        if window_start <= self.start_ps:
+            seq = 0
+        else:
+            elapsed = window_start - self.start_ps
+            per_seg = serialization_time_ps(MSS + HEADER_BYTES, self.nic_rate_bps)
+            seq = max(0, (elapsed // max(per_seg, 1)) - 1) if per_seg else 0
+            while seq < total and self.enqueue_time(seq) < window_start:
+                seq += 1
+        while seq < total:
+            t = self.enqueue_time(seq)
+            if t >= window_end:
+                break
+            yield seq, t
+            seq += 1
+
+    def payload(self, seq: int) -> int:
+        return segment_payload(self.size_bytes, seq)

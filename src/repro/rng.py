@@ -1,0 +1,48 @@
+"""Deterministic random-number utilities.
+
+Determinism discipline: randomness is only ever consumed while *building*
+a scenario (flow arrival times, sizes, source/destination picks, synthetic
+topologies).  The engines themselves are purely deterministic functions of
+the scenario, which is what makes the trace-equality fidelity tests
+(paper Fig. 10 / Theorem 2) meaningful.
+
+ECMP hashing is *not* randomness: it is a pure hash of flow identifiers,
+implemented here so that every engine resolves multipath choices
+identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "substream", "ecmp_hash"]
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Create the root generator for a scenario."""
+    return np.random.default_rng(seed)
+
+
+def substream(seed: int, *keys: int) -> np.random.Generator:
+    """Derive an independent generator from ``seed`` and integer ``keys``.
+
+    Used so that, e.g., traffic generation and topology generation do not
+    perturb each other's streams when parameters change.
+    """
+    return np.random.default_rng(np.random.SeedSequence((seed, *keys)))
+
+
+# A small, fast integer mix (splitmix64 finalizer).  Pure function: both
+# engines and the load estimator use it for ECMP so path choices agree.
+_MASK = (1 << 64) - 1
+
+
+def ecmp_hash(*values: int) -> int:
+    """Deterministically hash flow identifiers for ECMP next-hop choice."""
+    h = 0x9E3779B97F4A7C15
+    for v in values:
+        h = (h ^ (v & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+        h ^= h >> 31
+    h = (h * 0x94D049BB133111EB) & _MASK
+    h ^= h >> 29
+    return h

@@ -1,0 +1,6 @@
+"""Routing: FIB model and the BFS route builder."""
+
+from .fib import Fib
+from .builder import build_fib
+
+__all__ = ["Fib", "build_fib"]

@@ -1,0 +1,87 @@
+"""Forwarding Information Base shared by every engine.
+
+The FIB maps ``(node, destination host) -> tuple of candidate egress
+ports`` (all ports on hop-count-shortest paths, sorted).  ECMP selection
+among the candidates is a pure hash of flow identifiers, so the OOD
+baseline, the DOD engine, the distributed runtime and the flow-level load
+estimator all route a given flow over exactly the same path — a
+precondition for the trace-equality fidelity results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import RoutingError
+from ..rng import ecmp_hash
+from ..topology import Topology
+
+
+class Fib:
+    """Per-node forwarding tables over a frozen topology."""
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        # tables[node][dest_host] -> tuple of egress port indices.
+        self.tables: List[Dict[int, Tuple[int, ...]]] = [
+            {} for _ in range(topo.num_nodes)
+        ]
+
+    def install(self, node: int, dest: int, ports: Sequence[int]) -> None:
+        """Install the ECMP port set for ``dest`` at ``node``."""
+        if not ports:
+            raise RoutingError(f"empty port set for dest {dest} at node {node}")
+        self.tables[node][dest] = tuple(sorted(ports))
+
+    def ports(self, node: int, dest: int) -> Tuple[int, ...]:
+        """All candidate egress ports at ``node`` toward ``dest``."""
+        try:
+            return self.tables[node][dest]
+        except KeyError:
+            raise RoutingError(f"node {node} has no route to host {dest}") from None
+
+    def resolve_port(self, node: int, dest: int, flow_id: int,
+                     salt: Optional[int] = None) -> int:
+        """Deterministic ECMP choice at one node.
+
+        Hashing includes the node id so different switches spread the same
+        flow set differently (per-hop ECMP, as in real data centers); the
+        *same* flow always takes the same port at the same switch.
+
+        ``salt`` enables packet spraying: passing the segment number makes
+        every packet hash independently (per-packet ECMP), trading
+        in-order delivery for near-perfect load balance.
+        """
+        ports = self.ports(node, dest)
+        if len(ports) == 1:
+            return ports[0]
+        if salt is None:
+            return ports[ecmp_hash(flow_id, dest, node) % len(ports)]
+        return ports[ecmp_hash(flow_id, dest, node, salt) % len(ports)]
+
+    def path(self, src_host: int, dest_host: int, flow_id: int) -> List[int]:
+        """The node path a flow takes, resolving ECMP at every hop.
+
+        Used by the load estimator and by tests; engines never need whole
+        paths, they forward hop by hop with :meth:`resolve_port`.
+        """
+        if src_host == dest_host:
+            raise RoutingError("src and dest host are the same")
+        path = [src_host]
+        node = src_host
+        hops = 0
+        limit = self.topo.num_nodes + 1
+        while node != dest_host:
+            port = self.resolve_port(node, dest_host, flow_id)
+            node = self.topo.iface(node, port).peer_node
+            path.append(node)
+            hops += 1
+            if hops > limit:
+                raise RoutingError(
+                    f"routing loop from {src_host} to {dest_host}"
+                )
+        return path
+
+    def entry_count(self) -> int:
+        """Total number of installed (node, dest) entries (memory model input)."""
+        return sum(len(t) for t in self.tables)

@@ -1,0 +1,134 @@
+"""Scenario: the complete, engine-independent description of one run.
+
+A scenario bundles the frozen topology, the flow list, the routing tables
+and the per-port configuration.  Every simulator in this repository — the
+OOD baseline, its multi-LP parallel variant, the DOD engine and the
+distributed cluster runtime — consumes the *same* Scenario object, which
+is what makes cross-engine comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .errors import ConfigError
+from .protocols import AqmConfig, AqmKind, EgressConfig
+from .routing import Fib, build_fib
+from .schedulers import SchedulerKind
+from .protocols.dctcp import DctcpParams, RENO_ECN_PARAMS
+from .topology import Topology
+from .traffic import Flow, validate_flows
+
+
+#: Hosts get a large FIFO NIC queue: the sender's own congestion control,
+#: not the NIC buffer, is the limiting factor (as in ns-3 defaults).
+HOST_BUFFER_BYTES = 512 * 1024 * 1024
+
+
+@dataclass
+class Scenario:
+    """One simulation task.
+
+    Attributes:
+        name: Label used in reports.
+        topology: Frozen topology.
+        flows: Validated flow list (same object handed to every engine).
+        fib: Forwarding tables (built once, shared).
+        switch_egress: Configuration of every switch egress queue.
+        host_egress: Configuration of every host NIC queue.
+        dctcp: DCTCP protocol constants.
+        duration_ps: Optional hard stop; ``None`` runs to completion.
+    """
+
+    name: str
+    topology: Topology
+    flows: List[Flow]
+    fib: Fib
+    switch_egress: EgressConfig
+    host_egress: EgressConfig
+    dctcp: DctcpParams = field(default_factory=DctcpParams)
+    reno: DctcpParams = RENO_ECN_PARAMS
+    duration_ps: Optional[int] = None
+    #: 'flow' = per-flow ECMP (paper default); 'packet' = packet spraying
+    ecmp_mode: str = "flow"
+
+
+    def __post_init__(self) -> None:
+        if not self.topology.frozen:
+            raise ConfigError("scenario needs a frozen topology")
+        if not self.flows:
+            raise ConfigError("scenario has no flows")
+
+    @property
+    def lookahead_ps(self) -> int:
+        """The DOD engine's batch length: the smallest link delay (§3.3)."""
+        return self.topology.min_link_delay_ps()
+
+    def flow_priority(self, flow_id: int) -> int:
+        return self.flows[flow_id].priority
+
+    def cca_params(self, transport) -> DctcpParams:
+        """Window-CCA constants for a flow's transport (DCTCP or RENO)."""
+        from .traffic import Transport
+        return self.dctcp if transport == Transport.DCTCP else self.reno
+
+    def classifier_table(self) -> List[int]:
+        """flow_id -> traffic class, used by egress-port classifiers."""
+        return [f.priority for f in self.flows]
+
+
+def make_scenario(
+    topology: Topology,
+    flows: Sequence[Flow],
+    name: Optional[str] = None,
+    scheduler: SchedulerKind = SchedulerKind.FIFO,
+    num_classes: int = 1,
+    buffer_bytes: int = 4 * 1024 * 1024,
+    aqm: Optional[AqmConfig] = None,
+    dctcp: Optional[DctcpParams] = None,
+    duration_ps: Optional[int] = None,
+    fib: Optional[Fib] = None,
+    fib_workers: int = 1,
+    ecmp_mode: str = "flow",
+) -> Scenario:
+    """Build a Scenario with sensible defaults and a shared FIB.
+
+    Args:
+        topology: A frozen topology.
+        flows: The traffic (validated against the topology's hosts).
+        scheduler / num_classes: Switch egress discipline.
+        buffer_bytes: Switch egress buffer (tail-drop limit).
+        aqm: Marking config; defaults to DCTCP threshold marking.
+        dctcp: DCTCP constants override.
+        duration_ps: Optional hard stop.
+        fib: Pre-built FIB (else built here with ``fib_workers`` threads).
+    """
+    flows = validate_flows(flows, topology.hosts)
+    if fib is None:
+        fib = build_fib(topology, workers=fib_workers)
+    if aqm is None:
+        aqm = AqmConfig(kind=AqmKind.ECN_THRESHOLD)
+    switch_egress = EgressConfig(
+        buffer_bytes=buffer_bytes,
+        aqm=aqm,
+        scheduler=scheduler,
+        num_classes=num_classes,
+    )
+    host_egress = EgressConfig(
+        buffer_bytes=HOST_BUFFER_BYTES,
+        aqm=AqmConfig(kind=AqmKind.NONE),
+        scheduler=SchedulerKind.FIFO,
+        num_classes=1,
+    )
+    return Scenario(
+        name=name or f"{topology.name}/{len(flows)}flows",
+        topology=topology,
+        flows=list(flows),
+        fib=fib,
+        switch_egress=switch_egress,
+        host_egress=host_egress,
+        dctcp=dctcp or DctcpParams(),
+        duration_ps=duration_ps,
+        ecmp_mode=ecmp_mode,
+    )

@@ -1,0 +1,169 @@
+"""Scenario serialization: save and reload complete simulation setups.
+
+Reproducibility plumbing a released simulator needs: a scenario —
+topology, flows, port configuration — round-trips through a single JSON
+document, so an experiment can be archived, shared, or re-run bit-for-bit
+(`python -m repro run --load scenario.json`).
+
+The topology serializes structurally (nodes + links), not as a generator
+spec, so hand-edited and programmatically-built topologies both survive.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, TextIO, Union
+
+from .errors import ConfigError
+from .protocols import AqmConfig, AqmKind, EgressConfig
+from .protocols.dctcp import DctcpParams
+from .scenario import Scenario
+from .schedulers import SchedulerKind
+from .topology import NodeKind, Topology
+from .traffic import Flow, Transport
+
+FORMAT = "repro-scenario-v1"
+
+
+def _topology_to_dict(topo: Topology) -> Dict[str, Any]:
+    return {
+        "name": topo.name,
+        "nodes": [{"kind": int(n.kind), "name": n.name} for n in topo.nodes],
+        "links": [
+            {"a": l.node_a, "b": l.node_b, "rate_bps": l.rate_bps,
+             "delay_ps": l.delay_ps}
+            for l in topo.links
+        ],
+    }
+
+
+def _topology_from_dict(data: Dict[str, Any]) -> Topology:
+    topo = Topology(data["name"])
+    for node in data["nodes"]:
+        if node["kind"] == int(NodeKind.HOST):
+            topo.add_host(node["name"])
+        else:
+            topo.add_switch(node["name"])
+    for link in data["links"]:
+        topo.add_link(link["a"], link["b"], link["rate_bps"],
+                      link["delay_ps"])
+    return topo.freeze()
+
+
+def _flow_to_dict(flow: Flow) -> Dict[str, Any]:
+    return {
+        "id": flow.flow_id, "src": flow.src, "dst": flow.dst,
+        "size": flow.size_bytes, "start_ps": flow.start_ps,
+        "transport": flow.transport.name.lower(),
+        "priority": flow.priority,
+    }
+
+
+def _flow_from_dict(data: Dict[str, Any]) -> Flow:
+    return Flow(
+        data["id"], data["src"], data["dst"], data["size"],
+        data["start_ps"], Transport[data["transport"].upper()],
+        data.get("priority", 0),
+    )
+
+
+def _aqm_to_dict(aqm: AqmConfig) -> Dict[str, Any]:
+    return {
+        "kind": aqm.kind.name.lower(),
+        "ecn_threshold_bytes": aqm.ecn_threshold_bytes,
+        "red_min_bytes": aqm.red_min_bytes,
+        "red_max_bytes": aqm.red_max_bytes,
+        "red_max_p": aqm.red_max_p,
+        "red_weight_shift": aqm.red_weight_shift,
+    }
+
+
+def _aqm_from_dict(data: Dict[str, Any]) -> AqmConfig:
+    return AqmConfig(
+        kind=AqmKind[data["kind"].upper()],
+        ecn_threshold_bytes=data["ecn_threshold_bytes"],
+        red_min_bytes=data["red_min_bytes"],
+        red_max_bytes=data["red_max_bytes"],
+        red_max_p=data["red_max_p"],
+        red_weight_shift=data["red_weight_shift"],
+    )
+
+
+def _egress_to_dict(cfg: EgressConfig) -> Dict[str, Any]:
+    return {
+        "buffer_bytes": cfg.buffer_bytes,
+        "aqm": _aqm_to_dict(cfg.aqm),
+        "scheduler": cfg.scheduler.value,
+        "num_classes": cfg.num_classes,
+        "drr_quantum_bytes": cfg.drr_quantum_bytes,
+    }
+
+
+def _egress_from_dict(data: Dict[str, Any]) -> EgressConfig:
+    return EgressConfig(
+        buffer_bytes=data["buffer_bytes"],
+        aqm=_aqm_from_dict(data["aqm"]),
+        scheduler=SchedulerKind(data["scheduler"]),
+        num_classes=data["num_classes"],
+        drr_quantum_bytes=data["drr_quantum_bytes"],
+    )
+
+
+def _dctcp_to_dict(p: DctcpParams) -> Dict[str, Any]:
+    return {
+        "init_cwnd": p.init_cwnd, "g": p.g,
+        "min_rto_ps": p.min_rto_ps, "init_rto_ps": p.init_rto_ps,
+        "max_rto_ps": p.max_rto_ps,
+        "dupack_threshold": p.dupack_threshold,
+        "ecn_cut_factor": p.ecn_cut_factor,
+    }
+
+
+def _dctcp_from_dict(data: Dict[str, Any]) -> DctcpParams:
+    return DctcpParams(**data)
+
+
+def scenario_to_json(scenario: Scenario, out: Optional[TextIO] = None,
+                     indent: int = 1) -> str:
+    """Serialize a scenario; returns the JSON text (and writes ``out``)."""
+    doc = {
+        "format": FORMAT,
+        "name": scenario.name,
+        "topology": _topology_to_dict(scenario.topology),
+        "flows": [_flow_to_dict(f) for f in scenario.flows],
+        "switch_egress": _egress_to_dict(scenario.switch_egress),
+        "host_egress": _egress_to_dict(scenario.host_egress),
+        "dctcp": _dctcp_to_dict(scenario.dctcp),
+        "reno": _dctcp_to_dict(scenario.reno),
+        "duration_ps": scenario.duration_ps,
+        "ecmp_mode": scenario.ecmp_mode,
+    }
+    text = json.dumps(doc, indent=indent)
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def scenario_from_json(source: Union[str, TextIO]) -> Scenario:
+    """Rebuild a scenario (FIB included) from its JSON document."""
+    if hasattr(source, "read"):
+        doc = json.load(source)
+    else:
+        doc = json.loads(source)
+    if doc.get("format") != FORMAT:
+        raise ConfigError(f"unknown scenario format {doc.get('format')!r}")
+    topo = _topology_from_dict(doc["topology"])
+    flows = [_flow_from_dict(f) for f in doc["flows"]]
+    from .routing import build_fib
+    return Scenario(
+        name=doc["name"],
+        topology=topo,
+        flows=flows,
+        fib=build_fib(topo),
+        switch_egress=_egress_from_dict(doc["switch_egress"]),
+        host_egress=_egress_from_dict(doc["host_egress"]),
+        dctcp=_dctcp_from_dict(doc["dctcp"]),
+        reno=_dctcp_from_dict(doc["reno"]),
+        duration_ps=doc["duration_ps"],
+        ecmp_mode=doc.get("ecmp_mode", "flow"),
+    )

@@ -1,0 +1,16 @@
+"""Packet schedulers: FIFO, Round Robin, Deficit Round Robin, Strict Priority."""
+
+from .base import Scheduler, SchedulerKind
+from .disciplines import (
+    DeficitRoundRobinScheduler,
+    FifoScheduler,
+    RoundRobinScheduler,
+    StrictPriorityScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "Scheduler", "SchedulerKind", "make_scheduler",
+    "FifoScheduler", "RoundRobinScheduler",
+    "DeficitRoundRobinScheduler", "StrictPriorityScheduler",
+]

@@ -1,0 +1,81 @@
+"""Scheduler interface shared by both engines.
+
+A scheduler owns the class queues of one egress port and decides, one
+packet per call, what to transmit next.  The paper's prototype ships four
+disciplines (§5): First-In-First-Out, Round Robin, Deficit Round Robin
+and Strict Priority.  All four are deterministic functions of the
+enqueue/dequeue call sequence, so the OOD baseline and the DOD engine —
+which issue identical call sequences by the ordering contract — make
+identical choices.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+from ..protocols.packet import Row
+
+
+class SchedulerKind(str, Enum):
+    """Discipline names accepted by scenario configs."""
+
+    FIFO = "fifo"
+    RR = "rr"
+    DRR = "drr"
+    SP = "sp"
+
+
+class Scheduler:
+    """Base class: per-class FIFO queues plus a discipline-specific pick."""
+
+    def __init__(self, num_classes: int = 1) -> None:
+        if num_classes < 1:
+            raise ValueError("need at least one traffic class")
+        self.num_classes = num_classes
+        self.queues: List[List[Row]] = [[] for _ in range(num_classes)]
+        self._heads: List[int] = [0] * num_classes  # popleft index per queue
+        self._len = 0
+
+    # --- queue plumbing -------------------------------------------------
+
+    def enqueue(self, cls: int, row: Row) -> None:
+        """Append ``row`` to class ``cls`` (clamped into range)."""
+        cls = min(max(cls, 0), self.num_classes - 1)
+        self.queues[cls].append(row)
+        self._len += 1
+
+    def _class_len(self, cls: int) -> int:
+        return len(self.queues[cls]) - self._heads[cls]
+
+    def _pop(self, cls: int) -> Row:
+        q = self.queues[cls]
+        h = self._heads[cls]
+        row = q[h]
+        h += 1
+        # Compact lazily so long-lived queues do not leak.
+        if h > 64 and h * 2 >= len(q):
+            del q[:h]
+            h = 0
+        self._heads[cls] = h
+        self._len -= 1
+        return row
+
+    def _peek(self, cls: int) -> Row:
+        return self.queues[cls][self._heads[cls]]
+
+    def __len__(self) -> int:
+        return self._len
+
+    # --- discipline -----------------------------------------------------
+
+    def dequeue(self) -> Optional[Row]:
+        """Remove and return the next packet to transmit, or ``None``."""
+        raise NotImplementedError
+
+    def iter_rows(self):
+        """Yield all queued rows (drain-time accounting and tests)."""
+        for cls in range(self.num_classes):
+            q = self.queues[cls]
+            for i in range(self._heads[cls], len(q)):
+                yield q[i]

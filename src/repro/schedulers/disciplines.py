@@ -1,0 +1,123 @@
+"""The four packet schedulers of the DONS prototype (§5, Appendix C)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import Scheduler, SchedulerKind
+from ..errors import ConfigError
+from ..protocols.packet import F_SIZE, Row
+
+
+class FifoScheduler(Scheduler):
+    """First-In-First-Out over a single queue.
+
+    Per Appendix C, FIFO ports attach only one buffer component; class
+    information is ignored.
+    """
+
+    def __init__(self, num_classes: int = 1) -> None:
+        super().__init__(1)
+
+    def enqueue(self, cls: int, row: Row) -> None:  # all classes collapse
+        super().enqueue(0, row)
+
+    def dequeue(self) -> Optional[Row]:
+        if self._class_len(0) == 0:
+            return None
+        return self._pop(0)
+
+
+class StrictPriorityScheduler(Scheduler):
+    """Strict Priority: lowest class index always wins."""
+
+    def dequeue(self) -> Optional[Row]:
+        for cls in range(self.num_classes):
+            if self._class_len(cls) > 0:
+                return self._pop(cls)
+        return None
+
+
+class RoundRobinScheduler(Scheduler):
+    """Packet-by-packet Round Robin over non-empty classes."""
+
+    def __init__(self, num_classes: int = 1) -> None:
+        super().__init__(num_classes)
+        self._next = 0
+
+    def dequeue(self) -> Optional[Row]:
+        if len(self) == 0:
+            return None
+        for off in range(self.num_classes):
+            cls = (self._next + off) % self.num_classes
+            if self._class_len(cls) > 0:
+                self._next = (cls + 1) % self.num_classes
+                return self._pop(cls)
+        return None
+
+
+class DeficitRoundRobinScheduler(Scheduler):
+    """Deficit Round Robin (Shreedhar & Varghese) adapted to one-packet pulls.
+
+    Each class accrues ``quantum_bytes`` of deficit per round-robin visit
+    and may transmit while its head fits in the deficit.  Visiting an
+    empty class resets its deficit, per the classic algorithm.
+    """
+
+    def __init__(self, num_classes: int = 1, quantum_bytes: int = 1_500) -> None:
+        super().__init__(num_classes)
+        if quantum_bytes < 1:
+            raise ConfigError("DRR quantum must be positive")
+        self.quantum = quantum_bytes
+        self.deficit = [0] * num_classes
+        self._current = 0
+        self._granted = False  # quantum already granted on the current visit
+
+    def dequeue(self) -> Optional[Row]:
+        if len(self) == 0:
+            return None
+        while True:
+            cls = self._current
+            if self._class_len(cls) == 0:
+                self.deficit[cls] = 0
+                self._current = (cls + 1) % self.num_classes
+                self._granted = False
+                continue
+            if not self._granted:
+                self.deficit[cls] += self.quantum
+                self._granted = True
+            head = self._peek(cls)
+            if head[F_SIZE] <= self.deficit[cls]:
+                self.deficit[cls] -= head[F_SIZE]
+                # Stay on this class; it keeps the floor while deficit lasts.
+                row = self._pop(cls)
+                if len(self) == 0:
+                    # The queue just drained: reset so the next burst
+                    # starts a clean round.  Doing this at the drain
+                    # point (instead of on an empty dequeue() call)
+                    # keeps the state a pure function of the packet
+                    # sequence — the event-driven and windowed engines
+                    # issue different numbers of empty dequeues.
+                    self.deficit = [0] * self.num_classes
+                    self._current = 0
+                    self._granted = False
+                return row
+            self._current = (cls + 1) % self.num_classes
+            self._granted = False
+
+
+def make_scheduler(
+    kind: SchedulerKind,
+    num_classes: int = 1,
+    drr_quantum_bytes: int = 1_500,
+) -> Scheduler:
+    """Factory used by both engines so configurations stay identical."""
+    if kind == SchedulerKind.FIFO:
+        return FifoScheduler()
+    if kind == SchedulerKind.SP:
+        return StrictPriorityScheduler(num_classes)
+    if kind == SchedulerKind.RR:
+        return RoundRobinScheduler(num_classes)
+    if kind == SchedulerKind.DRR:
+        return DeficitRoundRobinScheduler(num_classes, drr_quantum_bytes)
+    raise ConfigError(f"unknown scheduler kind {kind!r}")

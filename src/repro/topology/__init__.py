@@ -1,0 +1,14 @@
+"""Network topologies: the graph model and the generators the paper uses."""
+
+from .graph import Interface, Link, Node, NodeKind, Topology
+from .fattree import fattree, fattree_counts
+from .dumbbell import dumbbell
+from .wan import abilene, geant
+from .isp import isp_wan
+from .leafspine import leaf_spine
+
+__all__ = [
+    "Interface", "Link", "Node", "NodeKind", "Topology",
+    "fattree", "fattree_counts", "dumbbell", "abilene", "geant", "isp_wan",
+    "leaf_spine",
+]

@@ -1,0 +1,39 @@
+"""Dumbbell topology: n senders and n receivers sharing one bottleneck.
+
+Not part of the paper's evaluation but the canonical congestion-control
+scenario; used by the quickstart example and by many unit tests because
+queue dynamics at the single bottleneck are easy to reason about.
+"""
+
+from __future__ import annotations
+
+from .graph import Topology
+from ..errors import TopologyError
+from ..units import GBPS, us
+
+
+def dumbbell(
+    pairs: int,
+    edge_rate_bps: int = 10 * GBPS,
+    bottleneck_rate_bps: int = 10 * GBPS,
+    delay_ps: int = us(1),
+    bottleneck_delay_ps: int = us(1),
+) -> Topology:
+    """Build a dumbbell with ``pairs`` host pairs.
+
+    Hosts 0..pairs-1 are the left side, hosts pairs..2*pairs-1 the right
+    side; two switches are joined by the bottleneck link.
+    """
+    if pairs < 1:
+        raise TopologyError("dumbbell needs at least one host pair")
+    topo = Topology(f"Dumbbell{pairs}")
+    left = [topo.add_host(f"l{i}") for i in range(pairs)]
+    right = [topo.add_host(f"r{i}") for i in range(pairs)]
+    sw_l = topo.add_switch("swL")
+    sw_r = topo.add_switch("swR")
+    for h in left:
+        topo.add_link(h, sw_l, edge_rate_bps, delay_ps)
+    for h in right:
+        topo.add_link(h, sw_r, edge_rate_bps, delay_ps)
+    topo.add_link(sw_l, sw_r, bottleneck_rate_bps, bottleneck_delay_ps)
+    return topo.freeze()

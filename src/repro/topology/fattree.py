@@ -1,0 +1,77 @@
+"""k-ary FatTree topology (Al-Fares et al., SIGCOMM 2008).
+
+The paper's single-machine and cluster experiments all use FatTree(k)
+data centers: FatTree4 (16 servers) through FatTree64 (65,536 servers).
+A k-ary FatTree has k pods; each pod has k/2 edge and k/2 aggregation
+switches; (k/2)^2 core switches connect the pods; each edge switch hosts
+k/2 servers.  Totals: (k^3)/4 hosts, (5k^2)/4 switches, (3k^3)/4 links.
+"""
+
+from __future__ import annotations
+
+from .graph import Topology
+from ..errors import TopologyError
+from ..units import GBPS, us
+
+
+def fattree(
+    k: int,
+    rate_bps: int = 100 * GBPS,
+    delay_ps: int = us(1),
+) -> Topology:
+    """Build FatTree(k) with uniform link rate and delay.
+
+    Args:
+        k: Arity; must be even and >= 2.
+        rate_bps: Line rate of every link (the paper uses 100 Gbps).
+        delay_ps: Propagation delay of every link.
+
+    Returns:
+        A frozen :class:`Topology` named ``FatTree{k}``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"FatTree arity must be even and >= 2, got {k}")
+    half = k // 2
+    topo = Topology(f"FatTree{k}")
+
+    core = [
+        topo.add_switch(f"core{i}-{j}")
+        for i in range(half)
+        for j in range(half)
+    ]
+    agg = [[topo.add_switch(f"agg{p}-{i}") for i in range(half)] for p in range(k)]
+    edge = [[topo.add_switch(f"edge{p}-{i}") for i in range(half)] for p in range(k)]
+    for p in range(k):
+        for e in range(half):
+            for h in range(half):
+                host = topo.add_host(f"h{p}-{e}-{h}")
+                topo.add_link(host, edge[p][e], rate_bps, delay_ps)
+
+    for p in range(k):
+        for e in range(half):
+            for a in range(half):
+                topo.add_link(edge[p][e], agg[p][a], rate_bps, delay_ps)
+        # Aggregation switch a of every pod connects to core row a.
+        for a in range(half):
+            for j in range(half):
+                topo.add_link(agg[p][a], core[a * half + j], rate_bps, delay_ps)
+
+    return topo.freeze()
+
+
+def fattree_counts(k: int) -> dict:
+    """Closed-form element counts of FatTree(k), used by the memory model
+    and the scale-limit bench without building 65k-server topologies."""
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"FatTree arity must be even and >= 2, got {k}")
+    hosts = k ** 3 // 4
+    switches = 5 * k ** 2 // 4
+    links = 3 * k ** 3 // 4
+    return {
+        "k": k,
+        "hosts": hosts,
+        "switches": switches,
+        "nodes": hosts + switches,
+        "links": links,
+        "interfaces": 2 * links,
+    }

@@ -1,0 +1,43 @@
+"""Leaf-spine (2-tier Clos) topology.
+
+Not in the paper's evaluation, but the most common modern DCN fabric and
+a natural target for a DONS-style simulator; included as a library
+feature (and exercised by tests/examples).  Every leaf connects to every
+spine; hosts hang off leaves.
+"""
+
+from __future__ import annotations
+
+from .graph import Topology
+from ..errors import TopologyError
+from ..units import GBPS, us
+
+
+def leaf_spine(
+    leaves: int,
+    spines: int,
+    hosts_per_leaf: int,
+    host_rate_bps: int = 100 * GBPS,
+    fabric_rate_bps: int = 400 * GBPS,
+    delay_ps: int = us(1),
+) -> Topology:
+    """Build a leaf-spine fabric.
+
+    Args:
+        leaves / spines: Switch counts (full bipartite fabric).
+        hosts_per_leaf: Servers attached to each leaf.
+        host_rate_bps / fabric_rate_bps: Access vs fabric link rates.
+        delay_ps: Propagation delay of every link.
+    """
+    if leaves < 1 or spines < 1 or hosts_per_leaf < 1:
+        raise TopologyError("leaf-spine needs >=1 leaf, spine and host")
+    topo = Topology(f"LeafSpine{leaves}x{spines}")
+    spine_ids = [topo.add_switch(f"spine{s}") for s in range(spines)]
+    for l in range(leaves):
+        leaf = topo.add_switch(f"leaf{l}")
+        for h in range(hosts_per_leaf):
+            host = topo.add_host(f"h{l}-{h}")
+            topo.add_link(host, leaf, host_rate_bps, delay_ps)
+        for spine in spine_ids:
+            topo.add_link(leaf, spine, fabric_rate_bps, delay_ps)
+    return topo.freeze()

@@ -1,0 +1,112 @@
+"""Wide-area topologies used in Fig. 11e/f: Abilene and GEANT.
+
+The paper attaches one traffic server to each router and runs full-mesh
+dynamic flows between the servers.  :func:`abilene` and :func:`geant`
+reproduce the published router-level graphs (12 routers / 15 links and
+23 routers / 36 links respectively) with one host per router, matching
+the paper's setup.
+
+Link delays are derived from rough great-circle distances (5 us per
+1000 km is close enough; only relative magnitudes matter for the
+reproduction) and are clamped so the smallest delay — the DOD engine's
+lookahead — stays reasonable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .graph import Topology
+from ..units import GBPS, us
+
+# (a, b, delay_us) triples over router names. Delays loosely follow
+# geographic distance between the POPs of the 2004 Abilene backbone.
+_ABILENE_ROUTERS: Sequence[str] = (
+    "NewYork", "Chicago", "WashingtonDC", "Seattle", "Sunnyvale",
+    "LosAngeles", "Denver", "KansasCity", "Houston", "Atlanta",
+    "Indianapolis", "AtlantaM5",
+)
+
+_ABILENE_LINKS: Sequence[Tuple[str, str, float]] = (
+    ("NewYork", "Chicago", 18.0),
+    ("NewYork", "WashingtonDC", 6.0),
+    ("Chicago", "Indianapolis", 5.0),
+    ("WashingtonDC", "Atlanta", 14.0),
+    ("Seattle", "Sunnyvale", 18.0),
+    ("Seattle", "Denver", 25.0),
+    ("Sunnyvale", "LosAngeles", 9.0),
+    ("Sunnyvale", "Denver", 23.0),
+    ("LosAngeles", "Houston", 33.0),
+    ("Denver", "KansasCity", 12.0),
+    ("KansasCity", "Houston", 17.0),
+    ("KansasCity", "Indianapolis", 11.0),
+    ("Houston", "Atlanta", 19.0),
+    ("Atlanta", "AtlantaM5", 1.0),
+    ("Indianapolis", "AtlantaM5", 12.0),
+)
+
+# 23 routers / 36 links snapshot of the GEANT pan-European backbone
+# (Uhlig et al., CCR 2006).
+_GEANT_ROUTERS: Sequence[str] = (
+    "AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU",
+    "IE", "IL", "IT", "LU", "NL", "NY", "PL", "PT", "SE", "SI",
+    "SK", "UK", "DK",
+)
+
+_GEANT_LINKS: Sequence[Tuple[str, str, float]] = (
+    ("AT", "CH", 4.0), ("AT", "CZ", 2.0), ("AT", "DE", 3.0),
+    ("AT", "HU", 2.0), ("AT", "IT", 4.0), ("AT", "SI", 2.0),
+    ("AT", "SK", 1.0), ("BE", "FR", 2.0), ("BE", "NL", 1.0),
+    ("CH", "DE", 3.0), ("CH", "FR", 3.0), ("CH", "IT", 3.0),
+    ("CZ", "DE", 2.0), ("CZ", "PL", 3.0), ("CZ", "SK", 2.0),
+    ("DE", "DK", 3.0), ("DE", "FR", 4.0), ("DE", "IT", 5.0),
+    ("DE", "NL", 2.0), ("DE", "SE", 5.0), ("DE", "NY", 31.0),
+    ("DK", "SE", 2.0), ("ES", "FR", 4.0), ("ES", "IT", 5.0),
+    ("ES", "PT", 3.0), ("FR", "LU", 2.0), ("FR", "UK", 2.0),
+    ("GR", "IT", 5.0), ("HR", "HU", 2.0), ("HR", "SI", 1.0),
+    ("HU", "SK", 1.0), ("IE", "UK", 2.0), ("IL", "IT", 11.0),
+    ("NL", "UK", 2.0), ("NY", "UK", 28.0), ("PL", "SE", 4.0),
+)
+
+
+def _wan_from_table(
+    name: str,
+    routers: Sequence[str],
+    links: Sequence[Tuple[str, str, float]],
+    backbone_rate_bps: int,
+    access_rate_bps: int,
+    access_delay_us: float,
+) -> Topology:
+    topo = Topology(name)
+    index: Dict[str, int] = {}
+    for router in routers:
+        index[router] = topo.add_switch(router)
+    for a, b, delay_us_ in links:
+        topo.add_link(index[a], index[b], backbone_rate_bps, us(delay_us_))
+    # One traffic server per router, per the paper's WAN experiments.
+    for router in routers:
+        host = topo.add_host(f"srv-{router}")
+        topo.add_link(host, index[router], access_rate_bps, us(access_delay_us))
+    return topo.freeze()
+
+
+def abilene(
+    backbone_rate_bps: int = 10 * GBPS,
+    access_rate_bps: int = 10 * GBPS,
+) -> Topology:
+    """The Abilene backbone (12 routers, 15 links) with one server per POP."""
+    return _wan_from_table(
+        "Abilene", _ABILENE_ROUTERS, _ABILENE_LINKS,
+        backbone_rate_bps, access_rate_bps, access_delay_us=1.0,
+    )
+
+
+def geant(
+    backbone_rate_bps: int = 10 * GBPS,
+    access_rate_bps: int = 10 * GBPS,
+) -> Topology:
+    """The GEANT backbone (23 routers, 36 links) with one server per POP."""
+    return _wan_from_table(
+        "GEANT", _GEANT_ROUTERS, _GEANT_LINKS,
+        backbone_rate_bps, access_rate_bps, access_delay_us=1.0,
+    )

@@ -1,0 +1,13 @@
+"""Traffic: flows, empirical size distributions, workload generators."""
+
+from .flow import Flow, Transport, validate_flows
+from .distributions import (
+    DISTRIBUTIONS, EmpiricalSize, FB_CACHE, TINY, WEB_SEARCH,
+)
+from .generators import fixed_flows, full_mesh_dynamic, incast, permutation
+
+__all__ = [
+    "Flow", "Transport", "validate_flows",
+    "DISTRIBUTIONS", "EmpiricalSize", "FB_CACHE", "TINY", "WEB_SEARCH",
+    "fixed_flows", "full_mesh_dynamic", "incast", "permutation",
+]

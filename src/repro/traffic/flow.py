@@ -1,0 +1,74 @@
+"""Flow descriptions: the unit of traffic every engine consumes.
+
+A scenario's traffic is a plain, immutable list of :class:`Flow` records,
+generated once (seeded) and then handed unchanged to every simulator under
+comparison, so that "same input, compare outputs" holds by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Sequence
+
+from ..errors import ConfigError
+
+
+class Transport(IntEnum):
+    """Transport protocol run by a flow's sender.
+
+    RENO is classic ECN-TCP (fixed halving on marked windows), added via
+    the CCA-extension hook of §8; it shares DCTCP's state machine.
+    """
+
+    UDP = 0
+    DCTCP = 1
+    RENO = 2
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One application flow.
+
+    Attributes:
+        flow_id: Dense id; also the ECMP hash key component.
+        src: Source host node id.
+        dst: Destination host node id.
+        size_bytes: Application bytes to deliver (payload, excl. headers).
+        start_ps: Simulated start time in picoseconds.
+        transport: UDP or DCTCP.
+        priority: Traffic class used by DRR / Strict Priority schedulers
+            (0 = highest).
+    """
+
+    flow_id: int
+    src: int
+    dst: int
+    size_bytes: int
+    start_ps: int
+    transport: Transport = Transport.DCTCP
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigError(f"flow {self.flow_id}: src == dst == {self.src}")
+        if self.size_bytes <= 0:
+            raise ConfigError(f"flow {self.flow_id}: size must be positive")
+        if self.start_ps < 0:
+            raise ConfigError(f"flow {self.flow_id}: negative start time")
+
+
+def validate_flows(flows: Sequence[Flow], hosts: Sequence[int]) -> List[Flow]:
+    """Check that flows reference existing hosts and ids are unique."""
+    host_set = set(hosts)
+    seen = set()
+    for flow in flows:
+        if flow.flow_id in seen:
+            raise ConfigError(f"duplicate flow id {flow.flow_id}")
+        seen.add(flow.flow_id)
+        if flow.src not in host_set or flow.dst not in host_set:
+            raise ConfigError(
+                f"flow {flow.flow_id} references non-host endpoints "
+                f"({flow.src} -> {flow.dst})"
+            )
+    return list(flows)

@@ -1,0 +1,84 @@
+"""Physical units and exact time arithmetic shared by every engine.
+
+All simulation clocks in this repository are integer **picoseconds**.  The
+paper's fidelity claim is that the DOD engine reproduces the OOD baseline
+*timestamp for timestamp*; integer arithmetic makes that claim checkable
+byte-for-byte, with no floating-point drift between two engines that
+compute the same quantity in a different order.
+
+At picosecond resolution every realistic link rate divides the clock
+exactly: one bit at 100 Gbps lasts 10 ps, at 40 Gbps 25 ps, at 10 Gbps
+100 ps, at 1 Gbps 1000 ps.  Serialization times for whole packets are
+therefore exact integers for all rates used in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+# --- time -----------------------------------------------------------------
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def ns(value: float) -> int:
+    """Nanoseconds -> integer picoseconds."""
+    return round(value * PS_PER_NS)
+
+
+def us(value: float) -> int:
+    """Microseconds -> integer picoseconds."""
+    return round(value * PS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> integer picoseconds."""
+    return round(value * PS_PER_MS)
+
+
+def seconds(value: float) -> int:
+    """Seconds -> integer picoseconds."""
+    return round(value * PS_PER_S)
+
+
+def ps_to_s(value_ps: int) -> float:
+    """Integer picoseconds -> float seconds (for reporting only)."""
+    return value_ps / PS_PER_S
+
+
+def ps_to_us(value_ps: int) -> float:
+    """Integer picoseconds -> float microseconds (for reporting only)."""
+    return value_ps / PS_PER_US
+
+
+# --- rates ----------------------------------------------------------------
+
+KBPS = 1_000
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+
+def serialization_time_ps(size_bytes: int, rate_bps: int) -> int:
+    """Exact wire time of ``size_bytes`` at ``rate_bps``.
+
+    Both engines must call this single function so that transmission
+    timestamps agree bit for bit.  The division is exact for every rate
+    that divides 10^12 (all rates used in the evaluation); for exotic
+    rates we round half-down deterministically via floor division.
+    """
+    return (size_bytes * 8 * PS_PER_S) // rate_bps
+
+
+# --- sizes ----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+#: Default maximum transmission unit used throughout the evaluation.
+DEFAULT_MTU = 1_500
+#: Header bytes charged to every packet (Ethernet + IP + TCP, rounded).
+HEADER_BYTES = 60
+#: Size of a pure ACK packet on the wire.
+ACK_BYTES = 64

@@ -1,0 +1,11 @@
+"""NetVision-lite: dependency-free flow-level visualization (§8)."""
+
+from .render import (
+    ascii_heatmap, flow_gantt_svg, link_utilization_svg, sparkline,
+    window_breakdown_heatmap,
+)
+
+__all__ = [
+    "ascii_heatmap", "flow_gantt_svg", "link_utilization_svg",
+    "sparkline", "window_breakdown_heatmap",
+]

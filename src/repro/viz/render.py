@@ -1,0 +1,162 @@
+"""NetVision-lite: flow-level visualization of simulation results (§8).
+
+The paper ships a Unity-based visualization front-end (NetVision) that
+offers "a flow-level visualization of network behavior and key
+performance metrics".  This module is the dependency-free equivalent:
+
+* :func:`flow_gantt_svg` — per-flow lifetime chart (start -> completion);
+* :func:`link_utilization_svg` — per-link offered-load bars;
+* :func:`sparkline` / :func:`ascii_heatmap` — terminal renderings of
+  time series (queue depth, per-window load) for quick inspection.
+
+Everything renders to plain SVG/ASCII strings with no third-party
+dependencies, so results can be inspected anywhere the library runs.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics import SimResults
+from ..partition.loadest import LoadModel
+from ..scenario import Scenario
+from ..units import ps_to_us
+
+_SVG_HEADER = ('<svg xmlns="http://www.w3.org/2000/svg" width="{w}" '
+               'height="{h}" viewBox="0 0 {w} {h}">')
+#: Flow bars cycle over this qualitative palette.
+_PALETTE = ("#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+            "#edc948", "#b07aa1", "#9c755f")
+
+_BAR_H = 14
+_MARGIN = 120
+
+
+def _svg(width: int, height: int, body: List[str]) -> str:
+    return "\n".join(
+        [_SVG_HEADER.format(w=width, h=height)] + body + ["</svg>"]
+    )
+
+
+def flow_gantt_svg(results: SimResults, scenario: Scenario,
+                   max_flows: int = 64, width: int = 900) -> str:
+    """Per-flow lifetime chart: one bar from start to completion.
+
+    Unfinished flows render as open-ended hatched bars.
+    """
+    flows = sorted(results.flows.values(), key=lambda f: f.flow_id)[:max_flows]
+    if not flows:
+        return _svg(width, 40, ["<text x='4' y='20'>no flows</text>"])
+    horizon = max(
+        (f.complete_ps or results.end_time_ps) for f in flows
+    ) or 1
+    scale = (width - _MARGIN - 20) / horizon
+    body = []
+    for i, fr in enumerate(flows):
+        y = 24 + i * (_BAR_H + 4)
+        color = _PALETTE[fr.flow_id % len(_PALETTE)]
+        end = fr.complete_ps if fr.complete_ps is not None else results.end_time_ps
+        x0 = _MARGIN + fr.start_ps * scale
+        w = max(1.0, (end - fr.start_ps) * scale)
+        flow = scenario.flows[fr.flow_id]
+        label = html.escape(
+            f"f{fr.flow_id} {flow.src}->{flow.dst} "
+            f"{flow.size_bytes // 1000}KB"
+        )
+        body.append(f'<text x="4" y="{y + 11}" font-size="10" '
+                    f'font-family="monospace">{label}</text>')
+        dash = '' if fr.complete_ps is not None else ' stroke-dasharray="3,2"'
+        fill = color if fr.complete_ps is not None else "none"
+        body.append(
+            f'<rect x="{x0:.1f}" y="{y}" width="{w:.1f}" height="{_BAR_H}" '
+            f'fill="{fill}" stroke="{color}"{dash}/>'
+        )
+        if fr.fct_ps is not None:
+            body.append(
+                f'<text x="{x0 + w + 4:.1f}" y="{y + 11}" font-size="9" '
+                f'fill="#555">{ps_to_us(fr.fct_ps):.1f}us</text>'
+            )
+    height = 30 + len(flows) * (_BAR_H + 4)
+    body.insert(0, f'<text x="4" y="14" font-size="12" font-weight="bold">'
+                   f'Flow lifetimes — {html.escape(results.scenario_name)}'
+                   f'</text>')
+    return _svg(width, height, body)
+
+
+def link_utilization_svg(loads: LoadModel, scenario: Scenario,
+                         horizon_ps: int, top: int = 24,
+                         width: int = 700) -> str:
+    """Offered load / capacity bars for the busiest links."""
+    topo = scenario.topology
+    utils: List[Tuple[float, str]] = []
+    for link in topo.links:
+        cap_bytes = link.rate_bps / 8.0 * (horizon_ps / 1e12)
+        if cap_bytes <= 0:
+            continue
+        util = loads.link_load[link.link_id] / cap_bytes
+        a, b = topo.nodes[link.node_a].name, topo.nodes[link.node_b].name
+        utils.append((util, f"{a}-{b}"))
+    utils.sort(reverse=True)
+    utils = utils[:top]
+    body = [f'<text x="4" y="14" font-size="12" font-weight="bold">'
+            f'Link utilization (offered/capacity)</text>']
+    max_util = max((u for u, _ in utils), default=1.0) or 1.0
+    bar_w = width - 240
+    for i, (util, name) in enumerate(utils):
+        y = 26 + i * 16
+        w = max(1.0, bar_w * min(util / max(max_util, 1.0), 1.0))
+        color = "#e15759" if util > 1.0 else "#4e79a7"
+        body.append(f'<text x="4" y="{y + 10}" font-size="9" '
+                    f'font-family="monospace">{html.escape(name[:30])}</text>')
+        body.append(f'<rect x="200" y="{y}" width="{w:.1f}" height="12" '
+                    f'fill="{color}"/>')
+        body.append(f'<text x="{205 + w:.1f}" y="{y + 10}" font-size="9">'
+                    f'{util:.2f}</text>')
+    return _svg(width, 32 + len(utils) * 16, body)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line ASCII rendering of a series (downsampled to ``width``)."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [
+            max(values[int(i * step):max(int(i * step) + 1,
+                                         int((i + 1) * step))])
+            for i in range(width)
+        ]
+    top = max(values) or 1.0
+    idx = [min(int(v / top * (len(_SPARK_CHARS) - 1)), len(_SPARK_CHARS) - 1)
+           for v in values]
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def ascii_heatmap(rows: Dict[str, Sequence[float]], width: int = 60) -> str:
+    """Stacked labeled sparklines (e.g. per-system load over windows)."""
+    if not rows:
+        return ""
+    label_w = max(len(k) for k in rows) + 1
+    return "\n".join(
+        f"{name.ljust(label_w)}|{sparkline(series, width)}|"
+        for name, series in rows.items()
+    )
+
+
+def window_breakdown_heatmap(results: SimResults, width: int = 60) -> str:
+    """Fig. 13 as ASCII: per-system events across lookahead windows."""
+    wb = results.window_breakdown
+    if not wb:
+        return "(no windows recorded)"
+    series = {
+        "ack": [w[1] for w in wb],
+        "send": [w[2] for w in wb],
+        "forward": [w[3] for w in wb],
+        "transmit": [w[4] for w in wb],
+    }
+    return ascii_heatmap(series, width)

@@ -1,0 +1,109 @@
+"""Cluster-wide checkpoint/resume (§8 multi-machine fault tolerance)."""
+
+import pytest
+
+from repro.cluster.agent import AgentEngine
+from repro.cluster.checkpoint import (
+    ClusterCheckpoint, resume_cluster, take_cluster_checkpoint,
+)
+from repro.cluster.manager import ClusterController, merge_results
+from repro.core.engine import run_dons
+from repro.des.partition_types import contiguous_partition, random_partition
+from repro.errors import ClusterError
+from repro.metrics import TraceLevel
+from repro.scenario import make_scenario
+from repro.topology import fattree
+from repro.traffic import full_mesh_dynamic, TINY
+from repro.units import GBPS, ms, us
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topo = fattree(4, rate_bps=10 * GBPS, delay_ps=us(1))
+    flows = full_mesh_dynamic(topo.hosts, ms(0.4), load=0.5,
+                              host_rate_bps=10 * GBPS, sizes=TINY,
+                              seed=29, max_flows=40)
+    return make_scenario(topo, flows, buffer_bytes=60_000)
+
+
+@pytest.fixture(scope="module")
+def reference(scenario):
+    return run_dons(scenario, TraceLevel.FULL)
+
+
+def _run_until(scenario, partition, windows, schedule=None):
+    agents = [AgentEngine(a, scenario, partition, TraceLevel.FULL)
+              for a in range(partition.num_parts)]
+    controller = ClusterController(agents, schedule=schedule)
+    for agent in agents:
+        agent.build()
+    current = -1
+    done = 0
+    while done < windows:
+        pending = [a.peek_next_window(current) for a in agents]
+        live = [w for w in pending if w is not None]
+        if not live:
+            break
+        window = min(live)
+        controller._maybe_migrate(window)
+        for agent in agents:
+            agent.process_window(window)
+        for agent in agents:
+            for dst, records in sorted(agent.take_outbox().items()):
+                controller.channels[(agent.agent_id, dst)].send_batch(records)
+        for (src, dst), ch in controller.channels.items():
+            records = ch.drain()
+            if records:
+                agents[dst].accept_remote(records)
+        current = window
+        done += 1
+    return controller, current
+
+
+@pytest.mark.parametrize("stop_after", [3, 25])
+def test_cluster_resume_reproduces_trace(scenario, reference, stop_after):
+    part = contiguous_partition(scenario.topology, 3)
+    controller, current = _run_until(scenario, part, stop_after)
+    ckpt = take_cluster_checkpoint(controller, current)
+    # The "cluster crash": everything is discarded.
+    del controller
+    merged, _fresh = resume_cluster(scenario, ckpt, TraceLevel.FULL)
+    assert (sorted(merged.trace.entries)
+            == sorted(reference.trace.entries))
+    assert merged.fcts_ps() == reference.fcts_ps()
+
+
+def test_checkpoint_preserves_pending_migrations(scenario, reference):
+    topo = scenario.topology
+    part = contiguous_partition(topo, 3)
+    later = random_partition(topo, 3, seed=4)
+    # Stop before the migration boundary; it must survive the checkpoint.
+    controller, current = _run_until(scenario, part, 5,
+                                     schedule=[(100, later)])
+    ckpt = take_cluster_checkpoint(controller, current)
+    assert ckpt.schedule, "pending migration lost"
+    merged, fresh = resume_cluster(scenario, ckpt, TraceLevel.FULL)
+    assert fresh.migrations, "migration never executed after resume"
+    assert (sorted(merged.trace.entries)
+            == sorted(reference.trace.entries))
+
+
+def test_scenario_mismatch_rejected(scenario):
+    part = contiguous_partition(scenario.topology, 2)
+    controller, current = _run_until(scenario, part, 2)
+    ckpt = take_cluster_checkpoint(controller, current)
+    import dataclasses
+    other = dataclasses.replace(scenario, name="something-else")
+    with pytest.raises(ClusterError):
+        resume_cluster(other, ckpt)
+
+
+def test_bad_format_rejected(scenario):
+    part = contiguous_partition(scenario.topology, 2)
+    controller, current = _run_until(scenario, part, 2)
+    ckpt = take_cluster_checkpoint(controller, current)
+    bad = ClusterCheckpoint("v0", ckpt.scenario_name, current,
+                            ckpt.partition, ckpt.num_parts, [],
+                            ckpt.agent_payloads)
+    with pytest.raises(ClusterError):
+        resume_cluster(scenario, bad)

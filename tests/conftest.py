@@ -1,0 +1,45 @@
+"""Shared fixtures: small, fast scenarios reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import Scenario, make_scenario
+from repro.topology import dumbbell, fattree
+from repro.traffic import Flow, Transport
+from repro.units import GBPS, us
+
+
+@pytest.fixture
+def small_dumbbell():
+    """4-pair dumbbell at 10 Gbps."""
+    return dumbbell(4, edge_rate_bps=10 * GBPS, bottleneck_rate_bps=10 * GBPS)
+
+
+@pytest.fixture
+def dumbbell_scenario(small_dumbbell) -> Scenario:
+    """Four 150 KB DCTCP flows across the dumbbell."""
+    flows = [
+        Flow(i, i, 4 + i, 150_000, 0, Transport.DCTCP) for i in range(4)
+    ]
+    return make_scenario(small_dumbbell, flows)
+
+
+@pytest.fixture
+def fattree4():
+    """FatTree4 at 10 Gbps (16 hosts, 20 switches)."""
+    return fattree(4, rate_bps=10 * GBPS, delay_ps=us(1))
+
+
+@pytest.fixture
+def fattree4_scenario(fattree4) -> Scenario:
+    """Mixed DCTCP/UDP flows with staggered starts on FatTree4."""
+    hosts = fattree4.hosts
+    flows = []
+    for i in range(10):
+        transport = Transport.DCTCP if i % 3 else Transport.UDP
+        flows.append(
+            Flow(i, hosts[i % 16], hosts[(i * 7 + 3) % 16],
+                 30_000 + 999 * i, i * us(2), transport)
+        )
+    return make_scenario(fattree4, flows)

@@ -1,0 +1,118 @@
+"""Checkpointing (§8): pause/resume is observationally transparent."""
+
+import pytest
+
+from repro.core.checkpoint import (
+    Checkpoint, CheckpointingEngine, CheckpointStore, FORMAT,
+    restore_checkpoint, take_checkpoint,
+)
+from repro.core.engine import DodEngine, run_dons
+from repro.errors import SimulationError
+from repro.metrics import TraceLevel
+
+
+def run_interrupted(scenario, stop_after_windows):
+    """Run to window N, checkpoint, resume in a FRESH engine."""
+    eng = DodEngine(scenario, TraceLevel.FULL)
+    eng.build()
+    current = -1
+    done = 0
+    while done < stop_after_windows:
+        nxt = eng._next_window(current)
+        if nxt is None:
+            break
+        current = nxt
+        eng.process_window(current)
+        done += 1
+    ckpt = take_checkpoint(eng, current)
+    # The "crash": the original engine is discarded entirely.
+    del eng
+    fresh = CheckpointingEngine(scenario, TraceLevel.FULL)
+    return fresh.resume_from(ckpt)
+
+
+@pytest.mark.parametrize("stop_after", [1, 7, 40])
+def test_resume_reproduces_uninterrupted_trace(dumbbell_scenario, stop_after):
+    reference = run_dons(dumbbell_scenario, TraceLevel.FULL)
+    resumed = run_interrupted(dumbbell_scenario, stop_after)
+    assert resumed.trace.sorted_entries() == reference.trace.sorted_entries()
+    assert resumed.fcts_ps() == reference.fcts_ps()
+    assert resumed.rtt_samples == reference.rtt_samples
+
+
+def test_resume_fattree_with_ecmp(fattree4_scenario):
+    reference = run_dons(fattree4_scenario, TraceLevel.FULL)
+    resumed = run_interrupted(fattree4_scenario, 15)
+    assert resumed.trace.digest() == reference.trace.digest()
+
+
+def test_checkpoint_rejects_wrong_scenario(dumbbell_scenario,
+                                           fattree4_scenario):
+    eng = DodEngine(dumbbell_scenario)
+    eng.build()
+    ckpt = take_checkpoint(eng, 0)
+    other = DodEngine(fattree4_scenario)
+    other.build()
+    with pytest.raises(SimulationError):
+        restore_checkpoint(other, ckpt)
+
+
+def test_checkpoint_rejects_bad_format(dumbbell_scenario):
+    eng = DodEngine(dumbbell_scenario)
+    eng.build()
+    ckpt = take_checkpoint(eng, 0)
+    bad = Checkpoint("v999", ckpt.scenario_name, 0, ckpt.payload)
+    with pytest.raises(SimulationError):
+        restore_checkpoint(eng, bad)
+
+
+class TestStore:
+    def test_replicated_save_and_load(self, tmp_path, dumbbell_scenario):
+        locations = [str(tmp_path / f"replica{i}") for i in range(3)]
+        store = CheckpointStore(locations)
+        eng = DodEngine(dumbbell_scenario)
+        eng.build()
+        ckpt = take_checkpoint(eng, 0)
+        paths = store.save("run1", ckpt)
+        assert len(paths) == 3
+        loaded = store.load("run1")
+        assert loaded.digest() == ckpt.digest()
+
+    def test_survives_replica_loss(self, tmp_path, dumbbell_scenario):
+        locations = [str(tmp_path / f"replica{i}") for i in range(3)]
+        store = CheckpointStore(locations)
+        eng = DodEngine(dumbbell_scenario)
+        eng.build()
+        ckpt = take_checkpoint(eng, 0)
+        paths = store.save("run1", ckpt)
+        # First two replicas corrupted / lost.
+        import os
+        os.remove(paths[0])
+        with open(paths[1], "wb") as fh:
+            fh.write(b"garbage")
+        loaded = store.load("run1")
+        assert loaded.digest() == ckpt.digest()
+
+    def test_all_replicas_lost(self, tmp_path):
+        store = CheckpointStore([str(tmp_path / "only")])
+        with pytest.raises(SimulationError):
+            store.load("missing")
+
+    def test_empty_locations_rejected(self):
+        with pytest.raises(SimulationError):
+            CheckpointStore([])
+
+
+def test_periodic_checkpointing_transparent(tmp_path, dumbbell_scenario):
+    reference = run_dons(dumbbell_scenario, TraceLevel.FULL)
+    store = CheckpointStore([str(tmp_path / "a"), str(tmp_path / "b")])
+    eng = CheckpointingEngine(dumbbell_scenario, TraceLevel.FULL,
+                              store=store, every_windows=10)
+    res = eng.run()
+    assert eng.checkpoints_taken > 0
+    assert res.trace.sorted_entries() == reference.trace.sorted_entries()
+    # The last snapshot is resumable.
+    loaded = store.load("run")
+    fresh = CheckpointingEngine(dumbbell_scenario, TraceLevel.FULL)
+    resumed = fresh.resume_from(loaded)
+    assert resumed.trace.sorted_entries() == reference.trace.sorted_entries()

@@ -1,0 +1,112 @@
+"""ECS substrate: SoA tables, chunks, command buffers, the world."""
+
+import pytest
+
+from repro.core.ecs import (
+    CHUNK_ENTITIES, CommandBuffer, EntityKind, FieldSpec, SoATable, World,
+    consolidate,
+)
+from repro.errors import ConfigError
+
+
+def mk_table():
+    return SoATable("thing", (
+        FieldSpec("a", 0),
+        FieldSpec("b", 1.5),
+        FieldSpec("c", None, item_bytes=16),
+    ))
+
+
+class TestSoATable:
+    def test_add_with_defaults(self):
+        t = mk_table()
+        i = t.add(a=7)
+        assert t.get(i, "a") == 7
+        assert t.get(i, "b") == 1.5
+        assert t.get(i, "c") is None
+
+    def test_columns_are_contiguous_per_field(self):
+        t = mk_table()
+        for i in range(10):
+            t.add(a=i)
+        assert t.col("a") == list(range(10))
+
+    def test_add_many(self):
+        t = mk_table()
+        r = t.add_many(5)
+        assert list(r) == [0, 1, 2, 3, 4]
+        assert len(t) == 5
+        assert t.col("b") == [1.5] * 5
+
+    def test_row_load_store(self):
+        t = mk_table()
+        i = t.add(a=1, b=2.0)
+        row = t.load_row(i)
+        assert row == {"a": 1, "b": 2.0, "c": None}
+        t.store_row(i, {"a": 9, "c": {3}})
+        assert t.get(i, "a") == 9
+        assert t.get(i, "c") == {3}
+
+    def test_unknown_field_rejected(self):
+        t = mk_table()
+        with pytest.raises(ConfigError):
+            t.add(zzz=1)
+
+    def test_schema_validation(self):
+        with pytest.raises(ConfigError):
+            SoATable("empty", ())
+        with pytest.raises(ConfigError):
+            SoATable("dup", (FieldSpec("x", 0), FieldSpec("x", 1)))
+
+    def test_chunk_geometry(self):
+        t = mk_table()
+        t.add_many(2 * CHUNK_ENTITIES + 10)
+        chunks = list(t.chunks())
+        assert chunks[0] == (0, CHUNK_ENTITIES)
+        assert chunks[-1] == (2 * CHUNK_ENTITIES, 2 * CHUNK_ENTITIES + 10)
+        assert t.chunk_count() == 3
+
+    def test_memory_model(self):
+        t = mk_table()
+        t.add_many(100)
+        assert t.memory_bytes() == 100 * (8 + 8 + 16)
+
+
+class TestCommandBuffer:
+    def test_consolidation_in_worker_order(self):
+        b1, b2 = CommandBuffer(), CommandBuffer()
+        b1.append(5, "w1-a")
+        b2.append(5, "w2-a")
+        b1.append(5, "w1-b")
+        sink = {}
+        n = consolidate([b1, b2], sink)
+        assert n == 3
+        assert sink[5] == ["w1-a", "w1-b", "w2-a"]
+
+    def test_multiple_targets(self):
+        b = CommandBuffer()
+        b.append(1, "x")
+        b.append(2, "y")
+        sink = {}
+        consolidate([b], sink)
+        assert sink == {1: ["x"], 2: ["y"]}
+
+    def test_len(self):
+        b = CommandBuffer()
+        assert len(b) == 0
+        b.append(0, 1)
+        assert len(b) == 1
+
+
+class TestWorld:
+    def test_tables_by_kind(self):
+        w = World()
+        assert w.table(EntityKind.SENDER) is w.senders
+        assert w.table(EntityKind.EGRESS_PORT) is w.egress
+
+    def test_memory_accounts_all_tables(self):
+        w = World()
+        w.senders.add(flow_id=0)
+        w.receivers.add(flow_id=0, out_of_order=set())
+        assert w.memory_bytes() == (w.senders.memory_bytes()
+                                    + w.receivers.memory_bytes())

@@ -1,0 +1,69 @@
+"""Worker pool: deterministic ordering, accounting, chunking."""
+
+import threading
+
+import pytest
+
+from repro.core.runtime import WorkerPool, chunk_ranges
+
+
+class TestWorkerPool:
+    def test_serial_map_in_order(self):
+        with WorkerPool(1) as pool:
+            out = pool.map("t", lambda x: x * x, [3, 1, 2])
+        assert out == [9, 1, 4]
+
+    def test_threaded_map_preserves_task_order(self):
+        with WorkerPool(4) as pool:
+            out = pool.map("t", lambda x: x * 2, list(range(64)))
+        assert out == [2 * i for i in range(64)]
+
+    def test_threads_actually_used(self):
+        seen = set()
+
+        def f(x):
+            seen.add(threading.get_ident())
+            return x
+
+        with WorkerPool(4) as pool:
+            pool.map("t", f, list(range(256)))
+        assert len(seen) >= 2
+
+    def test_stats_accounting(self):
+        pool = WorkerPool(1)
+        pool.map("ack", lambda x: x, [1, 2], sizes=[10, 20])
+        pool.map("ack", lambda x: x, [3], sizes=[5])
+        assert pool.stats.tasks == 3
+        assert pool.stats.items == 35
+        assert pool.stats.by_system["ack"] == [10, 20, 5]
+
+    def test_empty_tasks(self):
+        with WorkerPool(2) as pool:
+            assert pool.map("t", lambda x: x, []) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestChunkRanges:
+    def test_exact_split(self):
+        assert chunk_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_remainder_spread(self):
+        ranges = chunk_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_items(self):
+        assert chunk_ranges(2, 8) == [(0, 1), (1, 2)]
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_covers_everything_exactly_once(self):
+        for n in (1, 7, 100, 1023):
+            for parts in (1, 3, 16):
+                covered = []
+                for a, b in chunk_ranges(n, parts):
+                    covered.extend(range(a, b))
+                assert covered == list(range(n))

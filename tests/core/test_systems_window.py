@@ -1,0 +1,155 @@
+"""Direct window-level tests of the four systems.
+
+The integration suite proves whole-run equivalence; these tests pin the
+per-window behaviour of each system in isolation so failures localize.
+"""
+
+import pytest
+
+from repro.core.engine import DodEngine
+from repro.core.window import (
+    ENTRY_ARRIVAL, ENTRY_FLOW_START, WindowContext,
+)
+from repro.core.systems import (
+    run_ack_system, run_forward_system, run_send_system, run_transmit_system,
+)
+from repro.protocols.packet import (
+    F_FLOW, F_ISACK, F_SEQ, PRIO_ARRIVAL, ack_row, data_row,
+)
+from repro.scenario import make_scenario
+from repro.topology import dumbbell
+from repro.traffic import Flow
+from repro.units import GBPS, us
+
+
+@pytest.fixture
+def engine(small_dumbbell):
+    flows = [Flow(0, 0, 4, 30_000, 0), Flow(1, 1, 5, 30_000, 0)]
+    sc = make_scenario(small_dumbbell, flows)
+    eng = DodEngine(sc)
+    eng.build()
+    return eng
+
+
+def mk_ctx(engine, index=0, entries=None):
+    L = engine.lookahead
+    return WindowContext(index=index, start=index * L, end=(index + 1) * L,
+                         node_entries=entries or {})
+
+
+class TestSendSystem:
+    def test_flow_start_emits_initial_window(self, engine):
+        ctx = mk_ctx(engine, 0, {0: [(ENTRY_FLOW_START, 0, 0)]})
+        run_send_system(engine, ctx)
+        nic = engine.scenario.topology.host_iface(0).iface_id
+        staged = ctx.staged[nic]
+        # 30 KB = 21 segments, init cwnd 10 -> 10 staged
+        assert len(staged) == 10
+        assert [row[F_SEQ] for _t, _p, row in staged] == list(range(10))
+        assert ctx.counts.send == 10
+        # RTO wakeup registered for the armed timer
+        assert engine.calendar, "no retransmission wakeup registered"
+
+    def test_ack_advances_window(self, engine):
+        # start the flow first
+        ctx0 = mk_ctx(engine, 0, {0: [(ENTRY_FLOW_START, 0, 0)]})
+        run_send_system(engine, ctx0)
+        # deliver a cumulative ack for segment 0 at the sender host
+        t = engine.lookahead * 3 + 5
+        ack = ack_row(0, 1, 0, 0, 4, 0)
+        ctx1 = mk_ctx(engine, 3, {0: [(ENTRY_ARRIVAL, t, PRIO_ARRIVAL, ack)]})
+        run_send_system(engine, ctx1)
+        nic = engine.scenario.topology.host_iface(0).iface_id
+        seqs = [row[F_SEQ] for _t, _p, row in ctx1.staged[nic]]
+        # slow start: one ack -> cwnd 11 -> segments 10 and 11 released
+        assert seqs == [10, 11]
+        assert len(engine.results.rtt_samples) == 1
+
+    def test_flows_processed_in_flow_id_order(self, engine):
+        ctx = mk_ctx(engine, 0, {
+            0: [(ENTRY_FLOW_START, 0, 0)],
+            1: [(ENTRY_FLOW_START, 0, 1)],
+        })
+        run_send_system(engine, ctx)
+        assert ctx.counts.send == 20  # both initial windows
+
+
+class TestAckSystem:
+    def test_data_delivery_generates_ack(self, engine):
+        t = 7
+        data = data_row(0, 0, 1400, 2, 0, 4)
+        ctx = mk_ctx(engine, 0, {4: [(ENTRY_ARRIVAL, t, PRIO_ARRIVAL, data)]})
+        run_ack_system(engine, ctx)
+        nic = engine.scenario.topology.host_iface(4).iface_id
+        acks = ctx.staged[nic]
+        assert len(acks) == 1
+        at, _p, arow = acks[0]
+        assert at == t
+        assert arow[F_ISACK] == 1 and arow[F_SEQ] == 1  # cumulative
+        assert ctx.counts.ack == 1
+
+    def test_completion_recorded(self, engine):
+        # flow 0 has 21 segments; deliver them all in one window
+        entries = [
+            (ENTRY_ARRIVAL, 10 + s, PRIO_ARRIVAL,
+             data_row(0, s, 1400, 0, 0, 4))
+            for s in range(21)
+        ]
+        ctx = mk_ctx(engine, 0, {4: entries})
+        run_ack_system(engine, ctx)
+        assert engine.results.flows[0].complete_ps == 10 + 20
+
+
+class TestForwardSystem:
+    def test_switch_arrival_staged_at_resolved_egress(self, engine):
+        topo = engine.scenario.topology
+        sw = topo.switches[0]  # swL, node 8
+        data = data_row(0, 3, 1400, 0, 0, 4)  # toward host 4 (right side)
+        ctx = mk_ctx(engine, 0, {sw: [(ENTRY_ARRIVAL, 5, PRIO_ARRIVAL, data)]})
+        run_forward_system(engine, ctx)
+        port = engine.scenario.fib.resolve_port(sw, 4, 0)
+        expected_iface = topo.iface_id(sw, port)
+        assert list(ctx.staged) == [expected_iface]
+        assert ctx.counts.forward == 1
+
+    def test_host_entries_ignored(self, engine):
+        data = data_row(0, 3, 1400, 0, 0, 4)
+        ctx = mk_ctx(engine, 0, {4: [(ENTRY_ARRIVAL, 5, PRIO_ARRIVAL, data)]})
+        run_forward_system(engine, ctx)
+        assert not ctx.staged
+        assert ctx.counts.forward == 0
+
+
+class TestTransmitSystem:
+    def test_emission_delivered_next_window(self, engine):
+        topo = engine.scenario.topology
+        nic = topo.host_iface(0)
+        data = data_row(0, 0, 1400, 0, 0, 4)
+        ctx = mk_ctx(engine, 0)
+        ctx.stage(nic.iface_id, 3, PRIO_ARRIVAL, data)
+        run_transmit_system(engine, ctx)
+        assert ctx.counts.transmit == 1
+        # the delivery (an ENTRY_ARRIVAL) landed strictly after window 0
+        # (build-time flow starts legitimately sit in window 0)
+        from repro.core.window import ENTRY_ARRIVAL as ARR
+        arrival_windows = [
+            win for win, buckets in engine.calendar.items()
+            for entries in buckets.values()
+            for e in entries if e[0] == ARR
+        ]
+        assert arrival_windows and min(arrival_windows) >= 1
+
+    def test_backlogged_port_stays_active(self, engine):
+        topo = engine.scenario.topology
+        nic = topo.host_iface(0)
+        ctx = mk_ctx(engine, 0)
+        # enough back-to-back packets to outlast one 1 us window at 10G
+        for s in range(20):
+            ctx.stage(nic.iface_id, 0, PRIO_ARRIVAL,
+                      data_row(0, s, 1400, 0, 0, 4))
+        run_transmit_system(engine, ctx)
+        assert nic.iface_id in engine.active_ports
+        # continuing the next window drains more
+        ctx2 = mk_ctx(engine, 1)
+        run_transmit_system(engine, ctx2)
+        assert ctx2.counts.transmit > 0

@@ -1,0 +1,95 @@
+"""Fluid (CTS) simulator: max-min allocation and flow dynamics."""
+
+import pytest
+
+from repro.cts import FluidSimulator, run_fluid
+from repro.cts.fluid import _ActiveFlow, max_min_rates
+from repro.scenario import make_scenario
+from repro.topology import dumbbell
+from repro.traffic import Flow, Transport
+from repro.units import GBPS, PS_PER_S, us
+
+
+def _af(flow_id, links, bits=8e6):
+    f = Flow(flow_id, 0, 1, 10, 0)
+    af = _ActiveFlow(f, tuple(links), bits)
+    return af
+
+
+class TestMaxMin:
+    def test_single_flow_gets_full_capacity(self):
+        flows = [_af(0, [0])]
+        max_min_rates(flows, {0: 10e9})
+        assert flows[0].rate_bps == pytest.approx(10e9)
+
+    def test_equal_split_on_shared_link(self):
+        flows = [_af(0, [0]), _af(1, [0]), _af(2, [0]), _af(3, [0])]
+        max_min_rates(flows, {0: 8e9})
+        assert all(f.rate_bps == pytest.approx(2e9) for f in flows)
+
+    def test_max_min_not_just_equal_split(self):
+        # flow A uses the narrow link 1; flows B, C only the wide link 0.
+        flows = [_af(0, [0, 1]), _af(1, [0]), _af(2, [0])]
+        max_min_rates(flows, {0: 9e9, 1: 1e9})
+        assert flows[0].rate_bps == pytest.approx(1e9)
+        # B and C share what A leaves on link 0.
+        assert flows[1].rate_bps == pytest.approx(4e9)
+        assert flows[2].rate_bps == pytest.approx(4e9)
+
+    def test_capacity_conserved_per_link(self):
+        flows = [_af(0, [0, 1]), _af(1, [1, 2]), _af(2, [0, 2]),
+                 _af(3, [1])]
+        caps = {0: 5e9, 1: 3e9, 2: 7e9}
+        max_min_rates(flows, caps)
+        for lid, cap in caps.items():
+            used = sum(f.rate_bps for f in flows if lid in f.links)
+            assert used <= cap * (1 + 1e-9)
+
+
+class TestFluidSim:
+    def test_single_flow_fct_is_pipe_time(self):
+        topo = dumbbell(1, edge_rate_bps=10 * GBPS,
+                        bottleneck_rate_bps=10 * GBPS)
+        sc = make_scenario(topo, [Flow(0, 0, 1, 125_000, 0)])
+        res = run_fluid(sc)
+        # 1 Mbit at 10 Gbps = 100 us (fluid: no packetization or RTT)
+        assert res.fcts_ps() == [pytest.approx(int(1e6 / 10e9 * PS_PER_S),
+                                               rel=1e-6)]
+
+    def test_fair_sharing_doubles_fct(self):
+        topo = dumbbell(2, edge_rate_bps=10 * GBPS,
+                        bottleneck_rate_bps=10 * GBPS)
+        solo = run_fluid(make_scenario(topo, [Flow(0, 0, 2, 125_000, 0)]))
+        pair = run_fluid(make_scenario(
+            topo, [Flow(0, 0, 2, 125_000, 0), Flow(1, 1, 3, 125_000, 0)]))
+        assert pair.fcts_ps()[0] == pytest.approx(2 * solo.fcts_ps()[0],
+                                                  rel=1e-6)
+
+    def test_staggered_arrivals_rate_adapt(self):
+        topo = dumbbell(2, edge_rate_bps=10 * GBPS,
+                        bottleneck_rate_bps=10 * GBPS)
+        flows = [Flow(0, 0, 2, 1_250_000, 0),
+                 Flow(1, 1, 3, 125_000, us(100))]
+        res = run_fluid(make_scenario(topo, flows))
+        assert res.completed() == 2
+        # flow 0 alone would take 1 ms; sharing stretches it.
+        assert res.flows[0].fct_ps > int(1e-3 * PS_PER_S)
+
+    def test_all_flows_complete(self, fattree4_scenario):
+        res = run_fluid(fattree4_scenario)
+        assert res.completed() == len(fattree4_scenario.flows)
+
+    def test_fast_but_no_transients(self, dumbbell_scenario):
+        """CTS underestimates FCT: no slow start, no queueing, no acks."""
+        from repro.des import run_baseline
+        des = run_baseline(dumbbell_scenario)
+        cts = run_fluid(dumbbell_scenario)
+        assert cts.completed() == des.completed()
+        for fid in range(4):
+            assert cts.flows[fid].fct_ps < des.flows[fid].fct_ps
+
+    def test_rate_event_count_is_small(self, fattree4_scenario):
+        sim = FluidSimulator(fattree4_scenario)
+        sim.run()
+        # the whole point of CTS: O(flows) events, not O(packets)
+        assert sim.rate_events < 10 * len(fattree4_scenario.flows)

@@ -1,0 +1,44 @@
+"""Event heap: the ordering contract's total order."""
+
+from repro.des.events import (
+    EventQueue, KIND_ARRIVAL, KIND_FLOW_START, KIND_PORT_DONE, KIND_TIMER,
+)
+
+
+def test_time_dominates():
+    q = EventQueue()
+    q.push(200, KIND_PORT_DONE, 0, 0, 0, "late")
+    q.push(100, KIND_TIMER, 9, 0, 0, "early")
+    assert q.pop()[5] == "early"
+
+
+def test_kind_order_at_equal_time():
+    q = EventQueue()
+    q.push(100, KIND_TIMER, 0, 0, 0, "timer")
+    q.push(100, KIND_ARRIVAL, 0, 0, 0, "arrival")
+    q.push(100, KIND_FLOW_START, 0, 0, 0, "start")
+    q.push(100, KIND_PORT_DONE, 0, 0, 0, "done")
+    order = [q.pop()[5] for _ in range(4)]
+    assert order == ["done", "arrival", "start", "timer"]
+
+
+def test_arrival_tiebreak_by_flow_then_ack_then_seq():
+    q = EventQueue()
+    q.push(1, KIND_ARRIVAL, 2, 0, 5, "f2d5")
+    q.push(1, KIND_ARRIVAL, 1, 1, 0, "f1a0")
+    q.push(1, KIND_ARRIVAL, 1, 0, 7, "f1d7")
+    q.push(1, KIND_ARRIVAL, 1, 0, 3, "f1d3")
+    order = [q.pop()[5] for _ in range(4)]
+    assert order == ["f1d3", "f1d7", "f1a0", "f2d5"]
+
+
+def test_counters_and_len():
+    q = EventQueue()
+    assert not q
+    q.push(1, 0, 0, 0, 0, None)
+    q.push(2, 0, 0, 0, 0, None)
+    assert len(q) == 2 and q.pushed == 2
+    assert q.peek_time() == 1
+    q.pop()
+    assert q.popped == 1
+    assert len(q) == 1

@@ -1,0 +1,88 @@
+"""Cache simulator: LRU sets, prefetcher, measurement semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import CacheConfig, CacheSim, measure_miss_rate
+
+
+def tiny_cache(**kw):
+    defaults = dict(size_bytes=4096, line_bytes=64, ways=2,
+                    prefetch_degree=0)
+    defaults.update(kw)
+    return CacheSim(CacheConfig(**defaults))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = tiny_cache()
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)      # same line
+        assert not c.access(64)  # next line
+
+    def test_lru_eviction_within_set(self):
+        c = tiny_cache()  # 32 sets, 2 ways; lines mapping to set 0: 0, 32, 64...
+        set_stride = 32 * 64
+        c.access(0)
+        c.access(set_stride)
+        c.access(2 * set_stride)  # evicts line 0
+        assert not c.access(0)
+
+    def test_lru_refresh_on_hit(self):
+        c = tiny_cache()
+        set_stride = 32 * 64
+        c.access(0)
+        c.access(set_stride)
+        c.access(0)                # refresh 0
+        c.access(2 * set_stride)   # evicts set_stride, not 0
+        assert c.access(0)
+        assert not c.access(set_stride)
+
+    def test_stats_counts(self):
+        c = tiny_cache()
+        for addr in (0, 0, 64, 0):
+            c.access(addr)
+        assert c.stats.accesses == 4
+        assert c.stats.misses == 2
+        assert c.stats.miss_rate == 0.5
+        assert c.stats.miss_rate_percent == 50.0
+
+    def test_invalid_geometry(self):
+        # 4096 B / 64 B = 64 lines, not divisible into 3 ways
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=4096, line_bytes=64, ways=3)
+
+
+class TestPrefetcher:
+    def test_sequential_stream_mostly_hits(self):
+        cfg = CacheConfig(size_bytes=64 * 1024, prefetch_degree=4)
+        addrs = list(range(0, 64 * 200, 8))  # ascending byte stream
+        stats = measure_miss_rate(addrs, cfg)
+        assert stats.miss_rate < 0.02
+        assert stats.prefetched_hits > 100
+
+    def test_random_stream_defeats_prefetch(self):
+        from repro.rng import make_rng
+        cfg = CacheConfig(size_bytes=64 * 1024, prefetch_degree=4)
+        rng = make_rng(1)
+        addrs = rng.integers(0, 1 << 28, size=4000) * 64
+        stats = measure_miss_rate(addrs, cfg)
+        assert stats.miss_rate > 0.9
+
+    def test_prefetch_disabled_sequential_misses_per_line(self):
+        cfg = CacheConfig(size_bytes=64 * 1024, prefetch_degree=0)
+        addrs = list(range(0, 64 * 200, 8))  # 8 accesses per line
+        stats = measure_miss_rate(addrs, cfg)
+        assert stats.miss_rate == pytest.approx(1 / 8, rel=0.1)
+
+
+class TestWarmup:
+    def test_warmup_discards_cold_misses(self):
+        cfg = CacheConfig(size_bytes=1 << 20, prefetch_degree=0)
+        working_set = [i * 64 for i in range(100)]
+        addrs = working_set * 50
+        cold = measure_miss_rate(addrs, cfg, warmup=0.0)
+        warm = measure_miss_rate(addrs, cfg, warmup=0.5)
+        assert warm.miss_rate < cold.miss_rate
+        assert warm.misses == 0  # resident after the first pass

@@ -1,0 +1,124 @@
+"""Cost and CPU models: formula behaviour and calibration anchors."""
+
+import pytest
+
+from repro.machine import (
+    MACBOOK_M1, XEON_SERVER, apa_time_s, cluster_time_s, dons_time_s,
+    dons_system_timeline, dons_utilization_percent, eq1_machine_time_s,
+    format_duration, multiprocess_time_s, omnet_cluster_time_s,
+    ood_utilization_percent, per_event_ns, sequential_time_s,
+)
+from repro.machine.cost import (
+    cost_cmr, dons_time_uniform, multiprocess_paper_scale_s,
+)
+
+
+class TestPerEvent:
+    def test_cmr_raises_cost(self):
+        assert per_event_ns(5.0) > per_event_ns(0.1)
+
+    def test_faster_core_cheaper(self):
+        assert per_event_ns(1.0, MACBOOK_M1) < per_event_ns(1.0, XEON_SERVER)
+
+    def test_cost_cmr_clamps(self):
+        assert cost_cmr(12.0) == 6.0
+        assert cost_cmr(3.0) == 3.0
+        assert cost_cmr(0.5, is_dod=True) == 0.15
+        assert cost_cmr(0.05, is_dod=True) == 0.05
+
+
+class TestSequentialAndParallel:
+    def test_sequential_linear_in_events(self):
+        assert sequential_time_s(2_000_000, 4.5) == pytest.approx(
+            2 * sequential_time_s(1_000_000, 4.5))
+
+    def test_multiprocess_dominated_by_slowest_lp(self):
+        balanced = multiprocess_time_s([500, 500], 4.5, 0, 0)
+        skewed = multiprocess_time_s([900, 100], 4.5, 0, 0)
+        assert skewed > balanced
+
+    def test_sync_overhead_additive(self):
+        base = multiprocess_time_s([1000], 4.5, 0, 0)
+        sync = multiprocess_time_s([1000], 4.5, 100, 1000)
+        assert sync > base
+
+    def test_paper_scale_bad_partition_slower_than_serial(self):
+        # Few events per window + per-window sync -> parallel loses.
+        events, windows = 10_000_000, 1_000_000
+        t1 = sequential_time_s(events, 4.5)
+        t2 = multiprocess_paper_scale_s(events, windows, 4.5, 2,
+                                        max_share=0.7, burstiness=1.5)
+        assert t2 > t1
+
+    def test_paper_scale_huge_windows_eventually_help(self):
+        events, windows = 100_000_000_000, 1_000_000
+        t1 = sequential_time_s(events, 4.5)
+        t32 = multiprocess_paper_scale_s(events, windows, 4.5, 32,
+                                         max_share=1 / 32, burstiness=1.2)
+        assert t32 < t1
+
+
+class TestDonsTime:
+    WB = [(i * 1000, 50, 100, 400, 450) for i in range(100)]
+
+    def test_more_cores_faster_until_bandwidth_cap(self):
+        t1 = dons_time_s(self.WB, 0.1, workers=1).total_s
+        t8 = dons_time_s(self.WB, 0.1, workers=8).total_s
+        t32 = dons_time_s(self.WB, 0.1, workers=32).total_s
+        assert t8 < t1
+        # beyond the DRAM stream cap extra cores stop helping
+        assert t32 == pytest.approx(
+            dons_time_s(self.WB, 0.1, workers=10).total_s)
+
+    def test_utilization_bounded(self):
+        util = dons_utilization_percent(self.WB, 0.1, XEON_SERVER, 32)
+        assert 0 < util <= 3200
+
+    def test_uniform_projection_consistent_with_breakdown(self):
+        events = sum(sum(w[1:5]) for w in self.WB)
+        shares = [sum(w[i] for w in self.WB) for i in range(1, 5)]
+        direct = dons_time_s(self.WB, 0.1, workers=8).total_s
+        uniform = dons_time_uniform(events, len(self.WB), shares, 0.1,
+                                    workers=8).total_s
+        assert uniform == pytest.approx(direct, rel=0.2)
+
+    def test_timeline_rows_per_window(self):
+        tl = dons_system_timeline(self.WB[:5], 0.1, XEON_SERVER, 8)
+        assert len(tl) == 5
+        assert all(set(r) == {"t_ps", "ack", "send", "forward", "transmit"}
+                   for r in tl)
+
+
+class TestClusterAndApa:
+    def test_eq1_additive_terms(self):
+        base = eq1_machine_time_s(10**9, 0)
+        comms = eq1_machine_time_s(10**9, 10**9)
+        assert comms > base
+
+    def test_cluster_max_over_machines(self):
+        fast = cluster_time_s([10**9] * 4, [0] * 4, windows=1000)
+        skew = cluster_time_s([4 * 10**9, 1, 1, 1], [0] * 4, windows=1000)
+        assert skew > fast
+
+    def test_omnet_slower_than_dons_cluster(self):
+        ev, eg = [10**10] * 8, [10**6] * 8
+        assert (omnet_cluster_time_s(ev, eg, 10**6)
+                > cluster_time_s(ev, eg, 10**6))
+
+    def test_apa_scales_with_gpus(self):
+        assert apa_time_s(10**9, 8) < apa_time_s(10**9, 4)
+        with pytest.raises(ValueError):
+            apa_time_s(10, 0)
+
+    def test_ood_utilization(self):
+        assert ood_utilization_percent(2, [100, 100]) == pytest.approx(200.0)
+        assert ood_utilization_percent(2, [200, 0]) == pytest.approx(100.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("seconds,expected", [
+        (45, "45s"), (125, "2m 5s"), (3 * 3600 + 90, "3h 1m"),
+        (2 * 86400 + 3 * 3600 + 60, "2d 3h 1m"),
+    ])
+    def test_format_duration(self, seconds, expected):
+        assert format_duration(seconds) == expected

@@ -1,0 +1,208 @@
+"""Partitioning: load estimator, time-cost, MBC, Algorithm 1, baselines."""
+
+import numpy as np
+import pytest
+
+from repro.des.partition_types import Partition
+from repro.errors import PartitionError
+from repro.partition import (
+    ClusterSpec, balanced_cut, balanced_cut_plan, cfp_partition,
+    completion_time, cut_weight, dons_partition, estimate_loads,
+    estimate_scenario_loads, machine_times, mbc_bisect, plan_scenario,
+    time_binned_loads,
+)
+from repro.routing import build_fib
+from repro.scenario import make_scenario
+from repro.topology import dumbbell, fattree, isp_wan
+from repro.traffic import Flow, full_mesh_dynamic, TINY
+from repro.units import GBPS, ms, us
+
+
+class TestLoadEstimator:
+    def test_single_flow_path_loads(self, small_dumbbell):
+        fib = build_fib(small_dumbbell)
+        flows = [Flow(0, 0, 4, 1000, 0)]
+        loads = estimate_loads(small_dumbbell, fib, flows)
+        # path: h0 -> swL -> swR -> h4
+        for node in (0, 8, 9, 4):
+            assert loads.node_load[node] == 1000
+        assert loads.node_load[1] == 0
+        # bottleneck link carries the flow
+        bottleneck = small_dumbbell.num_links - 1
+        assert loads.link_load[bottleneck] == 1000
+
+    def test_loads_accumulate(self, small_dumbbell):
+        fib = build_fib(small_dumbbell)
+        flows = [Flow(i, i, 4 + i, 1000, 0) for i in range(4)]
+        loads = estimate_loads(small_dumbbell, fib, flows)
+        bottleneck = small_dumbbell.num_links - 1
+        assert loads.link_load[bottleneck] == 4000
+        assert loads.node_load[8] == 4000
+
+    def test_correlates_with_measured_events(self, fattree4_scenario):
+        from repro.des import run_baseline
+        loads = estimate_scenario_loads(fattree4_scenario)
+        res = run_baseline(fattree4_scenario)
+        topo = fattree4_scenario.topology
+        measured = np.array(
+            [res.node_events.get(n, 0) for n in range(topo.num_nodes)],
+            dtype=float)
+        corr = np.corrcoef(measured, loads.node_load)[0, 1]
+        assert corr > 0.8, f"estimator diverges from reality: corr={corr:.2f}"
+
+    def test_time_binned_loads(self, small_dumbbell):
+        fib = build_fib(small_dumbbell)
+        flows = [Flow(0, 0, 4, 1000, 0), Flow(1, 1, 5, 1000, ms(3))]
+        bins = time_binned_loads(small_dumbbell, fib, flows, bin_ps=ms(1))
+        assert len(bins) == 4
+        assert bins[0].total() > 0
+        assert bins[1].total() == 0
+        assert bins[3].total() > 0
+
+
+class TestTimeCost:
+    def test_cluster_spec_validation(self):
+        with pytest.raises(PartitionError):
+            ClusterSpec([], [])
+        with pytest.raises(PartitionError):
+            ClusterSpec([1.0], [1.0, 2.0])
+        with pytest.raises(PartitionError):
+            ClusterSpec([0.0], [1.0])
+
+    def test_completion_is_max_of_machines(self, small_dumbbell):
+        fib = build_fib(small_dumbbell)
+        loads = estimate_loads(small_dumbbell, fib,
+                               [Flow(0, 0, 4, 10_000, 0)])
+        part = Partition(tuple([0] * 4 + [1] * 4 + [0, 1]), 2)
+        cluster = ClusterSpec.homogeneous(2)
+        times = machine_times(small_dumbbell, part, loads, cluster)
+        assert completion_time(small_dumbbell, part, loads, cluster) == max(times)
+
+    def test_faster_machine_lowers_time(self, small_dumbbell):
+        fib = build_fib(small_dumbbell)
+        loads = estimate_loads(small_dumbbell, fib,
+                               [Flow(0, 0, 4, 10_000, 0)])
+        part = Partition(tuple([0] * 4 + [1] * 4 + [0, 1]), 2)
+        slow = ClusterSpec([1e6, 1e6], [40e9, 40e9])
+        fast = ClusterSpec([1e9, 1e9], [40e9, 40e9])
+        assert (completion_time(small_dumbbell, part, loads, fast)
+                < completion_time(small_dumbbell, part, loads, slow))
+
+    def test_too_many_parts_rejected(self, small_dumbbell):
+        fib = build_fib(small_dumbbell)
+        loads = estimate_loads(small_dumbbell, fib, [Flow(0, 0, 4, 1, 0)])
+        part = Partition(tuple([i % 3 for i in range(10)]), 3)
+        with pytest.raises(PartitionError):
+            machine_times(small_dumbbell, part, loads,
+                          ClusterSpec.homogeneous(2))
+
+
+class TestMbc:
+    def test_bisects_both_sides_nonempty(self, fattree4):
+        n = fattree4.num_nodes
+        node_w = [1.0] * n
+        edge_w = [1.0] * fattree4.num_links
+        a, b = mbc_bisect(fattree4, range(n), node_w, edge_w)
+        assert a and b
+        assert a | b == set(range(n))
+        assert not (a & b)
+
+    def test_balance_respected(self, fattree4):
+        n = fattree4.num_nodes
+        node_w = [1.0] * n
+        edge_w = [1.0] * fattree4.num_links
+        a, b = mbc_bisect(fattree4, range(n), node_w, edge_w,
+                          balance_tol=0.15)
+        assert abs(len(a) - n / 2) <= 0.16 * n
+
+    def test_heavy_edges_avoided(self):
+        """Two cliques joined by one light link: the cut must take it."""
+        from repro.topology import Topology
+        topo = Topology("barbell")
+        left = [topo.add_switch() for _ in range(4)]
+        right = [topo.add_switch() for _ in range(4)]
+        heavy = []
+        for group in (left, right):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    heavy.append(topo.add_link(group[i], group[j]))
+        bridge = topo.add_link(left[0], right[0])
+        topo.freeze()
+        edge_w = [100.0] * topo.num_links
+        edge_w[bridge] = 0.1
+        a, b = mbc_bisect(topo, range(8), [1.0] * 8, edge_w)
+        assert cut_weight(topo, a, set(range(8)), edge_w) == pytest.approx(0.1)
+
+    def test_tiny_inputs_rejected(self, fattree4):
+        with pytest.raises(PartitionError):
+            mbc_bisect(fattree4, [0], [1.0], [1.0])
+
+
+class TestPartitioner:
+    def _setup(self, k_machines=4):
+        topo = fattree(4, rate_bps=10 * GBPS, delay_ps=us(1))
+        flows = full_mesh_dynamic(topo.hosts, ms(1), load=0.4,
+                                  host_rate_bps=10 * GBPS, sizes=TINY,
+                                  seed=3, max_flows=200)
+        sc = make_scenario(topo, flows)
+        loads = estimate_scenario_loads(sc)
+        return topo, sc, loads, ClusterSpec.homogeneous(k_machines)
+
+    def test_respects_machine_budget(self):
+        topo, _sc, loads, cluster = self._setup(4)
+        plan = dons_partition(topo, loads, cluster)
+        assert plan.partition.num_parts == 4
+        assert len(set(plan.partition.assignment)) <= 4
+
+    def test_beats_balanced_cut(self):
+        topo, _sc, loads, cluster = self._setup(8)
+        plan = dons_partition(topo, loads, cluster)
+        base = balanced_cut_plan(topo, 8, loads, cluster)
+        assert plan.estimated_time_s <= base.estimated_time_s
+
+    def test_single_machine_short_circuit(self):
+        topo, _sc, loads, _ = self._setup()
+        plan = dons_partition(topo, loads, ClusterSpec.homogeneous(1))
+        assert set(plan.partition.assignment) == {0}
+        assert plan.bisections == 0
+
+    def test_plan_scenario_entry_point(self):
+        _topo, sc, _loads, cluster = self._setup(4)
+        plan = plan_scenario(sc, cluster)
+        assert plan.estimated_time_s > 0
+        assert plan.planning_time_s >= 0
+
+    def test_heterogeneous_heaviest_to_fastest(self):
+        topo, _sc, loads, _ = self._setup()
+        cluster = ClusterSpec([4e9, 1e9], [40e9, 40e9])
+        plan = dons_partition(topo, loads, cluster)
+        load_per_machine = [0.0, 0.0]
+        for node, part in enumerate(plan.partition.assignment):
+            load_per_machine[part] += loads.node_load[node]
+        assert load_per_machine[0] >= load_per_machine[1]
+
+
+class TestBaselines:
+    def test_balanced_cut_even_counts(self, fattree4):
+        part = balanced_cut(fattree4, 4)
+        sizes = part.part_sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_cfp_prefers_cutting_long_delay_links(self):
+        from repro.topology import Topology
+        topo = Topology("two-islands")
+        a = [topo.add_switch() for _ in range(4)]
+        b = [topo.add_switch() for _ in range(4)]
+        for grp in (a, b):
+            for i in range(3):
+                topo.add_link(grp[i], grp[i + 1], delay_ps=us(1))
+        long_link = topo.add_link(a[3], b[0], delay_ps=us(1000))
+        topo.freeze()
+        part = cfp_partition(topo, 2)
+        assert part.is_cut(topo, long_link)
+
+    def test_baselines_deterministic(self, fattree4):
+        assert (balanced_cut(fattree4, 3).assignment
+                == balanced_cut(fattree4, 3).assignment)
+        assert (cfp_partition(fattree4, 3).assignment
+                == cfp_partition(fattree4, 3).assignment)

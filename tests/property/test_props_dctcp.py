@@ -1,0 +1,86 @@
+"""Property-based tests: DCTCP state-machine invariants under arbitrary
+(well-formed) ACK/timeout sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.dctcp import DctcpParams, DctcpState
+from repro.units import us
+
+
+@st.composite
+def ack_scripts(draw):
+    """A plausible interleaving of cumulative acks, dups and timeouts."""
+    total = draw(st.integers(min_value=1, max_value=60))
+    steps = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["ack", "dup", "timeout"]),
+            st.booleans(),                    # ece
+            st.integers(min_value=1, max_value=5),  # ack advance
+        ),
+        max_size=120,
+    ))
+    return total, steps
+
+
+@given(ack_scripts())
+@settings(max_examples=200, deadline=None)
+def test_invariants_hold_through_any_script(script):
+    total, steps = script
+    s = DctcpState(flow_id=0, total_segs=total, params=DctcpParams())
+    inflight = set(s.on_start(0))
+    sent = set(inflight)
+    now = us(1)
+
+    for kind, ece, advance in steps:
+        if s.done:
+            break
+        now += us(3)
+        if kind == "ack":
+            # a receiver can only ack data that was actually sent
+            target = min(s.snd_una + advance, total, s.next_seq)
+            if target <= s.snd_una:
+                continue
+            out = s.on_ack(target, int(ece), now - us(2), now)
+        elif kind == "dup":
+            out = s.on_ack(s.snd_una, int(ece), now - us(2), now)
+        else:
+            if s.rtx_deadline is None:
+                continue
+            out = s.on_timeout(s.rtx_deadline)
+            now = max(now, s.rtx_deadline)
+        sent.update(out)
+
+        # --- invariants --------------------------------------------------
+        assert 0 <= s.snd_una <= s.next_seq <= total
+        assert s.cwnd >= 1.0
+        assert 0.0 <= s.alpha <= 1.0
+        assert s.rto_ps >= s.params.min_rto_ps or s.srtt_ps == 0
+        assert 1 <= s.backoff <= 64
+        assert all(0 <= seq < total for seq in out)
+        # only previously-unsent or lost-and-unacked segments go out
+        for seq in out:
+            assert seq >= s.snd_una or seq in sent
+        if s.done:
+            assert s.snd_una == total
+            assert s.rtx_deadline is None
+
+    # progress is never negative and never exceeds the flow
+    assert s.next_seq <= total
+
+
+@given(st.integers(min_value=1, max_value=200))
+@settings(deadline=None)
+def test_clean_run_completes(total):
+    """Acking everything in order always completes the flow."""
+    s = DctcpState(flow_id=0, total_segs=total, params=DctcpParams())
+    outstanding = list(s.on_start(0))
+    now = 0
+    guard = 0
+    while not s.done:
+        guard += 1
+        assert guard < 10_000, "no progress"
+        now += us(5)
+        ack_to = s.snd_una + 1
+        outstanding.extend(s.on_ack(ack_to, 0, now - us(4), now))
+    assert s.snd_una == total
+    assert sorted(set(outstanding)) == list(range(total))

@@ -1,0 +1,106 @@
+"""Property-based tests: Wasserstein metrics and the cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.machine import CacheConfig, CacheSim
+from repro.metrics import load_vector_distance, wasserstein_1d
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+samples = st.lists(floats, min_size=1, max_size=80)
+
+
+class TestWassersteinProps:
+    @given(samples, samples)
+    def test_nonnegative_and_symmetric(self, a, b):
+        d = wasserstein_1d(a, b)
+        assert d >= 0
+        assert d == pytest.approx(wasserstein_1d(b, a), rel=1e-9, abs=1e-9)
+
+    @given(samples)
+    def test_identity(self, a):
+        assert wasserstein_1d(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @given(samples, floats)
+    def test_translation_equivariance(self, a, shift):
+        b = [x + shift for x in a]
+        assert wasserstein_1d(a, b) == pytest.approx(abs(shift),
+                                                     rel=1e-6, abs=1e-6)
+
+    @given(samples, samples, samples)
+    def test_triangle_inequality(self, a, b, c):
+        ab = wasserstein_1d(a, b)
+        bc = wasserstein_1d(b, c)
+        ac = wasserstein_1d(a, c)
+        assert ac <= ab + bc + 1e-6
+
+    @given(samples, samples)
+    @settings(deadline=None)
+    def test_matches_scipy(self, a, b):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        assert wasserstein_1d(a, b) == pytest.approx(
+            scipy_stats.wasserstein_distance(a, b), rel=1e-6, abs=1e-6)
+
+
+class TestLoadVectorProps:
+    loads = st.lists(st.floats(min_value=0, max_value=1e9,
+                               allow_nan=False), min_size=2, max_size=50)
+
+    @given(loads)
+    def test_self_distance_zero(self, v):
+        assume(sum(v) > 0)
+        assert load_vector_distance(v, v) == pytest.approx(0.0, abs=1e-12)
+
+    @given(loads, st.floats(min_value=0.1, max_value=100))
+    def test_scale_invariance(self, v, k):
+        assume(sum(v) > 0)
+        scaled = [k * x for x in v]
+        assert load_vector_distance(v, scaled) == pytest.approx(0.0, abs=1e-9)
+
+    @given(loads, loads)
+    def test_bounded_unit_interval(self, a, b):
+        assume(len(a) == len(b))
+        d = load_vector_distance(a, b)
+        assert 0.0 <= d <= 1.0 + 1e-9
+
+
+class TestCacheProps:
+    addr_lists = st.lists(st.integers(0, 1 << 22), min_size=1, max_size=400)
+
+    @given(addr_lists)
+    def test_misses_never_exceed_accesses(self, addrs):
+        sim = CacheSim(CacheConfig(size_bytes=16 * 1024, ways=4))
+        stats = sim.run(addrs)
+        assert 0 <= stats.misses <= stats.accesses == len(addrs)
+
+    @given(addr_lists)
+    def test_repeat_pass_is_no_worse(self, addrs):
+        """Replaying a (cache-fitting) stream twice cannot miss more the
+        second time if the working set fits."""
+        small = [a % (8 * 1024) for a in addrs]  # fits an 16K cache
+        sim = CacheSim(CacheConfig(size_bytes=16 * 1024, ways=4,
+                                   prefetch_degree=0))
+        first = sim.run(small).misses
+        sim.stats.misses = 0
+        sim.stats.accesses = 0
+        second = sim.run(small).misses
+        assert second <= first
+
+    @given(addr_lists)
+    def test_bigger_cache_never_hurts_without_prefetch(self, addrs):
+        """LRU is a stack algorithm: miss count is monotone in capacity
+        (with the prefetcher off and fixed associativity geometry)."""
+        small = CacheSim(CacheConfig(size_bytes=4 * 1024, ways=64,
+                                     prefetch_degree=0))
+        big = CacheSim(CacheConfig(size_bytes=64 * 1024, ways=1024,
+                                   prefetch_degree=0))
+        assert big.run(addrs).misses <= small.run(addrs).misses
+
+    @given(addr_lists)
+    def test_set_occupancy_bounded(self, addrs):
+        cfg = CacheConfig(size_bytes=16 * 1024, ways=4)
+        sim = CacheSim(cfg)
+        sim.run(addrs)
+        assert all(len(s) <= cfg.ways for s in sim._sets)

@@ -1,0 +1,81 @@
+"""Property-based tests: MBC bisection and partition invariants on
+random connected topologies."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.des.partition_types import Partition, random_partition
+from repro.partition import ClusterSpec, completion_time, mbc_bisect
+from repro.partition.loadest import LoadModel
+from repro.topology import Topology
+from repro.units import GBPS, us
+
+import numpy as np
+
+
+@st.composite
+def random_topologies(draw):
+    """Connected random switch graphs with a few hosts."""
+    n_switches = draw(st.integers(min_value=3, max_value=16))
+    topo = Topology("random")
+    switches = [topo.add_switch() for _ in range(n_switches)]
+    # spanning tree first (always connected)
+    for i in range(1, n_switches):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        topo.add_link(switches[i], switches[parent], 10 * GBPS, us(1))
+    # extra chords
+    extra = draw(st.integers(min_value=0, max_value=n_switches))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n_switches - 1))
+        b = draw(st.integers(min_value=0, max_value=n_switches - 1))
+        if a != b:
+            topo.add_link(switches[a], switches[b], 10 * GBPS, us(1))
+    for i in range(min(3, n_switches)):
+        h = topo.add_host()
+        topo.add_link(h, switches[i], 10 * GBPS, us(1))
+    return topo.freeze()
+
+
+@given(random_topologies(), st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_mbc_is_a_bisection(topo, weight_seed):
+    rng = np.random.default_rng(weight_seed)
+    nodes = list(range(topo.num_nodes))
+    node_w = rng.uniform(0.1, 10.0, size=topo.num_nodes)
+    edge_w = rng.uniform(0.0, 5.0, size=topo.num_links)
+    a, b = mbc_bisect(topo, nodes, node_w, edge_w, balance_tol=0.3)
+    assert a | b == set(nodes)
+    assert not (a & b)
+    assert a and b
+    # balance within tolerance (plus one node's weight of slack for the
+    # discrete seed growth)
+    total = node_w.sum()
+    wa = sum(node_w[n] for n in a)
+    assert total * 0.2 - node_w.max() <= wa <= total * 0.8 + node_w.max()
+
+
+@given(random_topologies(), st.integers(1, 6), st.integers(0, 99))
+@settings(max_examples=60, deadline=None)
+def test_random_partition_wellformed(topo, k, seed):
+    assume(k <= topo.num_nodes)
+    p = random_partition(topo, k, seed)
+    assert len(p.assignment) == topo.num_nodes
+    assert set(p.assignment) <= set(range(k))
+    assert sum(p.part_sizes()) == topo.num_nodes
+    # cut links are exactly those with endpoints in different parts
+    for link in topo.links:
+        expected = p.part_of(link.node_a) != p.part_of(link.node_b)
+        assert p.is_cut(topo, link.link_id) == expected
+
+
+@given(random_topologies(), st.integers(0, 99))
+@settings(max_examples=40, deadline=None)
+def test_completion_time_monotone_in_capacity(topo, seed):
+    rng = np.random.default_rng(seed)
+    loads = LoadModel(rng.uniform(0, 1e6, topo.num_nodes),
+                      rng.uniform(0, 1e6, topo.num_links))
+    k = min(2, topo.num_nodes)
+    part = random_partition(topo, k, seed)
+    slow = ClusterSpec.homogeneous(k, compute=1e6)
+    fast = ClusterSpec.homogeneous(k, compute=1e9)
+    assert (completion_time(topo, part, loads, fast)
+            <= completion_time(topo, part, loads, slow))

@@ -1,0 +1,72 @@
+"""AQM: ECN-threshold and RED marking semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.protocols.aqm import (
+    AqmConfig, AqmKind, ewma_update, red_mark_probability, should_mark,
+)
+from repro.protocols.packet import ack_row, data_row
+
+DATA = data_row(1, 0, 1000, 0, 0, 2)
+ACK = ack_row(1, 1, 0, 0, 2, 1)
+
+
+def test_ecn_threshold_marks_above_k():
+    cfg = AqmConfig(kind=AqmKind.ECN_THRESHOLD, ecn_threshold_bytes=10_000)
+    assert not should_mark(cfg, DATA, 9_999, 0, 0)
+    assert should_mark(cfg, DATA, 10_000, 0, 0)
+    assert should_mark(cfg, DATA, 50_000, 0, 0)
+
+
+def test_acks_never_marked():
+    cfg = AqmConfig(kind=AqmKind.ECN_THRESHOLD, ecn_threshold_bytes=1)
+    assert not should_mark(cfg, ACK, 10**9, 0, 0)
+
+
+def test_none_kind_never_marks():
+    cfg = AqmConfig(kind=AqmKind.NONE)
+    assert not should_mark(cfg, DATA, 10**9, 10**9, 0)
+
+
+class TestRed:
+    CFG = AqmConfig(kind=AqmKind.RED, red_min_bytes=1000,
+                    red_max_bytes=5000, red_max_p=0.5)
+
+    def test_probability_ramp(self):
+        assert red_mark_probability(999, self.CFG) == 0.0
+        assert red_mark_probability(3000, self.CFG) == pytest.approx(0.25)
+        assert red_mark_probability(5001, self.CFG) == 1.0
+
+    def test_marking_deterministic(self):
+        r1 = should_mark(self.CFG, DATA, 0, 3000, iface_id=7)
+        r2 = should_mark(self.CFG, DATA, 0, 3000, iface_id=7)
+        assert r1 == r2
+
+    def test_marking_rate_tracks_probability(self):
+        marked = sum(
+            should_mark(self.CFG, data_row(1, seq, 1000, 0, 0, 2),
+                        0, 3000, 7)
+            for seq in range(4000)
+        )
+        assert 0.18 < marked / 4000 < 0.32  # p = 0.25
+
+    def test_extremes(self):
+        assert should_mark(self.CFG, DATA, 0, 10**9, 7)
+        assert not should_mark(self.CFG, DATA, 0, 0, 7)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ConfigError):
+            AqmConfig(kind=AqmKind.RED, red_min_bytes=10, red_max_bytes=10)
+
+
+def test_ewma_integer_and_converging():
+    avg = 0
+    for _ in range(5000):
+        avg = ewma_update(avg, 10_000, shift=4)
+    assert isinstance(avg, int)
+    assert 9_980 <= avg <= 10_000
+    # decays toward zero too
+    for _ in range(5000):
+        avg = ewma_update(avg, 0, shift=4)
+    assert 0 <= avg <= 30

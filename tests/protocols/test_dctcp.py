@@ -1,0 +1,160 @@
+"""DCTCP sender state machine: windows, alpha, cuts, retransmission."""
+
+import pytest
+
+from repro.protocols.dctcp import DctcpParams, DctcpState
+from repro.units import ms, us
+
+
+def mk(total=100, **params):
+    return DctcpState(flow_id=0, total_segs=total,
+                      params=DctcpParams(**params))
+
+
+class TestStartAndWindow:
+    def test_initial_window(self):
+        s = mk(total=100)
+        segs = s.on_start(0)
+        assert segs == list(range(10))  # init_cwnd = 10
+        assert s.rtx_deadline is not None
+
+    def test_small_flow_start(self):
+        s = mk(total=3)
+        assert s.on_start(0) == [0, 1, 2]
+
+    def test_slow_start_doubles_per_rtt(self):
+        s = mk(total=10_000)
+        s.on_start(0)
+        sent = 10
+        t = us(10)
+        for ack in range(1, 11):
+            sent += len(s.on_ack(ack, 0, 0, t))
+        # 10 acks in slow start -> cwnd 20 -> 20 segments in flight
+        assert s.cwnd == pytest.approx(20.0)
+        assert sent == 30
+
+    def test_congestion_avoidance_after_ssthresh(self):
+        s = mk(total=10_000)
+        s.on_start(0)
+        s.ssthresh = 10.0  # at threshold: additive increase
+        before = s.cwnd
+        s.on_ack(1, 0, 0, us(10))
+        assert s.cwnd == pytest.approx(before + 1.0 / before)
+
+
+class TestEcnResponse:
+    def test_alpha_updates_once_per_window(self):
+        s = mk(total=10_000)
+        s.on_start(0)
+        s.alpha = 0.5
+        s.on_ack(1, 1, 0, us(10))  # marked ack closes the first window
+        # alpha moves toward the window's 100% mark fraction by gain g.
+        assert s.alpha == pytest.approx(0.5 * (1 - s.params.g) + s.params.g)
+
+    def test_alpha_converges_to_mark_fraction(self):
+        s = mk(total=10**6)
+        s.on_start(0)
+        ack = 1
+        t = us(10)
+        for _ in range(3000):
+            s.on_ack(ack, 1, t - us(5), t)  # everything marked
+            ack += 1
+            t += us(1)
+        assert s.alpha > 0.95
+
+    def test_cut_once_per_window(self):
+        s = mk(total=10_000)
+        s.on_start(0)
+        s.alpha = 1.0
+        cwnd0 = s.cwnd
+        s.on_ack(1, 1, 0, us(10))
+        cut1 = s.cwnd
+        assert cut1 == pytest.approx(max(1.0, cwnd0 / 2), rel=0.2)
+        # second marked ack in the same window: no further cut
+        s.on_ack(2, 1, 0, us(11))
+        assert s.cwnd >= cut1
+
+    def test_unmarked_acks_grow_window(self):
+        s = mk(total=10_000)
+        s.on_start(0)
+        before = s.cwnd
+        s.on_ack(1, 0, 0, us(10))
+        assert s.cwnd > before
+
+
+class TestLossRecovery:
+    def test_three_dupacks_fast_retransmit(self):
+        s = mk(total=1000)
+        s.on_start(0)
+        s.on_ack(1, 0, 0, us(10))
+        rtx = []
+        for _ in range(3):
+            rtx = s.on_ack(1, 0, 0, us(11))
+        assert rtx == [1], "fast retransmit of the lost segment"
+        assert s.dupacks == 3
+
+    def test_dupacks_do_not_advance_una(self):
+        s = mk(total=1000)
+        s.on_start(0)
+        s.on_ack(1, 0, 0, us(10))
+        s.on_ack(1, 0, 0, us(11))
+        assert s.snd_una == 1
+
+    def test_timeout_collapses_window(self):
+        s = mk(total=1000)
+        s.on_start(0)
+        deadline = s.rtx_deadline
+        rtx = s.on_timeout(deadline)
+        assert rtx == [0]
+        assert s.cwnd == 1.0
+        assert s.backoff == 2
+        assert s.rtx_deadline > deadline
+
+    def test_backoff_is_exponential_and_capped(self):
+        s = mk(total=1000)
+        s.on_start(0)
+        for _ in range(10):
+            s.on_timeout(s.rtx_deadline)
+        assert s.backoff == 64
+
+
+class TestCompletion:
+    def test_done_on_final_ack(self):
+        s = mk(total=5)
+        s.on_start(0)
+        for ack in range(1, 5):
+            s.on_ack(ack, 0, 0, us(ack))
+        assert not s.done
+        s.on_ack(5, 0, 0, us(5))
+        assert s.done
+        assert s.done_ps == us(5)
+        assert s.rtx_deadline is None
+
+    def test_acks_after_done_ignored(self):
+        s = mk(total=2)
+        s.on_start(0)
+        s.on_ack(2, 0, 0, us(1))
+        assert s.on_ack(2, 0, 0, us(2)) == []
+
+    def test_timeout_after_done_noop(self):
+        s = mk(total=2)
+        s.on_start(0)
+        s.on_ack(2, 0, 0, us(1))
+        assert s.on_timeout(us(99)) == []
+
+
+class TestRtt:
+    def test_rto_tracks_rtt(self):
+        s = mk(total=10_000, min_rto_ps=us(100))
+        s.on_start(0)
+        for ack in range(1, 50):
+            now = us(10 * ack)
+            s.on_ack(ack, 0, now - us(8), now)  # 8 us RTT samples
+        assert s.srtt_ps == pytest.approx(us(8), rel=0.05)
+        assert s.rto_ps >= us(100)  # clamped at min
+
+    def test_rto_clamped_at_max(self):
+        s = mk(total=100, max_rto_ps=ms(1))
+        s.on_start(0)
+        s.on_ack(1, 0, -ms(500), us(1))  # absurd sample
+        assert s.rto_ps == ms(1)

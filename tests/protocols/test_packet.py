@@ -1,0 +1,64 @@
+"""Packet rows, segmentation, the ordering-contract helpers."""
+
+import pytest
+
+from repro.protocols.packet import (
+    F_CE, F_SEQ, F_SIZE, HEADER_BYTES, MSS, Packet, ack_row, data_row,
+    order_key, packet_uid, segment_count, segment_payload, with_ce,
+)
+from repro.units import ACK_BYTES
+
+
+def test_data_row_wire_size_includes_headers():
+    row = data_row(5, 3, 1000, 42, 0, 9)
+    assert row[F_SIZE] == 1000 + HEADER_BYTES
+    assert row[F_SEQ] == 3
+
+
+def test_ack_row_fixed_size():
+    row = ack_row(5, 7, 1, 42, 9, 0)
+    assert row[F_SIZE] == ACK_BYTES
+
+
+def test_with_ce_only_touches_ce():
+    row = data_row(5, 3, 1000, 42, 0, 9)
+    marked = with_ce(row)
+    assert marked[F_CE] == 1
+    assert marked[:F_CE] == row[:F_CE]
+    assert marked[F_CE + 1:] == row[F_CE + 1:]
+
+
+def test_packet_object_round_trip():
+    row = data_row(5, 3, 1000, 42, 0, 9)
+    assert Packet.from_row(row).row() == row
+
+
+def test_order_key_components():
+    a = data_row(1, 5, 100, 0, 0, 9)
+    b = ack_row(1, 5, 0, 0, 9, 0)
+    assert order_key(a) < order_key(b)  # data before ack at same seq
+    c = data_row(0, 99, 100, 0, 0, 9)
+    assert order_key(c) < order_key(a)  # flow id dominates
+
+
+def test_packet_uid_unique_across_kinds():
+    d = data_row(7, 3, 100, 0, 0, 9)
+    a = ack_row(7, 3, 0, 0, 9, 0)
+    assert packet_uid(d) != packet_uid(a)
+    assert packet_uid(d) == packet_uid(d)
+
+
+@pytest.mark.parametrize("size,expected", [
+    (1, 1), (MSS, 1), (MSS + 1, 2), (10 * MSS, 10), (10 * MSS + 5, 11),
+])
+def test_segment_count(size, expected):
+    assert segment_count(size) == expected
+
+
+def test_segment_payloads_sum_to_size():
+    for size in (1, MSS - 1, MSS, MSS + 1, 5 * MSS + 123):
+        total = segment_count(size)
+        payloads = [segment_payload(size, s) for s in range(total)]
+        assert sum(payloads) == size
+        assert all(0 < p <= MSS for p in payloads)
+        assert all(p == MSS for p in payloads[:-1])

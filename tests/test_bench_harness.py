@@ -1,0 +1,70 @@
+"""Bench harness: table formatting and scenario/scaling helpers."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    EventRatios, dcn_scenario, emit, format_table, full_mesh_packets,
+    isp_scenario, measure_cmr, wan_scenario, windows_at_paper_scale,
+)
+from repro.metrics import SimResults
+from repro.metrics.results import EventCounts
+
+
+class TestTables:
+    def test_format_alignment(self):
+        out = format_table("T", ["a", "bbb"], [(1, 2), (333, 4)])
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1, "columns misaligned"
+
+    def test_note_appended(self):
+        out = format_table("T", ["x"], [(1,)], note="hello")
+        assert out.endswith("note: hello")
+
+    def test_empty_rows(self):
+        out = format_table("T", ["col"], [])
+        assert "col" in out
+
+    def test_emit_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        path = emit("unit_test_table", "CONTENT")
+        assert os.path.dirname(path) == str(tmp_path)
+        with open(path) as fh:
+            assert "CONTENT" in fh.read()
+        assert "CONTENT" in capsys.readouterr().out
+
+
+class TestScenarios:
+    def test_dcn_scenario_shape(self):
+        sc = dcn_scenario(4, duration_ms=0.2, max_flows=20)
+        assert sc.topology.num_hosts == 16
+        assert 0 < len(sc.flows) <= 20
+
+    def test_wan_scenarios(self):
+        assert wan_scenario("abilene", max_flows=10).topology.name == "Abilene"
+        assert wan_scenario("geant", max_flows=10).topology.name == "GEANT"
+
+    def test_isp_scenario_scales(self):
+        bench_topo, _ = isp_scenario("bench", max_flows=10)
+        assert 500 < bench_topo.num_nodes < 5000
+
+    def test_full_mesh_packets_arithmetic(self):
+        # 1024 hosts x 100G x 0.3 for 1 s / 12000-bit frames
+        packets = full_mesh_packets(1024)
+        assert 2.4e9 < packets < 2.7e9
+
+    def test_windows_at_paper_scale(self):
+        assert windows_at_paper_scale() == 1_000_000
+        assert windows_at_paper_scale(0.5) == 500_000
+
+    def test_event_ratios(self):
+        res = SimResults("e", "s", 0)
+        res.events = EventCounts(send=100, forward=400, transmit=500,
+                                 ack=200)
+        res.tx_bytes = 150_000
+        r = EventRatios.measure(res)
+        assert r.events_per_packet == pytest.approx(12.0)
+        assert r.bytes_per_packet == pytest.approx(1500.0)

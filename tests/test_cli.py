@@ -1,0 +1,80 @@
+"""CLI: spec parsing and command round trips."""
+
+import pytest
+
+from repro.cli import build_flows, build_topology, main, make_parser
+from repro.errors import ConfigError
+from repro.traffic import Transport
+
+
+class TestSpecs:
+    def test_topology_specs(self):
+        assert build_topology("fattree:4").num_hosts == 16
+        assert build_topology("dumbbell:3").num_hosts == 6
+        assert build_topology("abilene").name == "Abilene"
+        assert build_topology("geant").name == "GEANT"
+        assert build_topology("isp:5").num_nodes > 100
+
+    def test_unknown_topology(self):
+        with pytest.raises(ConfigError):
+            build_topology("torus:3")
+
+    def test_mesh_flows(self):
+        topo = build_topology("dumbbell:4")
+        flows = build_flows("mesh:load=0.5,max=20,seed=3", topo)
+        assert 0 < len(flows) <= 20
+
+    def test_fixed_flows_with_transport(self):
+        topo = build_topology("dumbbell:4")
+        flows = build_flows("fixed:n=5,size=9999,transport=reno", topo)
+        assert len(flows) == 5
+        assert all(f.transport == Transport.RENO for f in flows)
+        assert all(f.size_bytes == 9999 for f in flows)
+
+    def test_bad_flow_spec(self):
+        topo = build_topology("dumbbell:2")
+        with pytest.raises(ConfigError):
+            build_flows("storm:x", topo)
+        with pytest.raises(ConfigError):
+            build_flows("mesh:oops", topo)
+
+
+class TestCommands:
+    def test_run_dons(self, capsys):
+        rc = main(["run", "--topology", "dumbbell:2",
+                   "--flows", "fixed:n=2,size=30000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flows completed : 2/2" in out
+
+    def test_run_ood(self, capsys):
+        rc = main(["run", "--engine", "ood", "--topology", "dumbbell:2",
+                   "--flows", "fixed:n=2,size=30000"])
+        assert rc == 0
+
+    def test_compare_identical(self, capsys):
+        rc = main(["compare", "--topology", "fattree:4",
+                   "--flows", "fixed:n=4,size=20000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "identical       : True" in out
+
+    def test_plan(self, capsys):
+        rc = main(["plan", "--topology", "fattree:4",
+                   "--flows", "mesh:max=40,load=0.5", "--machines", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "machine 0" in out
+
+    def test_viz(self, tmp_path, capsys):
+        rc = main(["viz", "--topology", "dumbbell:2",
+                   "--flows", "fixed:n=2,size=30000",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "flows.svg").exists()
+        assert (tmp_path / "links.svg").exists()
+
+    def test_error_exit_code(self, capsys):
+        rc = main(["run", "--topology", "nope"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

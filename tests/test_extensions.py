@@ -1,0 +1,121 @@
+"""Library extensions: leaf-spine, queue sampling, CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.engine import DodEngine
+from repro.des.simulator import OodSimulator
+from repro.errors import TopologyError
+from repro.metrics import flows_csv, rtt_csv, window_breakdown_csv
+from repro.routing import build_fib
+from repro.scenario import make_scenario
+from repro.topology import leaf_spine
+from repro.traffic import Flow
+from repro.units import GBPS
+
+
+class TestLeafSpine:
+    def test_shape(self):
+        topo = leaf_spine(4, 2, hosts_per_leaf=8)
+        assert topo.num_hosts == 32
+        assert len(topo.switches) == 6
+        # links: 32 access + 4*2 fabric
+        assert topo.num_links == 40
+
+    def test_every_leaf_reaches_every_spine(self):
+        topo = leaf_spine(3, 2, hosts_per_leaf=1)
+        fib = build_fib(topo)
+        hosts = topo.hosts
+        path = fib.path(hosts[0], hosts[-1], flow_id=1)
+        # host-leaf-spine-leaf-host
+        assert len(path) == 5
+
+    def test_ecmp_over_spines(self):
+        topo = leaf_spine(2, 4, hosts_per_leaf=1)
+        fib = build_fib(topo)
+        hosts = topo.hosts
+        spines = set()
+        for fid in range(32):
+            spines.add(fib.path(hosts[0], hosts[1], fid)[2])
+        assert len(spines) >= 2
+
+    def test_engines_agree_on_leaf_spine(self):
+        from repro.core.engine import run_dons
+        from repro.des import run_baseline
+        from repro.metrics import TraceLevel
+        topo = leaf_spine(2, 2, hosts_per_leaf=4,
+                          host_rate_bps=10 * GBPS,
+                          fabric_rate_bps=10 * GBPS)
+        hosts = topo.hosts
+        flows = [Flow(i, hosts[i], hosts[7 - i], 60_000, 0)
+                 for i in range(4)]
+        sc = make_scenario(topo, flows)
+        a = run_baseline(sc, TraceLevel.FULL)
+        b = run_dons(sc, TraceLevel.FULL)
+        assert a.trace.digest() == b.trace.digest()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            leaf_spine(0, 2, 2)
+
+
+class TestQueueSampling:
+    def test_samples_identical_across_engines(self, dumbbell_scenario):
+        a = OodSimulator(dumbbell_scenario, sample_queues=True)
+        a.run()
+        b = DodEngine(dumbbell_scenario, sample_queues=True)
+        b.run()
+        for pa, pb in zip(a.ports, b.ports):
+            assert pa.stats.queue_samples == pb.stats.queue_samples
+
+    def test_samples_track_occupancy(self, dumbbell_scenario):
+        sim = OodSimulator(dumbbell_scenario, sample_queues=True)
+        sim.run()
+        bottleneck = [p for p in sim.ports
+                      if p.stats.max_queue_bytes > 0]
+        assert bottleneck, "nothing queued anywhere?"
+        port = max(bottleneck, key=lambda p: p.stats.max_queue_bytes)
+        times = [t for t, _q in port.stats.queue_samples]
+        assert times == sorted(times)
+        assert max(q for _t, q in port.stats.queue_samples) \
+            == port.stats.max_queue_bytes
+
+    def test_disabled_by_default(self, dumbbell_scenario):
+        sim = OodSimulator(dumbbell_scenario)
+        sim.run()
+        assert all(not p.stats.queue_samples for p in sim.ports)
+
+
+class TestCsvExport:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.core.engine import run_dons
+        from repro.scenario import make_scenario
+        from repro.topology import dumbbell
+        topo = dumbbell(2, edge_rate_bps=10 * GBPS)
+        flows = [Flow(0, 0, 2, 40_000, 0), Flow(1, 1, 3, 40_000, 0)]
+        return run_dons(make_scenario(topo, flows))
+
+    def test_flows_csv(self, results):
+        rows = list(csv.DictReader(io.StringIO(flows_csv(results))))
+        assert len(rows) == 2
+        assert rows[0]["flow_id"] == "0"
+        assert float(rows[0]["fct_us"]) > 0
+
+    def test_rtt_csv(self, results):
+        rows = list(csv.DictReader(io.StringIO(rtt_csv(results))))
+        assert len(rows) == len(results.rtt_samples)
+        assert all(float(r["rtt_us"]) > 0 for r in rows)
+
+    def test_window_breakdown_csv(self, results):
+        rows = list(csv.DictReader(io.StringIO(window_breakdown_csv(results))))
+        assert len(rows) == len(results.window_breakdown)
+        assert {"t_us", "ack", "send", "forward", "transmit"} \
+            == set(rows[0].keys())
+
+    def test_writes_to_stream(self, results):
+        buf = io.StringIO()
+        assert flows_csv(results, out=buf) == ""
+        assert "flow_id" in buf.getvalue()

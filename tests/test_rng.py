@@ -1,0 +1,40 @@
+"""Deterministic RNG utilities and the ECMP hash."""
+
+from repro.rng import ecmp_hash, make_rng, substream
+
+
+def test_make_rng_reproducible():
+    a = make_rng(7).integers(0, 1 << 30, size=16)
+    b = make_rng(7).integers(0, 1 << 30, size=16)
+    assert (a == b).all()
+
+
+def test_substreams_independent():
+    a = substream(7, 1).integers(0, 1 << 30, size=16)
+    b = substream(7, 2).integers(0, 1 << 30, size=16)
+    assert (a != b).any()
+
+
+def test_ecmp_hash_deterministic():
+    assert ecmp_hash(1, 2, 3) == ecmp_hash(1, 2, 3)
+
+
+def test_ecmp_hash_sensitive_to_every_argument():
+    base = ecmp_hash(1, 2, 3)
+    assert ecmp_hash(2, 2, 3) != base
+    assert ecmp_hash(1, 3, 3) != base
+    assert ecmp_hash(1, 2, 4) != base
+
+
+def test_ecmp_hash_spreads_uniformly():
+    counts = [0] * 4
+    for flow in range(4000):
+        counts[ecmp_hash(flow, 99, 5) % 4] += 1
+    # each bucket within 15% of the mean
+    assert all(abs(c - 1000) < 150 for c in counts), counts
+
+
+def test_ecmp_hash_nonnegative_64bit():
+    for v in (0, 1, 2**63, 2**64 - 1):
+        h = ecmp_hash(v)
+        assert 0 <= h < 2**64

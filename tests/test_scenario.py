@@ -1,0 +1,66 @@
+"""Scenario construction and validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.protocols import AqmConfig, AqmKind
+from repro.scenario import HOST_BUFFER_BYTES, make_scenario
+from repro.schedulers import SchedulerKind
+from repro.topology import Topology, dumbbell
+from repro.traffic import Flow
+from repro.units import GBPS, us
+
+
+def test_defaults(small_dumbbell):
+    sc = make_scenario(small_dumbbell, [Flow(0, 0, 4, 1000, 0)])
+    assert sc.switch_egress.aqm.kind == AqmKind.ECN_THRESHOLD
+    assert sc.host_egress.buffer_bytes == HOST_BUFFER_BYTES
+    assert sc.host_egress.aqm.kind == AqmKind.NONE
+    assert sc.lookahead_ps == small_dumbbell.min_link_delay_ps()
+    assert sc.fib.entry_count() > 0
+
+
+def test_flows_validated_against_hosts(small_dumbbell):
+    with pytest.raises(ConfigError):
+        make_scenario(small_dumbbell, [Flow(0, 0, 8, 1000, 0)])  # 8 = switch
+
+
+def test_empty_flows_rejected(small_dumbbell):
+    with pytest.raises(ConfigError):
+        make_scenario(small_dumbbell, [])
+
+
+def test_unfrozen_topology_rejected():
+    topo = Topology("raw")
+    h0, h1 = topo.add_host(), topo.add_host()
+    s = topo.add_switch()
+    topo.add_link(h0, s)
+    topo.add_link(h1, s)
+    from repro.scenario import Scenario
+    with pytest.raises(ConfigError):
+        make_scenario(topo, [Flow(0, h0, h1, 1, 0)])
+
+
+def test_scheduler_and_classes_plumbed(small_dumbbell):
+    sc = make_scenario(
+        small_dumbbell,
+        [Flow(0, 0, 4, 1000, 0, priority=2), Flow(1, 1, 5, 1000, 0)],
+        scheduler=SchedulerKind.SP, num_classes=3,
+    )
+    assert sc.switch_egress.scheduler == SchedulerKind.SP
+    assert sc.switch_egress.num_classes == 3
+    assert sc.classifier_table() == [2, 0]
+    assert sc.flow_priority(0) == 2
+
+
+def test_shared_fib_reused(small_dumbbell):
+    from repro.routing import build_fib
+    fib = build_fib(small_dumbbell)
+    sc = make_scenario(small_dumbbell, [Flow(0, 0, 4, 1000, 0)], fib=fib)
+    assert sc.fib is fib
+
+
+def test_custom_aqm(small_dumbbell):
+    aqm = AqmConfig(kind=AqmKind.RED)
+    sc = make_scenario(small_dumbbell, [Flow(0, 0, 4, 1000, 0)], aqm=aqm)
+    assert sc.switch_egress.aqm.kind == AqmKind.RED

@@ -1,0 +1,78 @@
+"""Scenario serialization: JSON round trips preserve behaviour exactly."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.engine import run_dons
+from repro.errors import ConfigError
+from repro.metrics import TraceLevel
+from repro.protocols import AqmConfig, AqmKind
+from repro.scenario import make_scenario
+from repro.scenario_io import FORMAT, scenario_from_json, scenario_to_json
+from repro.schedulers import SchedulerKind
+from repro.topology import fattree
+from repro.traffic import Flow, Transport
+from repro.units import GBPS, us
+
+
+@pytest.fixture
+def rich_scenario():
+    topo = fattree(4, rate_bps=10 * GBPS, delay_ps=us(2))
+    hosts = topo.hosts
+    flows = [
+        Flow(0, hosts[0], hosts[9], 44_000, 0, Transport.DCTCP, 1),
+        Flow(1, hosts[3], hosts[12], 20_000, us(5), Transport.UDP),
+        Flow(2, hosts[5], hosts[0], 60_000, us(2), Transport.RENO, 2),
+    ]
+    return make_scenario(topo, flows, scheduler=SchedulerKind.DRR,
+                         num_classes=3, buffer_bytes=77_000,
+                         aqm=AqmConfig(kind=AqmKind.RED),
+                         duration_ps=us(800), ecmp_mode="packet")
+
+
+def test_round_trip_structural(rich_scenario):
+    loaded = scenario_from_json(scenario_to_json(rich_scenario))
+    assert loaded.name == rich_scenario.name
+    assert loaded.topology.num_nodes == rich_scenario.topology.num_nodes
+    assert loaded.topology.num_links == rich_scenario.topology.num_links
+    assert loaded.flows == rich_scenario.flows
+    assert loaded.switch_egress == rich_scenario.switch_egress
+    assert loaded.host_egress == rich_scenario.host_egress
+    assert loaded.dctcp == rich_scenario.dctcp
+    assert loaded.reno == rich_scenario.reno
+    assert loaded.duration_ps == rich_scenario.duration_ps
+    assert loaded.ecmp_mode == "packet"
+
+
+def test_round_trip_preserves_simulation_exactly(rich_scenario):
+    """The real bar: a reloaded scenario produces the identical trace."""
+    original = run_dons(rich_scenario, TraceLevel.FULL)
+    loaded = scenario_from_json(scenario_to_json(rich_scenario))
+    replay = run_dons(loaded, TraceLevel.FULL)
+    assert replay.trace.digest() == original.trace.digest()
+    assert replay.fcts_ps() == original.fcts_ps()
+
+
+def test_stream_io(rich_scenario, tmp_path):
+    path = tmp_path / "scenario.json"
+    with open(path, "w") as fh:
+        scenario_to_json(rich_scenario, out=fh)
+    with open(path) as fh:
+        loaded = scenario_from_json(fh)
+    assert loaded.flows == rich_scenario.flows
+
+
+def test_format_guard(rich_scenario):
+    doc = json.loads(scenario_to_json(rich_scenario))
+    doc["format"] = "something-else"
+    with pytest.raises(ConfigError):
+        scenario_from_json(json.dumps(doc))
+
+
+def test_document_is_plain_json(rich_scenario):
+    doc = json.loads(scenario_to_json(rich_scenario))
+    assert doc["format"] == FORMAT
+    assert {"topology", "flows", "switch_egress", "host_egress"} <= set(doc)
+    assert doc["flows"][2]["transport"] == "reno"

@@ -1,0 +1,47 @@
+"""Units: exact time arithmetic both engines rely on."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions_are_integers():
+    assert units.ns(1) == 1_000
+    assert units.us(1) == 1_000_000
+    assert units.ms(1) == 1_000_000_000
+    assert units.seconds(1) == units.PS_PER_S
+    assert isinstance(units.us(1.5), int)
+    assert units.us(1.5) == 1_500_000
+
+
+def test_round_trip_reporting():
+    assert units.ps_to_s(units.seconds(3)) == 3.0
+    assert units.ps_to_us(units.us(7)) == 7.0
+
+
+@pytest.mark.parametrize("rate,bits_ps", [
+    (100 * units.GBPS, 10),
+    (40 * units.GBPS, 25),
+    (10 * units.GBPS, 100),
+    (1 * units.GBPS, 1_000),
+])
+def test_serialization_exact_for_evaluation_rates(rate, bits_ps):
+    # one byte = 8 bit-times, exactly
+    assert units.serialization_time_ps(1, rate) == 8 * bits_ps
+    # a full MTU frame
+    assert units.serialization_time_ps(1500, rate) == 1500 * 8 * bits_ps
+
+
+def test_serialization_monotone_in_size():
+    prev = 0
+    for size in range(1, 100):
+        t = units.serialization_time_ps(size, 10 * units.GBPS)
+        assert t > prev
+        prev = t
+
+
+def test_serialization_additive():
+    r = 10 * units.GBPS
+    assert (units.serialization_time_ps(700, r)
+            + units.serialization_time_ps(800, r)
+            == units.serialization_time_ps(1500, r))

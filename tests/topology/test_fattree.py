@@ -1,0 +1,67 @@
+"""FatTree generator: structure and closed-form counts."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import fattree, fattree_counts
+from repro.units import GBPS, us
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_element_counts_match_closed_form(k):
+    topo = fattree(k)
+    counts = fattree_counts(k)
+    assert topo.num_hosts == counts["hosts"] == k ** 3 // 4
+    assert len(topo.switches) == counts["switches"] == 5 * k ** 2 // 4
+    assert topo.num_links == counts["links"] == 3 * k ** 3 // 4
+    assert topo.num_interfaces == counts["interfaces"]
+
+
+def test_port_radix_is_k():
+    k = 4
+    topo = fattree(k)
+    for sw in topo.switches:
+        assert topo.ports_of(sw) == k
+    for h in topo.hosts:
+        assert topo.ports_of(h) == 1
+
+
+def test_uniform_rate_and_delay():
+    topo = fattree(4, rate_bps=25 * GBPS, delay_ps=us(2))
+    assert all(l.rate_bps == 25 * GBPS for l in topo.links)
+    assert topo.min_link_delay_ps() == us(2)
+
+
+def test_rejects_bad_arity():
+    for k in (0, 1, 3, -2):
+        with pytest.raises(TopologyError):
+            fattree(k)
+        with pytest.raises(TopologyError):
+            fattree_counts(k)
+
+
+def test_full_bisection_paths_exist():
+    """Every host pair must be connected (BFS reachability)."""
+    from repro.routing import build_fib
+    topo = fattree(4)
+    fib = build_fib(topo)
+    hosts = topo.hosts
+    path = fib.path(hosts[0], hosts[-1], flow_id=1)
+    # cross-pod path: host-edge-agg-core-agg-edge-host = 7 nodes
+    assert len(path) == 7
+    # same-edge-switch path: 3 nodes
+    path = fib.path(hosts[0], hosts[1], flow_id=1)
+    assert len(path) == 3
+
+
+def test_ecmp_uses_multiple_core_paths():
+    from repro.routing import build_fib
+    topo = fattree(4)
+    fib = build_fib(topo)
+    hosts = topo.hosts
+    cores = set()
+    # Different flows between far hosts should spread over cores.
+    for flow_id in range(32):
+        path = fib.path(hosts[0], hosts[-1], flow_id)
+        cores.add(path[3])
+    assert len(cores) >= 2, "ECMP never spread across core switches"

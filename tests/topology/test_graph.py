@@ -1,0 +1,118 @@
+"""Topology core model: nodes, links, interfaces, freeze semantics."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import NodeKind, Topology
+from repro.units import GBPS, us
+
+
+def build_triangle():
+    topo = Topology("tri")
+    h0 = topo.add_host("h0")
+    h1 = topo.add_host("h1")
+    s0 = topo.add_switch("s0")
+    s1 = topo.add_switch("s1")
+    topo.add_link(h0, s0, 10 * GBPS, us(1))
+    topo.add_link(h1, s1, 10 * GBPS, us(2))
+    topo.add_link(s0, s1, 40 * GBPS, us(3))
+    return topo, (h0, h1, s0, s1)
+
+
+def test_basic_construction():
+    topo, (h0, h1, s0, s1) = build_triangle()
+    topo.freeze()
+    assert topo.num_nodes == 4
+    assert topo.num_links == 3
+    assert topo.num_hosts == 2
+    assert topo.hosts == [h0, h1]
+    assert topo.switches == [s0, s1]
+    assert topo.nodes[h0].is_host
+    assert not topo.nodes[s0].is_host
+
+
+def test_interfaces_pair_up():
+    topo, (h0, h1, s0, s1) = build_triangle()
+    topo.freeze()
+    assert topo.num_interfaces == 6
+    for iface in topo.interfaces:
+        peer = topo.interfaces[iface.peer_iface]
+        assert peer.peer_iface == iface.iface_id
+        assert peer.node == iface.peer_node
+        assert peer.rate_bps == iface.rate_bps
+        assert peer.delay_ps == iface.delay_ps
+
+
+def test_iface_lookup_and_host_iface():
+    topo, (h0, h1, s0, s1) = build_triangle()
+    topo.freeze()
+    nic = topo.host_iface(h0)
+    assert nic.node == h0 and nic.port == 0
+    assert nic.peer_node == s0
+    with pytest.raises(TopologyError):
+        topo.host_iface(s0)
+    with pytest.raises(TopologyError):
+        topo.iface(h0, 5)
+
+
+def test_min_link_delay_is_lookahead():
+    topo, _ = build_triangle()
+    topo.freeze()
+    assert topo.min_link_delay_ps() == us(1)
+
+
+def test_freeze_required_invariants():
+    topo = Topology("bad")
+    h = topo.add_host("h")
+    with pytest.raises(TopologyError):
+        topo.freeze()  # host with no link
+    s = topo.add_switch("s")
+    topo.add_link(h, s)
+    topo.freeze()
+    with pytest.raises(TopologyError):
+        topo.add_host("late")
+    with pytest.raises(TopologyError):
+        topo.add_link(h, s)
+
+
+def test_host_must_have_exactly_one_link():
+    topo = Topology("multi-homed")
+    h = topo.add_host()
+    s0 = topo.add_switch()
+    s1 = topo.add_switch()
+    topo.add_link(h, s0)
+    topo.add_link(h, s1)
+    with pytest.raises(TopologyError):
+        topo.freeze()
+
+
+def test_reject_bad_links():
+    topo = Topology("bad-links")
+    a = topo.add_switch()
+    with pytest.raises(TopologyError):
+        topo.add_link(a, a)
+    with pytest.raises(TopologyError):
+        topo.add_link(a, 99)
+    b = topo.add_switch()
+    with pytest.raises(TopologyError):
+        topo.add_link(a, b, rate_bps=0)
+    with pytest.raises(TopologyError):
+        topo.add_link(a, b, delay_ps=0)
+
+
+def test_neighbors_and_ports():
+    topo, (h0, h1, s0, s1) = build_triangle()
+    topo.freeze()
+    neigh = {n for n, _l in topo.neighbors(s0)}
+    assert neigh == {h0, s1}
+    assert topo.ports_of(s0) == 2
+    assert topo.ports_of(h0) == 1
+
+
+def test_link_other_endpoint():
+    topo, (h0, h1, s0, s1) = build_triangle()
+    link = topo.links[0]
+    assert link.other(h0) == s0
+    assert link.other(s0) == h0
+    with pytest.raises(TopologyError):
+        link.other(h1)

@@ -1,0 +1,70 @@
+"""WAN topologies: Abilene, GEANT, the synthetic ISP generator."""
+
+import pytest
+
+from repro.routing import build_fib
+from repro.topology import abilene, geant, isp_wan
+
+
+def test_abilene_shape():
+    topo = abilene()
+    # 12 routers / 15 backbone links, one server per router (paper).
+    assert len(topo.switches) == 12
+    assert topo.num_hosts == 12
+    assert topo.num_links == 15 + 12
+
+
+def test_geant_shape():
+    topo = geant()
+    assert len(topo.switches) == 23
+    assert topo.num_hosts == 23
+    assert topo.num_links == 36 + 23
+
+
+@pytest.mark.parametrize("make", [abilene, geant])
+def test_wan_fully_routable(make):
+    topo = make()
+    fib = build_fib(topo)
+    hosts = topo.hosts
+    for dst in hosts[1:4]:
+        path = fib.path(hosts[0], dst, flow_id=5)
+        assert path[0] == hosts[0] and path[-1] == dst
+
+
+def test_isp_wan_deterministic():
+    a = isp_wan(seed=3)
+    b = isp_wan(seed=3)
+    assert a.num_nodes == b.num_nodes
+    assert a.num_links == b.num_links
+    assert [l.delay_ps for l in a.links] == [l.delay_ps for l in b.links]
+
+
+def test_isp_wan_seed_changes_topology():
+    a = isp_wan(seed=3)
+    b = isp_wan(seed=4)
+    assert (a.num_links != b.num_links
+            or [l.node_a for l in a.links] != [l.node_a for l in b.links])
+
+
+def test_isp_wan_scales_with_parameters():
+    small = isp_wan(backbone_routers=10, provinces=2, provincial_routers=5,
+                    metros_per_province=2, metro_routers=3, seed=1)
+    big = isp_wan(backbone_routers=40, provinces=8, provincial_routers=20,
+                  metros_per_province=4, metro_routers=6, seed=1)
+    assert big.num_nodes > 4 * small.num_nodes
+
+
+def test_isp_wan_irregular_degrees():
+    topo = isp_wan(seed=5)
+    degrees = sorted(topo.ports_of(s) for s in topo.switches)
+    # heavy-tailed: max degree well above the median
+    assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+
+def test_isp_wan_routable():
+    topo = isp_wan(seed=5)
+    hosts = topo.hosts
+    fib = build_fib(topo, dests=hosts[:3])
+    for dst in hosts[1:3]:
+        path = fib.path(hosts[0], dst, flow_id=2)
+        assert path[-1] == dst

@@ -1,0 +1,91 @@
+"""NetVision-lite rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.engine import run_dons
+from repro.partition.loadest import estimate_scenario_loads
+from repro.viz import (
+    ascii_heatmap, flow_gantt_svg, link_utilization_svg, sparkline,
+    window_breakdown_heatmap,
+)
+
+
+@pytest.fixture(scope="module")
+def run(request):
+    from repro.scenario import make_scenario
+    from repro.topology import dumbbell
+    from repro.traffic import Flow
+    from repro.units import GBPS
+    topo = dumbbell(4, edge_rate_bps=10 * GBPS,
+                    bottleneck_rate_bps=10 * GBPS)
+    flows = [Flow(i, i, 4 + i, 150_000, 0) for i in range(4)]
+    sc = make_scenario(topo, flows)
+    return sc, run_dons(sc)
+
+
+class TestSvg:
+    def test_gantt_is_valid_svg_with_all_flows(self, run):
+        scenario, results = run
+        svg = flow_gantt_svg(results, scenario)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        assert len(rects) == 4
+        texts = "".join(e.text or "" for e in root.iter())
+        assert "f0" in texts and "f3" in texts
+
+    def test_gantt_marks_unfinished_flows(self, run):
+        scenario, results = run
+        import copy
+        partial = copy.deepcopy(results)
+        partial.flows[0].complete_ps = None
+        svg = flow_gantt_svg(partial, scenario)
+        assert "stroke-dasharray" in svg
+
+    def test_link_utilization_svg(self, run):
+        scenario, results = run
+        loads = estimate_scenario_loads(scenario)
+        svg = link_utilization_svg(loads, scenario, results.end_time_ps)
+        root = ET.fromstring(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        assert rects, "no utilization bars"
+
+    def test_gantt_escapes_names(self, run):
+        scenario, results = run
+        import dataclasses
+        weird = dataclasses.replace(scenario)
+        object.__setattr__(results, "scenario_name", "<&evil>")
+        svg = flow_gantt_svg(results, weird)
+        ET.fromstring(svg)  # must stay well-formed
+
+
+class TestAscii:
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5], width=6)
+        assert len(line) == 6
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_downsamples(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_heatmap_labels(self):
+        out = ascii_heatmap({"aa": [1, 2], "bbbb": [2, 1]}, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("aa")
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_window_breakdown_heatmap(self, run):
+        _sc, results = run
+        out = window_breakdown_heatmap(results)
+        assert "transmit" in out and "ack" in out
+
+    def test_window_breakdown_empty(self):
+        from repro.metrics import SimResults
+        assert "no windows" in window_breakdown_heatmap(SimResults("e", "s", 0))
