@@ -22,7 +22,9 @@ from __future__ import annotations
 import pytest
 
 from conftest import once
-from repro.bench import emit, format_table, measure_cmr, scaled_l3_config
+from repro.bench import (
+    emit, format_table, measure_cmr, run_dons_probed, scaled_l3_config,
+)
 from repro.bench.scenarios import dcn_scenario
 from repro.core.engine import DodEngine
 from repro.des import run_baseline
@@ -105,7 +107,7 @@ def test_ablation_prefetcher(benchmark):
     def experiment():
         dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
                              topo.num_hosts, len(scenario.flows))
-        DodEngine(scenario, op_hook=dod).run()
+        run_dons_probed(scenario, dod)
         base_cfg = scaled_l3_config()
         with_pf = CacheSim(base_cfg).run(dod.addresses, warmup=0.5)
         no_pf_cfg = CacheConfig(size_bytes=base_cfg.size_bytes,

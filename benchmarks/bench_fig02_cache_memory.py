@@ -17,8 +17,7 @@ import pytest
 
 from conftest import once
 from repro.bench import emit, format_table
-from repro.bench.scenarios import dcn_scenario
-from repro.core.engine import DodEngine
+from repro.bench.scenarios import dcn_scenario, run_dons_probed
 from repro.des.simulator import OodSimulator
 from repro.machine import (
     CacheConfig, DodAccessModel, OodAccessModel, StructuralCounts,
@@ -36,7 +35,7 @@ def _miss_rates(k: int):
     OodSimulator(scenario, op_hook=ood).run()
     dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
                          topo.num_hosts, len(scenario.flows))
-    DodEngine(scenario, op_hook=dod).run()
+    run_dons_probed(scenario, dod)
     from repro.bench import measure_cmr
     return measure_cmr(ood), measure_cmr(dod)
 

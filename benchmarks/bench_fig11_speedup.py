@@ -26,8 +26,7 @@ from repro.bench import (
     EventRatios, emit, fattree_full_events, format_table, measure_cmr,
     windows_at_paper_scale,
 )
-from repro.bench.scenarios import dcn_scenario, wan_scenario
-from repro.core.engine import DodEngine
+from repro.bench.scenarios import dcn_scenario, run_dons_probed, wan_scenario
 from repro.des import ParallelOodSimulator, contiguous_partition
 from repro.des.simulator import OodSimulator
 from repro.machine import (
@@ -49,7 +48,7 @@ def _measure(scenario, scaled_duration_ms, lp_counts):
 
     dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
                          topo.num_hosts, len(scenario.flows))
-    dons = DodEngine(scenario, op_hook=dod).run()
+    dons = run_dons_probed(scenario, dod)
     cmr_dod = cost_cmr(measure_cmr(dod), is_dod=True)
 
     wb = dons.window_breakdown

@@ -13,8 +13,7 @@ import pytest
 
 from conftest import once
 from repro.bench import emit, format_table, measure_cmr
-from repro.bench.scenarios import dcn_scenario
-from repro.core.engine import DodEngine
+from repro.bench.scenarios import dcn_scenario, run_dons_probed
 from repro.des import ParallelOodSimulator, contiguous_partition
 from repro.des.simulator import OodSimulator
 from repro.machine import (
@@ -81,7 +80,7 @@ def test_fig12b_cache_and_fig12c_utilization(benchmark):
             OodSimulator(scenario, op_hook=ood).run()
             dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
                                  topo.num_hosts, len(scenario.flows))
-            dons = DodEngine(scenario, op_hook=dod).run()
+            dons = run_dons_probed(scenario, dod)
             psim = ParallelOodSimulator(
                 scenario, contiguous_partition(topo, min(32, topo.num_nodes - 1)))
             psim.run()

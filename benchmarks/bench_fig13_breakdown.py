@@ -12,8 +12,7 @@ import pytest
 
 from conftest import once
 from repro.bench import emit, format_table, measure_cmr
-from repro.bench.scenarios import dcn_scenario
-from repro.core.engine import DodEngine
+from repro.bench.scenarios import dcn_scenario, run_dons_probed
 from repro.machine import (
     DodAccessModel, MACBOOK_M1, dons_system_timeline, dons_time_s,
 )
@@ -27,7 +26,7 @@ def test_fig13_system_breakdown(benchmark):
     def experiment():
         dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
                              topo.num_hosts, len(scenario.flows))
-        results = DodEngine(scenario, op_hook=dod).run()
+        results = run_dons_probed(scenario, dod)
         cmr = cost_cmr(measure_cmr(dod), is_dod=True)
         return results, cmr
 

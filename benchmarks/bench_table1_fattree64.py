@@ -25,7 +25,7 @@ from repro.bench import (
     EventRatios, emit, format_table, full_mesh_packets, measure_cmr,
     windows_at_paper_scale,
 )
-from repro.bench.scenarios import dcn_scenario
+from repro.bench.scenarios import dcn_scenario, run_dons_probed
 from repro.apa import DeepQueueNetLike
 from repro.cluster import RPC_RECORD_BYTES
 from repro.des.simulator import OodSimulator, run_baseline
@@ -36,7 +36,6 @@ from repro.machine import (
 from repro.machine.cost import cost_cmr
 from repro.metrics import normalized_w1
 from repro.topology import fattree_counts
-from repro.core.engine import DodEngine
 
 WINDOWS = windows_at_paper_scale()
 HOSTS64 = fattree_counts(64)["hosts"]
@@ -51,7 +50,7 @@ def _measure_ratios_and_w1():
     cmr_ood = cost_cmr(measure_cmr(ood))
     dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
                          topo.num_hosts, len(scenario.flows))
-    DodEngine(scenario, op_hook=dod).run()
+    run_dons_probed(scenario, dod)
     cmr_dod = cost_cmr(measure_cmr(dod), is_dod=True)
 
     # APA trained on small runs, scored out of distribution — a bigger

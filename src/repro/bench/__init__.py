@@ -4,7 +4,8 @@ from .tables import emit, format_table, out_dir, ratio_str
 from .scenarios import (
     EventRatios, LOOKAHEAD_S, PAPER_DURATION_S, PAPER_LOAD, PAPER_RATE,
     dcn_scenario, fattree_full_events, full_mesh_packets, isp_scenario,
-    measure_cmr, scaled_l3_config, wan_scenario, windows_at_paper_scale,
+    measure_cmr, run_dons_probed, scaled_l3_config, wan_scenario,
+    windows_at_paper_scale,
 )
 
 __all__ = [
@@ -12,5 +13,6 @@ __all__ = [
     "EventRatios", "LOOKAHEAD_S", "PAPER_DURATION_S", "PAPER_LOAD",
     "PAPER_RATE", "dcn_scenario", "fattree_full_events",
     "full_mesh_packets", "isp_scenario", "measure_cmr",
-    "scaled_l3_config", "wan_scenario", "windows_at_paper_scale",
+    "run_dons_probed", "scaled_l3_config", "wan_scenario",
+    "windows_at_paper_scale",
 ]

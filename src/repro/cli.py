@@ -1,8 +1,9 @@
-"""Command-line interface: run, compare, and plan simulations.
+"""Command-line interface: run, compare, profile, and plan simulations.
 
     python -m repro run --topology fattree:4 --flows mesh:load=0.3 \
         --engine dons --workers 4
     python -m repro compare --topology dumbbell:4 --flows fixed:n=8
+    python -m repro profile --topology fattree:4 --flows fixed:n=32
     python -m repro plan --topology isp --machines 8
     python -m repro viz --topology abilene --flows mesh:max=100 \
         --out-dir ./viz-out
@@ -165,6 +166,42 @@ def cmd_compare(args) -> int:
     return 0 if same else 1
 
 
+def cmd_profile(args) -> int:
+    """Run the DOD engine and print the instrumentation-bus breakdown:
+    per-window, per-system wall-clock / tasks / items, then totals."""
+    import json
+    scenario = build_scenario(args)
+    from .core.engine import DodEngine
+    eng = DodEngine(scenario, workers=args.workers)
+    results = eng.run()
+    bus = eng.bus
+    rows = bus.profile_rows()
+    if args.json:
+        json.dump({"counters": bus.counters, "rows": rows},
+                  sys.stdout, indent=2)
+        print()
+        return 0
+    print(_summary(results))
+    print()
+    print(f"{'window':>6} {'start_us':>9} {'system':<9} "
+          f"{'tasks':>6} {'items':>8} {'ms':>8}")
+    shown = rows if args.all_windows else rows[-4 * args.tail:]
+    if len(shown) < len(rows):
+        print(f"  ... ({len(rows) - len(shown)} earlier rows; "
+              f"--all-windows to show)")
+    for row in shown:
+        print(f"{row['window']:>6} {ps_to_us(row['start_ps']):>9.1f} "
+              f"{row['system']:<9} {row['tasks']:>6} {row['items']:>8} "
+              f"{row['elapsed_s'] * 1000:>8.3f}")
+    print()
+    print(f"{'totals':<16} {'tasks':>6} {'items':>8} {'ms':>8}")
+    for name, prof in sorted(bus.totals.items()):
+        print(f"{name:<16} {prof.tasks:>6} {prof.items:>8} "
+              f"{prof.elapsed_s * 1000:>8.3f}")
+    print(f"windows          {bus.counters.get('windows', 0):>6}")
+    return 0
+
+
 def cmd_plan(args) -> int:
     scenario = build_scenario(args)
     from .partition import ClusterSpec, machine_times, plan_scenario
@@ -234,6 +271,17 @@ def make_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", parents=[common],
                              help="run both engines, compare traces")
     compare.set_defaults(fn=cmd_compare)
+
+    profile = sub.add_parser(
+        "profile", parents=[common],
+        help="run the DOD engine, print per-window per-system breakdown")
+    profile.add_argument("--json", action="store_true",
+                         help="dump counters and rows as JSON")
+    profile.add_argument("--all-windows", action="store_true",
+                         help="print every window (default: the last few)")
+    profile.add_argument("--tail", type=int, default=5,
+                         help="windows to show without --all-windows")
+    profile.set_defaults(fn=cmd_profile)
 
     plan = sub.add_parser("plan", parents=[common],
                           help="plan distributed execution")

@@ -73,4 +73,4 @@ class AgentEngine(DodEngine):
         return out
 
     def finish(self) -> None:
-        self._finalize()
+        self.finalize()

@@ -91,9 +91,10 @@ def restore_checkpoint(engine: DodEngine, checkpoint: Checkpoint) -> int:
     engine.ports = state["ports"]
     engine.world = state["world"]
     engine.results = state["results"]
-    engine.trace = state["trace"]
+    engine.attach_trace(state["trace"])
     engine._carried_staged = state.get("carried_staged", {})
     engine._running_window = state["current_window"]
+    engine._cursor = state["current_window"]
     return state["current_window"]
 
 
@@ -174,15 +175,6 @@ class CheckpointingEngine(DodEngine):
         """Restore state and run the remainder of the simulation."""
         if not self._built:
             self.build()
-        current = restore_checkpoint(self, checkpoint)
-        duration = self.scenario.duration_ps
-        while True:
-            nxt = self._next_window(current)
-            if nxt is None:
-                break
-            current = nxt
-            if duration is not None and current * self.lookahead > duration:
-                break
-            self.process_window(current)
-        self._finalize()
-        return self.results
+        restore_checkpoint(self, checkpoint)
+        from .runner import EngineRunner
+        return EngineRunner(self).run()

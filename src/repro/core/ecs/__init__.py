@@ -1,7 +1,7 @@
 """Entity-Component-System substrate used by the DOD engine."""
 
 from .components import CHUNK_ENTITIES, FieldSpec, SoATable
-from .commands import CommandBuffer, consolidate
+from .commands import CommandBuffer, consolidate, merge_buffers
 from .entity import (
     EGRESS_SCHEMA, EntityKind, INGRESS_SCHEMA, RECEIVER_SCHEMA,
     SENDER_SCHEMA, World,
@@ -9,7 +9,7 @@ from .entity import (
 
 __all__ = [
     "CHUNK_ENTITIES", "FieldSpec", "SoATable",
-    "CommandBuffer", "consolidate",
+    "CommandBuffer", "consolidate", "merge_buffers",
     "EntityKind", "World",
     "SENDER_SCHEMA", "RECEIVER_SCHEMA", "INGRESS_SCHEMA", "EGRESS_SCHEMA",
 ]

@@ -86,6 +86,21 @@ class SoATable:
         """The raw column; systems sweep these directly."""
         return self._columns[name]
 
+    def column(self, name: str) -> List[Any]:
+        """Bulk handle to one component column (alias of :meth:`col`).
+
+        Kernels grab column handles once per system run and then index
+        them per entity — one attribute lookup per *column*, not per
+        entity access, which is what makes the sweep columnar.
+        """
+        if name not in self._columns:
+            raise ConfigError(f"table {self.kind!r} has no field {name!r}")
+        return self._columns[name]
+
+    def columns(self, names: Sequence[str]) -> Dict[str, List[Any]]:
+        """Bulk handles to several columns at once, by name."""
+        return {name: self.column(name) for name in names}
+
     def get(self, idx: int, name: str) -> Any:
         return self._columns[name][idx]
 
@@ -101,6 +116,55 @@ class SoATable:
         """Write back fields produced by a transition (one write per column)."""
         for name, value in values.items():
             self._columns[name][idx] = value
+
+    # --- bulk columnar access ----------------------------------------------
+
+    def gather(self, idxs: Sequence[int], names: Sequence[str]) -> Dict[str, List[Any]]:
+        """Read several entities' fields column by column.
+
+        Returns ``{name: [column[i] for i in idxs]}`` — the values of each
+        requested column at the requested indices, in ``idxs`` order.  One
+        column is swept at a time (the cache-friendly order), which is the
+        access pattern the machine model charges for.
+        """
+        out: Dict[str, List[Any]] = {}
+        for name in names:
+            col = self.column(name)
+            out[name] = [col[i] for i in idxs]
+        return out
+
+    def scatter(self, idxs: Sequence[int], name: str, values: Sequence[Any]) -> None:
+        """Write ``values[k]`` to ``column[name][idxs[k]]`` for every k."""
+        if len(idxs) != len(values):
+            raise ConfigError(
+                f"scatter into {self.kind!r}.{name}: {len(idxs)} indices "
+                f"vs {len(values)} values"
+            )
+        col = self.column(name)
+        for i, v in zip(idxs, values):
+            col[i] = v
+
+    def slice(self, name: str, start: int, end: int) -> List[Any]:
+        """A contiguous segment of one column (a chunk-slice view).
+
+        CPython lists copy on slice; what the API pins is the *unit* of
+        access — kernels receive whole segments, never single cells.
+        """
+        return self.column(name)[start:end]
+
+    def chunk_slices(self, names: Sequence[str]) -> Iterator[Tuple[int, int, Dict[str, List[Any]]]]:
+        """Yield ``(start, end, {name: column[start:end]})`` per chunk.
+
+        The per-chunk segments are the work slices the planner hands to
+        kernels on the worker pool: each slice covers one storage chunk,
+        so parallel tasks align with the cache/page geometry the machine
+        model reasons about.
+        """
+        cols = self.columns(names)
+        for start, end in self.chunks():
+            yield start, end, {
+                name: col[start:end] for name, col in cols.items()
+            }
 
     # --- chunk geometry (machine model / worker pool) ----------------------
 

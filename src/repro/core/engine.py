@@ -14,6 +14,13 @@ strictly before *w* (link delay >= lookahead), so a window's inputs are
 complete before it runs, and no synchronization is ever needed within a
 machine.
 
+All observation goes through the engine's
+:class:`~repro.core.instrument.InstrumentationBus`: the trace recorder,
+machine-model access probes, and the profiler subscribe to it instead of
+being threaded through constructors.  The outer drive loop lives in
+:class:`~repro.core.runner.EngineRunner`; the engine implements the
+``build``/``advance``/``finalize`` protocol.
+
 The engine produces the same :class:`~repro.metrics.SimResults` as the
 OOD baseline, and — the headline fidelity claim — byte-identical event
 traces (see ``tests/integration/test_engine_equivalence.py``).
@@ -22,9 +29,12 @@ traces (see ``tests/integration/test_engine_equivalence.py``).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Dict, List, Optional, Set
 
 from .ecs import World
+from .instrument import OP_WINDOW, InstrumentationBus
+from .runner import EngineRunner
 from .runtime import WorkerPool
 from .systems import (
     run_ack_system, run_forward_system, run_send_system, run_transmit_system,
@@ -53,7 +63,6 @@ class DodEngine:
         trace_level: TraceLevel = TraceLevel.NONE,
         workers: int = 1,
         max_windows: Optional[int] = None,
-        op_hook=None,
         lookahead_override: Optional[int] = None,
         system_order: str = "paper",
         sample_queues: bool = False,
@@ -66,12 +75,10 @@ class DodEngine:
         the LCC violation §3.3 proves the paper order avoids.
         """
         self.scenario = scenario
-        self.trace = TraceRecorder(trace_level)
-        self.pool = WorkerPool(workers)
+        self.bus = InstrumentationBus()
+        self.trace = self.bus.subscribe_trace(TraceRecorder(trace_level))
+        self.pool = WorkerPool(workers, bus=self.bus)
         self.max_windows = max_windows
-        #: machine-model probe: hook(op, location, uid), called from the
-        #: main thread in batched processing order (see repro.machine.access).
-        self.op_hook = op_hook
         if system_order not in ("paper", "naive"):
             raise SimulationError(f"unknown system order {system_order!r}")
         self.system_order = system_order
@@ -100,8 +107,21 @@ class DodEngine:
         self._win_queued: Set[int] = set()
         self.active_ports: Set[int] = set()
         self._built = False
+        self._finalized = False
+        self._cursor = -1
+        self._windows_run = 0
 
     # --- construction -------------------------------------------------------
+
+    @property
+    def built(self) -> bool:
+        return self._built
+
+    def attach_trace(self, recorder: TraceRecorder) -> TraceRecorder:
+        """Swap in a different trace recorder (checkpoint restore path)."""
+        self.bus.replace_trace(self.trace, recorder)
+        self.trace = recorder
+        return recorder
 
     def build(self) -> None:
         """Simulation Builder: entities, ports, and initial flow starts."""
@@ -221,21 +241,33 @@ class DodEngine:
     def process_window(self, index: int) -> WindowContext:
         """Execute one lookahead batch: the four systems in §3.3 order."""
         L = self.lookahead
+        bus = self.bus
         self._running_window = index
         start = index * L
         ctx = WindowContext(
             index=index, start=start, end=start + L,
             node_entries=self.calendar.pop(index, {}),
         )
-        if self.op_hook:
-            self.op_hook(9, 0, 0)  # OP_WINDOW: buffer arenas recycle
+        bus.window_begin(index, start)
+        if bus.has_ops:
+            bus.op(OP_WINDOW, 0, 0)  # buffer arenas recycle
         if self.system_order == "paper":
             # The paper's execution order (§3.3): ACK, Send, Forward,
-            # Transmit.
+            # Transmit.  Timed inline — bus.system_time costs two clock
+            # reads per system, nothing else on the hot path.
+            clock = perf_counter
+            t0 = clock()
             run_ack_system(self, ctx)
+            t1 = clock()
+            bus.system_time("ack", t1 - t0)
             run_send_system(self, ctx)
+            t2 = clock()
+            bus.system_time("send", t2 - t1)
             run_forward_system(self, ctx)
+            t3 = clock()
+            bus.system_time("forward", t3 - t2)
             run_transmit_system(self, ctx)
+            bus.system_time("transmit", clock() - t3)
         else:
             # Naive order (ablation): ACK last.  Its staged packets miss
             # this window's TransmitSystem and carry into the next batch.
@@ -243,11 +275,15 @@ class DodEngine:
                 for iface_id, staged in self._carried_staged.items():
                     ctx.staged.setdefault(iface_id, []).extend(staged)
                 self._carried_staged = {}
-            run_send_system(self, ctx)
-            run_forward_system(self, ctx)
-            run_transmit_system(self, ctx)
+            with bus.system_timer("send"):
+                run_send_system(self, ctx)
+            with bus.system_timer("forward"):
+                run_forward_system(self, ctx)
+            with bus.system_timer("transmit"):
+                run_transmit_system(self, ctx)
             before = {k: len(v) for k, v in ctx.staged.items()}
-            run_ack_system(self, ctx)
+            with bus.system_timer("ack"):
+                run_ack_system(self, ctx)
             self._carried_staged = {
                 k: v[before.get(k, 0):]
                 for k, v in ctx.staged.items()
@@ -265,35 +301,37 @@ class DodEngine:
             )
         return ctx
 
+    def advance(self) -> bool:
+        """Run the next pending lookahead window (the runner's unit)."""
+        nxt = self._next_window(self._cursor)
+        if nxt is None:
+            return False
+        duration = self.scenario.duration_ps
+        if duration is not None and nxt * self.lookahead > duration:
+            return False
+        self._cursor = nxt
+        self.process_window(nxt)
+        self._windows_run += 1
+        if self.max_windows is not None and self._windows_run >= self.max_windows:
+            return False
+        return True
+
     def run(self) -> SimResults:
         """Run to completion (or duration / max_windows)."""
-        if not self._built:
-            self.build()
-        duration = self.scenario.duration_ps
-        current = -1
-        windows = 0
-        while True:
-            nxt = self._next_window(current)
-            if nxt is None:
-                break
-            current = nxt
-            if duration is not None and current * self.lookahead > duration:
-                break
-            self.process_window(current)
-            windows += 1
-            if self.max_windows is not None and windows >= self.max_windows:
-                break
-        self._finalize()
-        return self.results
+        return EngineRunner(self).run()
 
-    def _finalize(self) -> None:
-        res = self.results
-        res.trace = self.trace
-        res.rtt_samples.sort()
-        for port in self.ports:
-            res.marks += port.stats.marked
-            res.tx_bytes += port.stats.tx_bytes
-        self.pool.shutdown()
+    def finalize(self) -> SimResults:
+        """Assemble results and release the worker pool (idempotent)."""
+        if not self._finalized:
+            self._finalized = True
+            res = self.results
+            res.trace = self.trace
+            res.rtt_samples.sort()
+            for port in self.ports:
+                res.marks += port.stats.marked
+                res.tx_bytes += port.stats.tx_bytes
+        self.pool.close()
+        return self.results
 
 
 def run_dons(

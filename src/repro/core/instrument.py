@@ -1,0 +1,220 @@
+"""Instrumentation bus: one structured observation channel per engine.
+
+Every engine owns an :class:`InstrumentationBus` and publishes three
+kinds of observations to it; everything that used to be hand-wired
+(``op_hook`` threading through constructors, ``PoolStats`` on the worker
+pool, direct ``TraceRecorder`` calls inside the systems) is a
+*subscriber* instead:
+
+* **op stream** — ``bus.op(code, location, uid)``, one call per
+  processed operation in batched processing order.  The machine model's
+  access recorders (:mod:`repro.machine.access`) subscribe with
+  :meth:`InstrumentationBus.subscribe_ops` and turn the stream into
+  address traces for the cache simulator.
+* **trace stream** — the packet-visible events of §6.1's fidelity claim
+  (enqueue, drop, service start, delivery, flow completion).  A
+  :class:`~repro.metrics.TraceRecorder` subscribes with
+  :meth:`subscribe_trace`; the bus forwards synchronously, so entry
+  order — and therefore the trace digest — is byte-identical to the
+  direct wiring it replaces.
+* **counters and timers** — named counters, per-system task/item
+  accounting from the worker pool, and per-window/per-system wall-clock
+  from :meth:`system_timer`.  ``python -m repro profile`` renders these;
+  the cost model consumes the event counts as before.
+
+The hot-path contract: with no subscribers, every publish degrades to a
+guarded no-op (``bus.has_ops`` / ``bus.trace_level`` checks), so an
+uninstrumented run pays one attribute test per publish site, the same
+price the old ``if self.op_hook:`` / ``if trace.level:`` guards paid.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+#: Machine-model op codes carried on the op stream (kept in sync with
+#: ``repro.machine.access`` / ``repro.des.simulator``).
+OP_SEND = 0
+OP_FORWARD = 1
+OP_SERVICE = 2
+OP_HOST_RX = 3
+OP_WINDOW = 9
+
+#: An op-stream subscriber: ``hook(op_code, location, packet_uid)``.
+OpSubscriber = Callable[[int, int, int], None]
+
+
+@dataclass
+class SystemProfile:
+    """One system's accounting inside one window (or in aggregate)."""
+
+    items: int = 0
+    tasks: int = 0
+    elapsed_s: float = 0.0
+
+    def add(self, other: "SystemProfile") -> None:
+        self.items += other.items
+        self.tasks += other.tasks
+        self.elapsed_s += other.elapsed_s
+
+
+@dataclass
+class WindowProfile:
+    """Per-system accounting of one lookahead window."""
+
+    index: int
+    start_ps: int
+    systems: Dict[str, SystemProfile] = field(default_factory=dict)
+
+    def system(self, name: str) -> SystemProfile:
+        prof = self.systems.get(name)
+        if prof is None:
+            prof = self.systems[name] = SystemProfile()
+        return prof
+
+
+class InstrumentationBus:
+    """Counters, timers, and op/trace streams with pluggable subscribers."""
+
+    def __init__(self, keep_window_profiles: bool = True) -> None:
+        self.counters: Dict[str, int] = {}
+        self.keep_window_profiles = keep_window_profiles
+        #: per-window profiles (bounded by window count; the profiler CLI
+        #: and Fig. 13-style breakdowns read these).
+        self.windows: List[WindowProfile] = []
+        #: whole-run aggregate per system.
+        self.totals: Dict[str, SystemProfile] = {}
+        self._current: Optional[WindowProfile] = None
+        self._op_subs: List[OpSubscriber] = []
+        self.has_ops = False
+        self._trace_subs: List[Any] = []
+        self.trace_level = 0
+
+    # --- counters ---------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # --- op stream --------------------------------------------------------
+
+    def subscribe_ops(self, hook: OpSubscriber) -> OpSubscriber:
+        """Register a machine-model probe; returns it for chaining."""
+        self._op_subs.append(hook)
+        self.has_ops = True
+        return hook
+
+    def op(self, code: int, location: int, uid: int) -> None:
+        """Publish one operation (callers guard with ``bus.has_ops``)."""
+        for sub in self._op_subs:
+            sub(code, location, uid)
+
+    # --- trace stream -----------------------------------------------------
+
+    def subscribe_trace(self, recorder: Any) -> Any:
+        """Register a TraceRecorder-shaped subscriber (``enq``/``drop``/
+        ``deq``/``deliver``/``flow_done`` methods plus a ``level``)."""
+        self._trace_subs.append(recorder)
+        self.trace_level = max(self.trace_level,
+                               int(getattr(recorder, "level", 0)))
+        return recorder
+
+    def replace_trace(self, old: Any, new: Any) -> Any:
+        """Swap one trace subscriber for another (checkpoint restore)."""
+        self._trace_subs = [s for s in self._trace_subs if s is not old]
+        self.trace_level = max(
+            (int(getattr(s, "level", 0)) for s in self._trace_subs),
+            default=0,
+        )
+        return self.subscribe_trace(new)
+
+    def enq(self, t: int, iface: int, flow: int, is_ack: int, seq: int,
+            marked: int) -> None:
+        for sub in self._trace_subs:
+            sub.enq(t, iface, flow, is_ack, seq, marked)
+
+    def drop(self, t: int, iface: int, flow: int, is_ack: int, seq: int) -> None:
+        for sub in self._trace_subs:
+            sub.drop(t, iface, flow, is_ack, seq)
+
+    def deq(self, t: int, iface: int, flow: int, is_ack: int, seq: int) -> None:
+        for sub in self._trace_subs:
+            sub.deq(t, iface, flow, is_ack, seq)
+
+    def deliver(self, t: int, node: int, flow: int, is_ack: int, seq: int) -> None:
+        for sub in self._trace_subs:
+            sub.deliver(t, node, flow, is_ack, seq)
+
+    def flow_done(self, t: int, node: int, flow: int) -> None:
+        for sub in self._trace_subs:
+            sub.flow_done(t, node, flow)
+
+    # --- task accounting (worker pool) ------------------------------------
+
+    def task_batch(self, system: str, sizes: Sequence[int]) -> None:
+        """One pool dispatch: ``len(sizes)`` tasks, ``sizes[i]`` items each."""
+        tasks = len(sizes)
+        items = sum(sizes)
+        self.count("pool.tasks", tasks)
+        self.count("pool.items", items)
+        total = self.totals.get(system)
+        if total is None:
+            total = self.totals[system] = SystemProfile()
+        total.tasks += tasks
+        total.items += items
+        if self._current is not None:
+            prof = self._current.system(system)
+            prof.tasks += tasks
+            prof.items += items
+
+    # --- timers -----------------------------------------------------------
+
+    def window_begin(self, index: int, start_ps: int) -> None:
+        """A new lookahead window starts; subsequent system timers and
+        task batches are attributed to it."""
+        self.count("windows")
+        if self.keep_window_profiles:
+            self._current = WindowProfile(index=index, start_ps=start_ps)
+            self.windows.append(self._current)
+
+    def system_time(self, system: str, dt: float) -> None:
+        """Attribute ``dt`` seconds to one system in the current window.
+
+        The engine hot path calls this directly (two ``perf_counter``
+        reads per system run) rather than through the context manager,
+        whose generator machinery is measurable at window rates.
+        """
+        total = self.totals.get(system)
+        if total is None:
+            total = self.totals[system] = SystemProfile()
+        total.elapsed_s += dt
+        if self._current is not None:
+            self._current.system(system).elapsed_s += dt
+
+    @contextmanager
+    def system_timer(self, system: str) -> Iterator[None]:
+        """Time one system's run inside the current window."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.system_time(system, time.perf_counter() - t0)
+
+    # --- reporting --------------------------------------------------------
+
+    def profile_rows(self) -> List[Dict[str, Any]]:
+        """Flat per-window/per-system rows for reports and JSON dumps."""
+        rows = []
+        for win in self.windows:
+            for name, prof in sorted(win.systems.items()):
+                rows.append({
+                    "window": win.index,
+                    "start_ps": win.start_ps,
+                    "system": name,
+                    "items": prof.items,
+                    "tasks": prof.tasks,
+                    "elapsed_s": prof.elapsed_s,
+                })
+        return rows

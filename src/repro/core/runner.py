@@ -1,0 +1,83 @@
+"""The unified engine runtime: one drive-and-collect loop for all engines.
+
+Every simulator family used to hand-roll the same outer loop — build the
+scenario state, advance until exhausted, assemble results, tear down the
+worker pool.  :class:`EngineRunner` owns that loop once; an engine only
+has to implement the small :class:`Engine` protocol:
+
+* ``build()`` — construct entities/state from the scenario (idempotence
+  is the engine's concern; the runner calls it once if ``built`` is
+  false).
+* ``advance() -> bool`` — execute one unit of progress (a lookahead
+  window for the DOD engine, one event for the OOD baseline) and return
+  whether more work remains.
+* ``finalize() -> SimResults`` — assemble results and release resources
+  (worker pools, open files).  The runner calls it from a ``finally``
+  block, so resources are reclaimed even when a run raises.
+
+``repro.cli``, the benchmarks, and the cluster controller all collect
+results through this path instead of three private copies of it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+if TYPE_CHECKING:
+    from .instrument import InstrumentationBus
+    from ..metrics import SimResults
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What the runner needs from a simulator."""
+
+    name: str
+    results: "SimResults"
+    bus: "InstrumentationBus"
+    built: bool
+
+    def build(self) -> None:
+        """Instantiate scenario state (entities, ports, initial events)."""
+
+    def advance(self) -> bool:
+        """Execute one unit of progress; False when the run is exhausted."""
+
+    def finalize(self) -> "SimResults":
+        """Assemble results and release resources (idempotent)."""
+
+
+class EngineRunner:
+    """Drives one engine from build to finalized results."""
+
+    def __init__(self, engine: "Engine", max_steps: Optional[int] = None) -> None:
+        self.engine = engine
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def run(self) -> "SimResults":
+        """Build if needed, advance to exhaustion, always finalize."""
+        engine = self.engine
+        if not engine.built:
+            engine.build()
+        try:
+            while engine.advance():
+                self.steps += 1
+                if self.max_steps is not None and self.steps >= self.max_steps:
+                    break
+        finally:
+            engine.finalize()
+        return engine.results
+
+
+def run_engine(engine: "Engine") -> "SimResults":
+    """One-shot convenience: ``EngineRunner(engine).run()``."""
+    return EngineRunner(engine).run()

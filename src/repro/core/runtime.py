@@ -11,41 +11,33 @@ CPython's GIL means the pool cannot show real speedups here (DESIGN.md);
 what it preserves is the execution structure — task granularity, barrier
 per system, per-task accounting — which is what the cost model consumes
 to reproduce the paper's utilization and speedup numbers.
+
+Task accounting is published to the owning engine's
+:class:`~repro.core.instrument.InstrumentationBus` (``pool.tasks`` /
+``pool.items`` counters plus per-system profiles), which replaced the
+pool-local ``PoolStats``.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from .instrument import InstrumentationBus
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
-@dataclass
-class PoolStats:
-    """Per-system task accounting (cost-model input)."""
-
-    tasks: int = 0
-    items: int = 0
-    #: system name -> [items per task, ...]; imbalance feeds the cost model.
-    by_system: Dict[str, List[int]] = field(default_factory=dict)
-
-    def record(self, system: str, task_items: Sequence[int]) -> None:
-        self.tasks += len(task_items)
-        self.items += sum(task_items)
-        self.by_system.setdefault(system, []).extend(task_items)
-
-
 class WorkerPool:
     """Deterministic map over independent tasks."""
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1,
+                 bus: Optional[InstrumentationBus] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
-        self.stats = PoolStats()
+        self.bus = bus if bus is not None else InstrumentationBus()
         self._pool: Optional[ThreadPoolExecutor] = None
         if workers > 1:
             self._pool = ThreadPoolExecutor(max_workers=workers)
@@ -62,23 +54,29 @@ class WorkerPool:
         ``sizes`` (items per task) feeds utilization accounting; defaults
         to 1 per task.
         """
-        self.stats.record(system, list(sizes) if sizes is not None else [1] * len(tasks))
+        self.bus.task_batch(
+            system, list(sizes) if sizes is not None else [1] * len(tasks)
+        )
         if not tasks:
             return []
         if self._pool is None:
             return [fn(t) for t in tasks]
         return list(self._pool.map(fn, tasks))
 
-    def shutdown(self) -> None:
+    def close(self) -> None:
+        """Release the executor's threads (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    #: Backwards-compatible alias; ``close`` is the lifecycle API.
+    shutdown = close
 
     def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, *exc: Any) -> None:
-        self.shutdown()
+        self.close()
 
 
 def chunk_ranges(n: int, parts: int) -> List[Tuple[int, int]]:

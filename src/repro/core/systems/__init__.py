@@ -1,12 +1,25 @@
 """The four systems of the DOD engine, executed in LCC-safe order:
-ACKSystem, SendSystem, ForwardSystem, TransmitSystem (§3.3)."""
+ACKSystem, SendSystem, ForwardSystem, TransmitSystem (§3.3).
 
-from .ack import run_ack_system
-from .send import run_send_system
-from .forward import run_forward_system
-from .transmit import run_transmit_system
+Each system is written in the plan → kernel → commit shape: ``plan_*``
+builds per-chunk work slices on the main thread, ``*_kernel`` is a pure
+function over column slices run on the worker pool, and ``commit_*``
+consolidates the kernel outputs deterministically."""
+
+from .ack import ack_kernel, commit_ack, plan_ack, run_ack_system
+from .send import commit_send, plan_send, run_send_system, send_kernel
+from .forward import (
+    commit_forward, forward_kernel, plan_forward, run_forward_system,
+)
+from .transmit import (
+    commit_transmit, plan_transmit, run_transmit_system, transmit_kernel,
+)
 
 __all__ = [
     "run_ack_system", "run_send_system",
     "run_forward_system", "run_transmit_system",
+    "plan_ack", "ack_kernel", "commit_ack",
+    "plan_send", "send_kernel", "commit_send",
+    "plan_forward", "forward_kernel", "commit_forward",
+    "plan_transmit", "transmit_kernel", "commit_transmit",
 ]

@@ -5,14 +5,23 @@ the system checks sequence numbers, tracks flow completion, and registers
 ACK packets toward the paired Sender — i.e. it stages them on the
 receiving host's NIC egress queue at the data packet's arrival time.
 
-Entities (receivers grouped by host) are independent, so the work is
-chunked across the worker pool; ACK registrations go through per-task
-lists consolidated in task order (command-buffer pattern).
+The system is written in the engine's plan → kernel → commit shape
+(paper Fig. 7 made literal):
+
+* :func:`plan_ack` runs on the main thread and builds the per-host work
+  slices (one task per receiving host, deliveries sorted canonically);
+* :func:`ack_kernel` is the data-parallel stage: it sweeps the receiver
+  component columns for one host's deliveries and returns staged ACKs
+  plus completions.  Hosts own disjoint receiver rows, so kernels never
+  contend — the command-buffer argument of Appendix C;
+* :func:`commit_ack` consolidates kernel outputs deterministically on
+  the main thread: counters, op/trace stream publishes, staging.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from functools import partial
+from typing import Dict, List, NamedTuple, Tuple
 
 from ..window import ENTRY_ARRIVAL, WindowContext
 from ...protocols.packet import (
@@ -26,11 +35,24 @@ from ...protocols.packet import (
     ack_row,
 )
 
+#: One task: (host node, canonically sorted data deliveries).
+AckWork = Tuple[int, List[Tuple[int, int, Row]]]
 
-def run_ack_system(engine, ctx: WindowContext) -> None:
-    """Process all data deliveries of this window."""
-    # Gather (host, sorted data arrivals) work items.
-    work: List[Tuple[int, List[Tuple[int, int, Row]]]] = []
+
+class AckCols(NamedTuple):
+    """Bulk handles to the receiver columns the kernel sweeps."""
+
+    expected: list
+    out_of_order: list
+    unique_received: list
+    complete_ps: list
+    total_segs: list
+    needs_ack: list
+
+
+def plan_ack(engine, ctx: WindowContext) -> List[AckWork]:
+    """Build per-host work slices from this window's calendar entries."""
+    work: List[AckWork] = []
     for node, entries in sorted(ctx.node_entries.items()):
         if not engine.scenario.topology.nodes[node].is_host:
             continue
@@ -43,80 +65,100 @@ def run_ack_system(engine, ctx: WindowContext) -> None:
             continue
         data.sort(key=lambda a: (a[0], a[1], a[2][F_FLOW], a[2][F_ISACK], a[2][F_SEQ]))
         work.append((node, data))
-    if not work:
-        return
+    return work
 
-    world = engine.world
-    rec = world.receivers
-    expected_col = rec.col("expected")
-    ooo_col = rec.col("out_of_order")
-    unique_col = rec.col("unique_received")
-    complete_col = rec.col("complete_ps")
-    total_col = rec.col("total_segs")
-    needs_ack_col = rec.col("needs_ack")
 
-    def process(item: Tuple[int, List[Tuple[int, int, Row]]]):
-        """One host's deliveries; returns staged ACKs and completions."""
-        node, arrivals = item
-        acks: List[Tuple[int, int, Row]] = []
-        completions: List[Tuple[int, int]] = []
-        n = 0
-        for t, _prio, row in arrivals:
-            n += 1
-            flow_id = row[F_FLOW]
-            ridx = world.receiver_of_flow[flow_id]
-            seq = row[F_SEQ]
-            # Inline cumulative-reassembly over the component columns.
-            expected = expected_col[ridx]
-            is_new = False
-            if seq == expected:
+def ack_kernel(
+    cols: AckCols,
+    receiver_of_flow: Dict[int, int],
+    flows,
+    item: AckWork,
+):
+    """One host's deliveries; returns staged ACKs and completions.
+
+    Pure over its column slice: the only writes are to the receiver rows
+    of this host's flows, which no other task touches.
+    """
+    node, arrivals = item
+    expected_col = cols.expected
+    ooo_col = cols.out_of_order
+    unique_col = cols.unique_received
+    complete_col = cols.complete_ps
+    total_col = cols.total_segs
+    needs_ack_col = cols.needs_ack
+    acks: List[Tuple[int, int, Row]] = []
+    completions: List[Tuple[int, int]] = []
+    n = 0
+    for t, _prio, row in arrivals:
+        n += 1
+        flow_id = row[F_FLOW]
+        ridx = receiver_of_flow[flow_id]
+        seq = row[F_SEQ]
+        # Inline cumulative-reassembly over the component columns.
+        expected = expected_col[ridx]
+        is_new = False
+        if seq == expected:
+            is_new = True
+            expected += 1
+            ooo = ooo_col[ridx]
+            if ooo:
+                while expected in ooo:
+                    ooo.remove(expected)
+                    expected += 1
+            expected_col[ridx] = expected
+        elif seq > expected:
+            ooo = ooo_col[ridx]
+            if seq not in ooo:
                 is_new = True
-                expected += 1
-                ooo = ooo_col[ridx]
-                if ooo:
-                    while expected in ooo:
-                        ooo.remove(expected)
-                        expected += 1
-                expected_col[ridx] = expected
-            elif seq > expected:
-                ooo = ooo_col[ridx]
-                if seq not in ooo:
-                    is_new = True
-                    ooo.add(seq)
-            if is_new:
-                unique_col[ridx] += 1
-                if unique_col[ridx] == total_col[ridx] and complete_col[ridx] < 0:
-                    complete_col[ridx] = t
-                    completions.append((flow_id, t))
-            if needs_ack_col[ridx]:
-                flow = engine.scenario.flows[flow_id]
-                out = ack_row(
-                    flow_id, expected_col[ridx], row[F_CE], row[F_SEND_TS],
-                    flow.dst, flow.src,
-                )
-                acks.append((t, node, out))
-        return node, arrivals, acks, completions, n
+                ooo.add(seq)
+        if is_new:
+            unique_col[ridx] += 1
+            if unique_col[ridx] == total_col[ridx] and complete_col[ridx] < 0:
+                complete_col[ridx] = t
+                completions.append((flow_id, t))
+        if needs_ack_col[ridx]:
+            flow = flows[flow_id]
+            out = ack_row(
+                flow_id, expected_col[ridx], row[F_CE], row[F_SEND_TS],
+                flow.dst, flow.src,
+            )
+            acks.append((t, node, out))
+    return node, arrivals, acks, completions, n
 
-    results = engine.pool.map(
-        "ack", process, work, sizes=[len(w[1]) for w in work]
-    )
 
-    trace = engine.trace
-    hook = engine.op_hook
+def commit_ack(engine, ctx: WindowContext, results) -> None:
+    """Consolidate kernel outputs on the main thread, in task order."""
+    bus = engine.bus
+    trace_on = bool(bus.trace_level)
     for node, arrivals, acks, completions, n in results:
         ctx.counts.ack += n
         engine.bump_node(node, n)
-        if hook:
+        if bus.has_ops:
             from ...protocols.packet import packet_uid
             for _t, _prio, row in arrivals:
-                hook(3, node, packet_uid(row))  # OP_HOST_RX
-        if trace.level:
+                bus.op(3, node, packet_uid(row))  # OP_HOST_RX
+        if trace_on:
             for t, _prio, row in arrivals:
-                trace.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+                bus.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
         for t, host, out in acks:
             iface = engine.scenario.topology.host_iface(host)
             ctx.stage(iface.iface_id, t, PRIO_ARRIVAL, out)
         for flow_id, t in completions:
             engine.results.flows[flow_id].complete_ps = t
-            if trace.level:
-                trace.flow_done(t, engine.scenario.flows[flow_id].dst, flow_id)
+            if trace_on:
+                bus.flow_done(t, engine.scenario.flows[flow_id].dst, flow_id)
+
+
+def run_ack_system(engine, ctx: WindowContext) -> None:
+    """Process all data deliveries of this window (plan → kernel → commit)."""
+    work = plan_ack(engine, ctx)
+    if not work:
+        return
+    rec = engine.world.receivers
+    cols = AckCols(*(rec.column(name) for name in AckCols._fields))
+    kernel = partial(ack_kernel, cols, engine.world.receiver_of_flow,
+                     engine.scenario.flows)
+    results = engine.pool.map(
+        "ack", kernel, work, sizes=[len(w[1]) for w in work]
+    )
+    commit_ack(engine, ctx, results)

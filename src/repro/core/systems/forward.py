@@ -7,53 +7,80 @@ EgressPort, writes go through per-task command buffers consolidated by
 the main thread (Appendix C's write-conflict fix); chronological order is
 established later by the TransmitSystem's merge sort, so forwarding
 itself is embarrassingly parallel.
+
+Plan → kernel → commit: :func:`plan_forward` slices the window's switch
+arrivals per node; :func:`forward_kernel` resolves routes into a private
+:class:`~repro.core.ecs.CommandBuffer`; :func:`commit_forward` publishes
+counters/ops and consolidates the buffers in task order.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Tuple
 
 from ..ecs import CommandBuffer, consolidate
 from ..window import ENTRY_ARRIVAL, WindowContext
 from ...protocols.packet import F_DST, F_FLOW, F_SEQ, Row
 
+#: One task: (switch node, its window arrivals).
+ForwardWork = Tuple[int, List[Tuple[int, int, Row]]]
 
-def run_forward_system(engine, ctx: WindowContext) -> None:
-    """Forward all switch arrivals of this window."""
+
+def plan_forward(engine, ctx: WindowContext) -> List[ForwardWork]:
+    """Per-switch work slices of this window's arrivals."""
     topo = engine.scenario.topology
-    work: List[Tuple[int, List[Tuple[int, int, Row]]]] = []
+    work: List[ForwardWork] = []
     for node, entries in sorted(ctx.node_entries.items()):
         if topo.nodes[node].is_host:
             continue
         arrivals = [(e[1], e[2], e[3]) for e in entries if e[0] == ENTRY_ARRIVAL]
         if arrivals:
             work.append((node, arrivals))
-    if not work:
-        return
+    return work
 
-    fib = engine.scenario.fib
-    spray = engine.scenario.ecmp_mode == "packet"
 
-    def process(item: Tuple[int, List[Tuple[int, int, Row]]]):
-        node, arrivals = item
-        buf: CommandBuffer = CommandBuffer()
-        for t, prio, row in arrivals:
-            salt = row[F_SEQ] if spray else None
-            port = fib.resolve_port(node, row[F_DST], row[F_FLOW], salt)
-            buf.append(topo.iface_id(node, port), (t, prio, row))
-        return node, len(arrivals), buf
+def forward_kernel(fib, iface_id_of, spray: bool, item: ForwardWork):
+    """Route one switch's arrivals into a private command buffer.
 
-    results = engine.pool.map(
-        "forward", process, work, sizes=[len(w[1]) for w in work]
-    )
-    hook = engine.op_hook
+    Pure: reads the shared (immutable) FIB, writes only its own buffer.
+    """
+    node, arrivals = item
+    buf: CommandBuffer = CommandBuffer()
+    for t, prio, row in arrivals:
+        salt = row[F_SEQ] if spray else None
+        port = fib.resolve_port(node, row[F_DST], row[F_FLOW], salt)
+        buf.append(iface_id_of(node, port), (t, prio, row))
+    return node, len(arrivals), buf
+
+
+def commit_forward(engine, ctx: WindowContext, results) -> None:
+    """Publish per-node counts/ops, then consolidate in task order."""
+    bus = engine.bus
     buffers = []
     for node, n, buf in results:
         ctx.counts.forward += n
         engine.bump_node(node, n)
-        if hook:
+        if bus.has_ops:
             from ...protocols.packet import packet_uid
             for _target, (_t, _prio, row) in buf.entries:
-                hook(1, node, packet_uid(row))  # OP_FORWARD
+                bus.op(1, node, packet_uid(row))  # OP_FORWARD
         buffers.append(buf)
     consolidate(buffers, ctx.staged)
+
+
+def run_forward_system(engine, ctx: WindowContext) -> None:
+    """Forward all switch arrivals of this window (plan → kernel → commit)."""
+    work = plan_forward(engine, ctx)
+    if not work:
+        return
+    kernel = partial(
+        forward_kernel,
+        engine.scenario.fib,
+        engine.scenario.topology.iface_id,
+        engine.scenario.ecmp_mode == "packet",
+    )
+    results = engine.pool.map(
+        "forward", kernel, work, sizes=[len(w[1]) for w in work]
+    )
+    commit_forward(engine, ctx, results)

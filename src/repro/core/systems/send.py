@@ -6,21 +6,26 @@ schedule — the system replays that flow's events in chronological order
 using the *same* pure DCTCP/UDP transitions as the OOD baseline, and
 stages the resulting data segments on the source host's NIC queue.
 
-Sender state lives in the columnar sender table; each visit loads the
-flow's row into a :class:`~repro.protocols.DctcpState`, applies the
-transitions, and stores the row back (one read/write per column — the
-columnar access pattern the machine model measures).
+Plan → kernel → commit:
 
-Flows are independent entities, so visits are chunked across the worker
-pool.
+* :func:`plan_send` scans the window's calendar entries and produces the
+  sorted flow-id work list plus each flow's ACK deliveries;
+* :func:`send_kernel` replays one flow on the worker pool.  Sender state
+  lives in the columnar sender table; the kernel reads and writes the
+  flow's row through bulk column handles (one indexed access per column
+  — the columnar pattern the machine model measures) and returns staged
+  segments;
+* :func:`commit_send` stages segments, publishes op/trace events, and
+  registers wakeups, in flow-id order.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from ..window import (
-    ENTRY_ARRIVAL, ENTRY_FLOW_START, ENTRY_TIMER, ENTRY_UDP, WindowContext,
+    ENTRY_ARRIVAL, ENTRY_FLOW_START, WindowContext,
 )
 from ...protocols import DctcpState, UdpSchedule
 from ...protocols.packet import (
@@ -36,42 +41,66 @@ _DCTCP_FIELDS = (
     "rttvar_ps", "rto_ps", "backoff", "timer_gen",
 )
 
+#: Every sender column the kernel sweeps.
+SENDER_COLS = _DCTCP_FIELDS + (
+    "flow_id", "total_segs", "rtx_deadline", "done", "done_ps",
+    "udp_next_seq",
+)
 
-def load_dctcp(table, idx: int, params) -> DctcpState:
-    """Materialize a flow's sender row as a DctcpState."""
+
+def load_dctcp_cols(cols: Dict[str, list], idx: int, params) -> DctcpState:
+    """Materialize a flow's sender row from bulk column handles."""
     state = DctcpState(
-        flow_id=table.get(idx, "flow_id"),
-        total_segs=table.get(idx, "total_segs"),
+        flow_id=cols["flow_id"][idx],
+        total_segs=cols["total_segs"][idx],
         params=params,
     )
     for name in _DCTCP_FIELDS:
-        setattr(state, name, table.get(idx, name))
-    deadline = table.get(idx, "rtx_deadline")
+        setattr(state, name, cols[name][idx])
+    deadline = cols["rtx_deadline"][idx]
     state.rtx_deadline = None if deadline < 0 else deadline
-    state.done = bool(table.get(idx, "done"))
-    done_ps = table.get(idx, "done_ps")
+    state.done = bool(cols["done"][idx])
+    done_ps = cols["done_ps"][idx]
     state.done_ps = None if done_ps < 0 else done_ps
     return state
 
 
-def store_dctcp(table, idx: int, state: DctcpState) -> None:
-    """Write a DctcpState back into the sender row."""
+def store_dctcp_cols(cols: Dict[str, list], idx: int, state: DctcpState) -> None:
+    """Write a DctcpState back into the sender row, column by column."""
     for name in _DCTCP_FIELDS:
-        table.set(idx, name, getattr(state, name))
-    table.set(idx, "rtx_deadline",
-              -1 if state.rtx_deadline is None else state.rtx_deadline)
-    table.set(idx, "done", int(state.done))
-    table.set(idx, "done_ps", -1 if state.done_ps is None else state.done_ps)
+        cols[name][idx] = getattr(state, name)
+    cols["rtx_deadline"][idx] = (
+        -1 if state.rtx_deadline is None else state.rtx_deadline
+    )
+    cols["done"][idx] = int(state.done)
+    cols["done_ps"][idx] = -1 if state.done_ps is None else state.done_ps
+
+
+def load_dctcp(table, idx: int, params) -> DctcpState:
+    """Row-at-a-time compatibility wrapper over :func:`load_dctcp_cols`."""
+    return load_dctcp_cols(table.columns(SENDER_COLS), idx, params)
+
+
+def store_dctcp(table, idx: int, state: DctcpState) -> None:
+    """Row-at-a-time compatibility wrapper over :func:`store_dctcp_cols`."""
+    store_dctcp_cols(table.columns(SENDER_COLS), idx, state)
 
 
 #: Per-flow events inside a window: (time, kind, row-or-None).
 FlowEvent = Tuple[int, int, Optional[Row]]
 
+#: plan output: (flow ids, acks per flow, starts per flow, trace deliveries)
+SendPlan = Tuple[
+    List[int],
+    Dict[int, List[Tuple[int, Row]]],
+    Dict[int, int],
+    List[Tuple[int, int, Row]],
+]
 
-def run_send_system(engine, ctx: WindowContext) -> None:
-    """Visit every sender with window work, in flow-id order."""
+
+def plan_send(engine, ctx: WindowContext) -> SendPlan:
+    """Group this window's host entries by flow, in flow-id order."""
     topo = engine.scenario.topology
-    # flow id -> (acks, has_start, visit_only)
     acks_of: Dict[int, List[Tuple[int, Row]]] = {}
     starts: Dict[int, int] = {}
     visits: List[int] = []
@@ -90,112 +119,114 @@ def run_send_system(engine, ctx: WindowContext) -> None:
             else:  # ENTRY_TIMER / ENTRY_UDP wakeups
                 if e[1] >= 0:  # negative ids are bare window wakeups
                     visits.append(e[1])
-
     flow_ids = sorted(set(acks_of) | set(starts) | set(visits))
-    if not flow_ids:
-        return
+    return flow_ids, acks_of, starts, deliver_trace
 
-    if engine.trace.level:
-        for t, node, row in sorted(
-            deliver_trace,
-            key=lambda d: (d[0], d[2][F_FLOW], d[2][F_ISACK], d[2][F_SEQ]),
-        ):
-            engine.trace.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
 
-    world = engine.world
-    table = world.senders
+def send_kernel(
+    cols: Dict[str, list],
+    sender_of_flow: Dict[int, int],
+    scenario,
+    acks_of: Dict[int, List[Tuple[int, Row]]],
+    starts: Dict[int, int],
+    window_end: int,
+    flow_id: int,
+):
+    """Replay one flow's window; returns staged segments + stats.
 
-    def visit(flow_id: int):
-        """Replay one flow's window; returns staged segments + stats."""
-        flow = engine.scenario.flows[flow_id]
-        sidx = world.sender_of_flow[flow_id]
-        out: List[Tuple[int, int, Row]] = []  # (t, prio, row)
-        rtts: List[Tuple[int, int, int]] = []
-        wakeup: Optional[int] = None  # rtx deadline to register
-        events = 0
+    Pure over the flow's sender row: each flow id maps to exactly one
+    row, and a flow appears in at most one task.
+    """
+    topo = scenario.topology
+    flow = scenario.flows[flow_id]
+    sidx = sender_of_flow[flow_id]
+    out: List[Tuple[int, int, Row]] = []  # (t, prio, row)
+    rtts: List[Tuple[int, int, int]] = []
+    wakeup: Optional[int] = None  # rtx deadline to register
+    events = 0
 
-        if flow.transport == Transport.UDP:
-            size = flow.size_bytes
-            sched = UdpSchedule(flow_id, size, flow.start_ps,
-                                topo.host_iface(flow.src).rate_bps)
-            seq = table.get(sidx, "udp_next_seq")
-            total = sched.total_segs
-            while seq < total:
-                t = sched.enqueue_time(seq)
-                if t >= ctx.end:
-                    break
-                row = data_row(flow_id, seq, sched.payload(seq), t,
-                               flow.src, flow.dst)
-                out.append((t, PRIO_FLOW_START, row))
-                events += 1
-                seq += 1
-            table.set(sidx, "udp_next_seq", seq)
-            udp_wakeup = sched.enqueue_time(seq) if seq < total else None
-            return flow_id, out, rtts, None, udp_wakeup, events
-
-        # --- window CCA (DCTCP / RENO): per-flow chronological replay ---
-        state = load_dctcp(table, sidx,
-                           engine.scenario.cca_params(flow.transport))
-        evs: List[FlowEvent] = [
-            (t, PRIO_ARRIVAL, row) for t, row in acks_of.get(flow_id, ())
-        ]
-        if flow_id in starts:
-            evs.append((starts[flow_id], PRIO_FLOW_START, None))
-        evs.sort(key=lambda e: (e[0], e[1], e[2][F_SEQ] if e[2] else 0))
-
-        def emit(seqs: List[int], now: int, prio: int) -> None:
-            for seq in seqs:
-                payload = segment_payload(flow.size_bytes, seq)
-                out.append((now, prio,
-                            data_row(flow_id, seq, payload, now,
-                                     flow.src, flow.dst)))
-
-        i, n = 0, len(evs)
-        while True:
-            deadline = state.rtx_deadline
-            fire = (
-                deadline is not None
-                and deadline < ctx.end
-                and (i >= n or deadline < evs[i][0])
-            )
-            if fire:
-                emit(state.on_timeout(deadline), deadline, PRIO_TIMER)
-                events += 1
-                continue
-            if i >= n:
+    if flow.transport == Transport.UDP:
+        size = flow.size_bytes
+        sched = UdpSchedule(flow_id, size, flow.start_ps,
+                            topo.host_iface(flow.src).rate_bps)
+        udp_col = cols["udp_next_seq"]
+        seq = udp_col[sidx]
+        total = sched.total_segs
+        while seq < total:
+            t = sched.enqueue_time(seq)
+            if t >= window_end:
                 break
-            t, kind, row = evs[i]
-            i += 1
+            row = data_row(flow_id, seq, sched.payload(seq), t,
+                           flow.src, flow.dst)
+            out.append((t, PRIO_FLOW_START, row))
             events += 1
-            if kind == PRIO_ARRIVAL:
-                assert row is not None
-                rtts.append((t, t - row[F_SEND_TS], flow_id))
-                emit(state.on_ack(row[F_SEQ], row[F_ECE], row[F_SEND_TS], t),
-                     t, PRIO_ARRIVAL)
-            else:  # flow start
-                emit(state.on_start(t), t, PRIO_FLOW_START)
+            seq += 1
+        udp_col[sidx] = seq
+        udp_wakeup = sched.enqueue_time(seq) if seq < total else None
+        return flow_id, out, rtts, None, udp_wakeup, events
 
-        if state.rtx_deadline is not None and not state.done:
-            wakeup = state.rtx_deadline
-        store_dctcp(table, sidx, state)
-        return flow_id, out, rtts, wakeup, None, events
+    # --- window CCA (DCTCP / RENO): per-flow chronological replay ---
+    state = load_dctcp_cols(cols, sidx, scenario.cca_params(flow.transport))
+    evs: List[FlowEvent] = [
+        (t, PRIO_ARRIVAL, row) for t, row in acks_of.get(flow_id, ())
+    ]
+    if flow_id in starts:
+        evs.append((starts[flow_id], PRIO_FLOW_START, None))
+    evs.sort(key=lambda e: (e[0], e[1], e[2][F_SEQ] if e[2] else 0))
 
-    results = engine.pool.map(
-        "send", visit, flow_ids,
-        sizes=[len(acks_of.get(f, ())) + 1 for f in flow_ids],
-    )
+    def emit(seqs: List[int], now: int, prio: int) -> None:
+        for seq in seqs:
+            payload = segment_payload(flow.size_bytes, seq)
+            out.append((now, prio,
+                        data_row(flow_id, seq, payload, now,
+                                 flow.src, flow.dst)))
 
-    hook = engine.op_hook
+    i, n = 0, len(evs)
+    while True:
+        deadline = state.rtx_deadline
+        fire = (
+            deadline is not None
+            and deadline < window_end
+            and (i >= n or deadline < evs[i][0])
+        )
+        if fire:
+            emit(state.on_timeout(deadline), deadline, PRIO_TIMER)
+            events += 1
+            continue
+        if i >= n:
+            break
+        t, kind, row = evs[i]
+        i += 1
+        events += 1
+        if kind == PRIO_ARRIVAL:
+            assert row is not None
+            rtts.append((t, t - row[F_SEND_TS], flow_id))
+            emit(state.on_ack(row[F_SEQ], row[F_ECE], row[F_SEND_TS], t),
+                 t, PRIO_ARRIVAL)
+        else:  # flow start
+            emit(state.on_start(t), t, PRIO_FLOW_START)
+
+    if state.rtx_deadline is not None and not state.done:
+        wakeup = state.rtx_deadline
+    store_dctcp_cols(cols, sidx, state)
+    return flow_id, out, rtts, wakeup, None, events
+
+
+def commit_send(engine, ctx: WindowContext, results) -> None:
+    """Stage kernel outputs and register wakeups, in flow-id order."""
+    from ..window import ENTRY_TIMER, ENTRY_UDP
+    topo = engine.scenario.topology
+    bus = engine.bus
     for flow_id, out, rtts, rtx_wakeup, udp_wakeup, events in results:
         flow = engine.scenario.flows[flow_id]
         nic = topo.host_iface(flow.src).iface_id
         segments = 0
-        if hook:
+        if bus.has_ops:
             from ...protocols.packet import packet_uid
             for _ in rtts:
-                hook(3, flow.src, (flow_id << 25) | (1 << 24))  # ack handled
+                bus.op(3, flow.src, (flow_id << 25) | (1 << 24))  # ack handled
             for _t, _prio, row in out:
-                hook(0, flow.src, packet_uid(row))  # OP_SEND
+                bus.op(0, flow.src, packet_uid(row))  # OP_SEND
         for t, prio, row in out:
             ctx.stage(nic, t, prio, row)
             segments += 1
@@ -207,3 +238,27 @@ def run_send_system(engine, ctx: WindowContext) -> None:
             engine.register_wakeup(rtx_wakeup, flow.src, ENTRY_TIMER, flow_id)
         if udp_wakeup is not None:
             engine.register_wakeup(udp_wakeup, flow.src, ENTRY_UDP, flow_id)
+
+
+def run_send_system(engine, ctx: WindowContext) -> None:
+    """Visit every sender with window work (plan → kernel → commit)."""
+    flow_ids, acks_of, starts, deliver_trace = plan_send(engine, ctx)
+    if not flow_ids:
+        return
+
+    bus = engine.bus
+    if bus.trace_level:
+        for t, node, row in sorted(
+            deliver_trace,
+            key=lambda d: (d[0], d[2][F_FLOW], d[2][F_ISACK], d[2][F_SEQ]),
+        ):
+            bus.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+
+    cols = engine.world.senders.columns(SENDER_COLS)
+    kernel = partial(send_kernel, cols, engine.world.sender_of_flow,
+                     engine.scenario, acks_of, starts, ctx.end)
+    results = engine.pool.map(
+        "send", kernel, flow_ids,
+        sizes=[len(acks_of.get(f, ())) + 1 for f in flow_ids],
+    )
+    commit_send(engine, ctx, results)

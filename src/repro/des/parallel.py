@@ -126,9 +126,9 @@ class _LpSimulator(OodSimulator):
             super()._emit(port, row, start, end)
             return
         # Local bookkeeping identical to the sequential engine.
-        if self.trace.level:
-            self.trace.deq(start, iface.iface_id, row[F_FLOW],
-                           row[F_ISACK], row[F_SEQ])
+        if self.bus.trace_level:
+            self.bus.deq(start, iface.iface_id, row[F_FLOW],
+                         row[F_ISACK], row[F_SEQ])
         self.results.events.transmit += 1
         self._bump_node(iface.node)
         from .events import KIND_PORT_DONE
@@ -311,7 +311,7 @@ class ParallelOodSimulator:
         trace_level = self.lps[0].trace.level
         merged.trace = TraceRecorder(trace_level)
         for lp in self.lps:
-            lp._finalize()
+            lp.finalize()
             merged.end_time_ps = max(merged.end_time_ps, lp.results.end_time_ps)
             merged.events.add(lp.results.events)
             merged.drops += lp.results.drops

@@ -9,10 +9,11 @@ point of the baseline — while sharing the *semantic* building blocks
 (egress automaton, DCTCP/UDP transitions, receiver logic) with the DOD
 engine so their traces can be compared timestamp for timestamp.
 
-The optional ``op_hook`` is the machine-model probe: it is called with
-``(op_code, location, packet_uid)`` for every processed operation, and
-the OOD cache model replays those touches against a simulated heap
-layout (scattered per-packet objects) to measure cache behaviour.
+Like the DOD engine, the simulator publishes every observation to an
+:class:`~repro.core.instrument.InstrumentationBus`: machine-model probes
+subscribe to the op stream (``bus.subscribe_ops``) and the trace
+recorder to the trace stream.  The ``op_hook`` constructor argument is
+kept as a convenience and is simply subscribed to the bus.
 """
 
 from __future__ import annotations
@@ -22,6 +23,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .events import (
     EventQueue, KIND_ARRIVAL, KIND_FLOW_START, KIND_PORT_DONE, KIND_TIMER,
 )
+from ..core.instrument import InstrumentationBus
+from ..core.runner import EngineRunner
 from ..errors import SimulationError
 from ..metrics import SimResults, TraceLevel, TraceRecorder
 from ..metrics.results import FlowResult
@@ -64,8 +67,10 @@ class OodSimulator:
         sample_queues: bool = False,
     ) -> None:
         self.scenario = scenario
-        self.trace = TraceRecorder(trace_level)
-        self.op_hook = op_hook
+        self.bus = InstrumentationBus(keep_window_profiles=False)
+        self.trace = self.bus.subscribe_trace(TraceRecorder(trace_level))
+        if op_hook is not None:
+            self.bus.subscribe_ops(op_hook)
         self.max_events = max_events
 
         topo = scenario.topology
@@ -89,6 +94,8 @@ class OodSimulator:
         self.results = SimResults(self.name, scenario.name, 0)
         self.queue = EventQueue()
         self._built = False
+        self._finalized = False
+        self._handled = 0
 
     # --- construction ----------------------------------------------------
 
@@ -128,10 +135,10 @@ class OodSimulator:
     def _emit(self, port: EgressPort, row: Row, start: int, end: int) -> None:
         """A service started: schedule completion and far-end arrival."""
         iface = port.iface
-        if self.trace.level:
-            self.trace.deq(start, iface.iface_id, row[F_FLOW], row[F_ISACK], row[F_SEQ])
-        if self.op_hook:
-            self.op_hook(OP_SERVICE, iface.iface_id, packet_uid(row))
+        if self.bus.trace_level:
+            self.bus.deq(start, iface.iface_id, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+        if self.bus.has_ops:
+            self.bus.op(OP_SERVICE, iface.iface_id, packet_uid(row))
         self.results.events.transmit += 1
         self._bump_node(iface.node)
         self.queue.push(end, KIND_PORT_DONE, iface.iface_id, 0, 0, iface.iface_id)
@@ -153,13 +160,13 @@ class OodSimulator:
         port = self.ports[iface_id]
         accepted = port.arrive(row, now)
         if accepted is None:
-            if self.trace.level:
-                self.trace.drop(now, iface_id, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+            if self.bus.trace_level:
+                self.bus.drop(now, iface_id, row[F_FLOW], row[F_ISACK], row[F_SEQ])
             self.results.drops += 1
             return
-        if self.trace.level:
-            self.trace.enq(now, iface_id, row[F_FLOW], row[F_ISACK], row[F_SEQ],
-                           accepted[F_CE])
+        if self.bus.trace_level:
+            self.bus.enq(now, iface_id, row[F_FLOW], row[F_ISACK], row[F_SEQ],
+                         accepted[F_CE])
         self._try_start(port, now)
 
     def _enqueue_at_host_nic(self, host: int, row: Row, now: int) -> None:
@@ -177,8 +184,8 @@ class OodSimulator:
             row = data_row(flow_id, seq, payload, now, flow.src, flow.dst)
             self.results.events.send += 1
             self._bump_node(flow.src)
-            if self.op_hook:
-                self.op_hook(OP_SEND, flow.src, packet_uid(row))
+            if self.bus.has_ops:
+                self.bus.op(OP_SEND, flow.src, packet_uid(row))
             self._enqueue_at_host_nic(flow.src, row, now)
 
     def _arm_timer(self, state: DctcpState) -> None:
@@ -205,8 +212,8 @@ class OodSimulator:
         row = data_row(flow_id, udp_seq, payload_bytes, now, flow.src, flow.dst)
         self.results.events.send += 1
         self._bump_node(flow.src)
-        if self.op_hook:
-            self.op_hook(OP_SEND, flow.src, packet_uid(row))
+        if self.bus.has_ops:
+            self.bus.op(OP_SEND, flow.src, packet_uid(row))
         self._enqueue_at_host_nic(flow.src, row, now)
         nxt = udp_seq + 1
         if nxt < sched.total_segs:
@@ -222,8 +229,8 @@ class OodSimulator:
             # Switch: FIB lookup + move to the chosen egress (ForwardSystem).
             self.results.events.forward += 1
             self._bump_node(node)
-            if self.op_hook:
-                self.op_hook(OP_FORWARD, node, packet_uid(row))
+            if self.bus.has_ops:
+                self.bus.op(OP_FORWARD, node, packet_uid(row))
             salt = row[F_SEQ] if self.scenario.ecmp_mode == "packet" else None
             port = self.scenario.fib.resolve_port(node, row[F_DST],
                                                   row[F_FLOW], salt)
@@ -237,10 +244,10 @@ class OodSimulator:
             )
         self.results.events.ack += 1
         self._bump_node(node)
-        if self.op_hook:
-            self.op_hook(OP_HOST_RX, node, packet_uid(row))
-        if self.trace.level:
-            self.trace.deliver(now, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+        if self.bus.has_ops:
+            self.bus.op(OP_HOST_RX, node, packet_uid(row))
+        if self.bus.trace_level:
+            self.bus.deliver(now, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
         flow_id = row[F_FLOW]
         if row[F_ISACK]:
             self._on_ack_at_sender(flow_id, row, now)
@@ -253,8 +260,8 @@ class OodSimulator:
         ack = rec.on_data(row[F_SEQ], row[F_CE], row[F_SEND_TS], now)
         if rec.complete and not was_complete:
             self.results.flows[flow_id].complete_ps = now
-            if self.trace.level:
-                self.trace.flow_done(now, row[F_DST], flow_id)
+            if self.bus.trace_level:
+                self.bus.flow_done(now, row[F_DST], flow_id)
         if ack is not None:
             ack_seq, ece, echo_ts = ack
             flow = self.scenario.flows[flow_id]
@@ -288,41 +295,50 @@ class OodSimulator:
 
     # --- main loop -----------------------------------------------------------
 
+    @property
+    def built(self) -> bool:
+        return self._built
+
+    def advance(self) -> bool:
+        """Process the next event (the runner's unit of progress)."""
+        if not self.queue:
+            return False
+        duration = self.scenario.duration_ps
+        t = self.queue.peek_time()
+        if duration is not None and t > duration:
+            return False
+        time_ps, kind, _k1, _k2, _k3, payload = self.queue.pop()
+        if kind == KIND_PORT_DONE:
+            self._on_port_done(time_ps, payload)
+        elif kind == KIND_ARRIVAL:
+            self._on_arrival(time_ps, payload)
+        elif kind == KIND_FLOW_START:
+            self._on_flow_start(time_ps, payload)
+        elif kind == KIND_TIMER:
+            self._on_timer(time_ps, payload)
+        else:
+            raise SimulationError(f"unknown event kind {kind}")
+        self.results.end_time_ps = time_ps
+        self._handled += 1
+        if self.max_events is not None and self._handled >= self.max_events:
+            return False
+        return True
+
     def run(self) -> SimResults:
         """Run to completion (or scenario duration / max_events)."""
-        if not self._built:
-            self.build()
-        duration = self.scenario.duration_ps
-        handled = 0
-        while self.queue:
-            t = self.queue.peek_time()
-            if duration is not None and t > duration:
-                break
-            time_ps, kind, _k1, _k2, _k3, payload = self.queue.pop()
-            if kind == KIND_PORT_DONE:
-                self._on_port_done(time_ps, payload)
-            elif kind == KIND_ARRIVAL:
-                self._on_arrival(time_ps, payload)
-            elif kind == KIND_FLOW_START:
-                self._on_flow_start(time_ps, payload)
-            elif kind == KIND_TIMER:
-                self._on_timer(time_ps, payload)
-            else:
-                raise SimulationError(f"unknown event kind {kind}")
-            self.results.end_time_ps = time_ps
-            handled += 1
-            if self.max_events is not None and handled >= self.max_events:
-                break
-        self._finalize()
-        return self.results
+        return EngineRunner(self).run()
 
-    def _finalize(self) -> None:
-        res = self.results
-        res.trace = self.trace
-        res.rtt_samples.sort()
-        for port in self.ports:
-            res.marks += port.stats.marked
-            res.tx_bytes += port.stats.tx_bytes
+    def finalize(self) -> SimResults:
+        """Assemble results (idempotent)."""
+        if not self._finalized:
+            self._finalized = True
+            res = self.results
+            res.trace = self.trace
+            res.rtt_samples.sort()
+            for port in self.ports:
+                res.marks += port.stats.marked
+                res.tx_bytes += port.stats.tx_bytes
+        return self.results
 
 
 def run_baseline(

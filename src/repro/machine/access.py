@@ -1,9 +1,10 @@
 """Memory-access models: how each engine's data layout touches memory.
 
-Both engines expose an ``op_hook`` probe called once per processed
-operation, in actual processing order:
+Both engines publish one op per processed operation, in actual
+processing order, on their instrumentation bus; the recorders below
+subscribe via ``engine.bus.subscribe_ops(recorder)`` and are called as
 
-    hook(op_code, location, packet_uid)
+    recorder(op_code, location, packet_uid)
 
 The recorders here turn those operation streams into *address* streams
 using each architecture's layout model, and the cache simulator replays
@@ -60,7 +61,7 @@ class LayoutParams:
 
 
 class OodAccessModel:
-    """op_hook for the OOD baseline: scattered heap objects."""
+    """Op-stream probe for the OOD baseline: scattered heap objects."""
 
     def __init__(
         self,
@@ -197,7 +198,7 @@ class OodAccessModel:
 
 
 class DodAccessModel:
-    """op_hook for the DOD engine: compact columns, sequential sweeps."""
+    """Op-stream probe for the DOD engine: compact columns, sequential sweeps."""
 
     #: Columns touched per op (field loads/stores on the hot path).
     SEND_COLS = 6

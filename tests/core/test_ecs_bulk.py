@@ -1,0 +1,136 @@
+"""Bulk columnar APIs: gather/scatter, chunk slices, command buffers."""
+
+import pytest
+
+from repro.core.ecs import CommandBuffer, consolidate, merge_buffers
+from repro.core.ecs.components import CHUNK_ENTITIES, FieldSpec, SoATable
+from repro.errors import ConfigError
+
+
+def make_table(n=0):
+    t = SoATable("t", [FieldSpec("a", 0), FieldSpec("b", -1)])
+    for i in range(n):
+        t.add(a=i, b=10 * i)
+    return t
+
+
+class TestBulkColumns:
+    def test_column_is_the_raw_column(self):
+        t = make_table(3)
+        col = t.column("a")
+        assert col is t.col("a")
+        col[1] = 99
+        assert t.get(1, "a") == 99
+
+    def test_column_unknown_name_raises(self):
+        t = make_table(1)
+        with pytest.raises(ConfigError):
+            t.column("missing")
+        with pytest.raises(ConfigError):
+            t.columns(["a", "missing"])
+
+    def test_columns_bulk_handles(self):
+        t = make_table(2)
+        cols = t.columns(["b", "a"])
+        assert set(cols) == {"a", "b"}
+        assert cols["a"] is t.col("a")
+
+    def test_gather_scatter_round_trip(self):
+        t = make_table(8)
+        idxs = [6, 0, 3]
+        got = t.gather(idxs, ["a", "b"])
+        assert got == {"a": [6, 0, 3], "b": [60, 0, 30]}
+        t.scatter(idxs, "a", [-6, -0, -3])
+        assert t.gather(idxs, ["a"])["a"] == [-6, 0, -3]
+        # round-trip: scatter back what gather read
+        t.scatter(idxs, "a", got["a"])
+        assert t.col("a") == list(range(8))
+
+    def test_gather_empty_idxs(self):
+        t = make_table(4)
+        assert t.gather([], ["a"]) == {"a": []}
+
+    def test_scatter_length_mismatch_raises(self):
+        t = make_table(4)
+        with pytest.raises(ConfigError):
+            t.scatter([0, 1], "a", [5])
+
+    def test_slice_is_a_segment(self):
+        t = make_table(10)
+        assert t.slice("a", 3, 6) == [3, 4, 5]
+
+    def test_chunk_slices_cover_boundaries(self):
+        n = CHUNK_ENTITIES + 17
+        t = SoATable("big", [FieldSpec("x", 0)])
+        t.add_many(n)
+        xs = t.col("x")
+        for i in range(n):
+            xs[i] = i
+        pieces = list(t.chunk_slices(["x"]))
+        assert [(s, e) for s, e, _ in pieces] == [
+            (0, CHUNK_ENTITIES), (CHUNK_ENTITIES, n)
+        ]
+        rebuilt = []
+        for start, end, cols in pieces:
+            assert cols["x"] == xs[start:end]
+            rebuilt.extend(cols["x"])
+        assert rebuilt == xs
+
+    def test_chunk_slices_validates_names(self):
+        t = make_table(2)
+        with pytest.raises(ConfigError):
+            list(t.chunk_slices(["nope"]))
+
+
+class TestCommandBuffers:
+    def test_append_many_and_extend(self):
+        buf = CommandBuffer()
+        buf.append_many(3, ["x", "y"])
+        buf.extend([(1, "z"), (3, "w")])
+        assert buf.entries == [(3, "x"), (3, "y"), (1, "z"), (3, "w")]
+        assert len(buf) == 4 and bool(buf)
+
+    def test_empty_buffer_is_falsy(self):
+        buf = CommandBuffer()
+        assert not buf
+        assert len(buf) == 0
+
+    def test_consolidate_empty_buffers(self):
+        sink = {}
+        assert consolidate([], sink) == 0
+        assert consolidate([CommandBuffer(), CommandBuffer()], sink) == 0
+        assert sink == {}
+
+    def test_consolidate_duplicate_targets_keeps_worker_order(self):
+        a, b = CommandBuffer(), CommandBuffer()
+        a.append(7, "a1")
+        a.append(7, "a2")
+        b.append(7, "b1")
+        b.append(2, "b2")
+        sink = {}
+        assert consolidate([a, b], sink) == 4
+        # same egress target fed by two workers: worker order, then
+        # each worker's recorded order
+        assert sink == {7: ["a1", "a2", "b1"], 2: ["b2"]}
+
+    def test_merge_and_merge_buffers(self):
+        a, b, c = CommandBuffer(), CommandBuffer(), CommandBuffer()
+        a.append(0, 1)
+        b.append_many(1, [2, 3])
+        merged = merge_buffers([a, b, c])
+        assert merged.entries == [(0, 1), (1, 2), (1, 3)]
+        # merge() mutates and returns the receiver
+        assert a.merge(b) is a
+        assert a.entries == [(0, 1), (1, 2), (1, 3)]
+
+    def test_merged_consolidation_equals_direct(self):
+        bufs = []
+        for w in range(3):
+            buf = CommandBuffer()
+            for i in range(4):
+                buf.append(i % 2, (w, i))
+            bufs.append(buf)
+        direct, via_merge = {}, {}
+        consolidate(bufs, direct)
+        consolidate([merge_buffers(bufs)], via_merge)
+        assert direct == via_merge

@@ -41,7 +41,7 @@ class TestWindowMechanics:
                 break
             current_window[0] = nxt
             eng.process_window(nxt)
-        eng._finalize()
+        eng.finalize()
         assert eng.results.completed() == 4
 
     def test_window_breakdown_records_busy_windows(self, dumbbell_scenario):

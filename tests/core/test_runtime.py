@@ -30,12 +30,14 @@ class TestWorkerPool:
         assert len(seen) >= 2
 
     def test_stats_accounting(self):
-        pool = WorkerPool(1)
-        pool.map("ack", lambda x: x, [1, 2], sizes=[10, 20])
-        pool.map("ack", lambda x: x, [3], sizes=[5])
-        assert pool.stats.tasks == 3
-        assert pool.stats.items == 35
-        assert pool.stats.by_system["ack"] == [10, 20, 5]
+        with WorkerPool(1) as pool:
+            pool.map("ack", lambda x: x, [1, 2], sizes=[10, 20])
+            pool.map("ack", lambda x: x, [3], sizes=[5])
+        bus = pool.bus
+        assert bus.counters["pool.tasks"] == 3
+        assert bus.counters["pool.items"] == 35
+        assert bus.totals["ack"].tasks == 3
+        assert bus.totals["ack"].items == 35
 
     def test_empty_tasks(self):
         with WorkerPool(2) as pool:

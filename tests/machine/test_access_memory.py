@@ -46,9 +46,11 @@ class TestAccessModels:
         ood = OodAccessModel(topo.num_nodes, topo.num_interfaces,
                              topo.num_hosts)
         OodSimulator(fattree4_scenario, op_hook=ood).run()
-        dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
-                             topo.num_hosts, len(fattree4_scenario.flows))
-        DodEngine(fattree4_scenario, op_hook=dod).run()
+        eng = DodEngine(fattree4_scenario)
+        eng.bus.subscribe_ops(dod := DodAccessModel(
+            topo.num_nodes, topo.num_interfaces,
+            topo.num_hosts, len(fattree4_scenario.flows)))
+        eng.run()
         assert len(ood.addresses) > 1000
         assert len(dod.addresses) > 1000
 
@@ -59,9 +61,11 @@ class TestAccessModels:
         ood = OodAccessModel(topo.num_nodes, topo.num_interfaces,
                              topo.num_hosts)
         OodSimulator(fattree4_scenario, op_hook=ood).run()
-        dod = DodAccessModel(topo.num_nodes, topo.num_interfaces,
-                             topo.num_hosts, len(fattree4_scenario.flows))
-        DodEngine(fattree4_scenario, op_hook=dod).run()
+        eng = DodEngine(fattree4_scenario)
+        eng.bus.subscribe_ops(dod := DodAccessModel(
+            topo.num_nodes, topo.num_interfaces,
+            topo.num_hosts, len(fattree4_scenario.flows)))
+        eng.run()
         cfg = CacheConfig(size_bytes=8 * MIB)
         assert (ood.measure(cfg).miss_rate
                 > 5 * dod.measure(cfg).miss_rate)

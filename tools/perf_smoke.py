@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Perf smoke harness: the columnar hot path must not regress.
+
+Runs a fixed FatTree4 DCTCP scenario on both engines (the OOD baseline
+and the DOD engine), measures wall-clock and event counts, writes a JSON
+report, and asserts the DOD engine has not regressed more than
+``--tolerance`` (default 20%) against the recorded baseline.
+
+Wall-clock is machine-dependent, so the regression check is *relative*:
+the dons/ood time ratio of this run is compared against the baseline's
+ratio — the OOD engine acts as the per-machine speed calibration, the
+way the cost model uses measured quantities instead of absolute clocks.
+Event counts are deterministic and must match the baseline exactly.
+
+Usage:
+
+    PYTHONPATH=src python tools/perf_smoke.py             # check
+    PYTHONPATH=src python tools/perf_smoke.py --record    # re-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+BASELINE = os.path.join(REPO, "tools", "BENCH_smoke_baseline.json")
+REPORT = os.path.join(REPO, "BENCH_smoke.json")
+REPEATS = 3
+
+
+def smoke_scenario():
+    from repro.scenario import make_scenario
+    from repro.topology import fattree
+    from repro.traffic import Transport, fixed_flows
+    from repro.units import GBPS
+
+    topo = fattree(4, rate_bps=10 * GBPS)
+    flows = fixed_flows(topo.hosts, n_flows=64, size_bytes=200_000,
+                        transport=Transport.DCTCP, seed=1)
+    return make_scenario(topo, flows, name="FatTree4-dctcp-smoke")
+
+
+def _events(results) -> dict:
+    ev = results.events
+    return {"total": ev.total, "send": ev.send, "forward": ev.forward,
+            "transmit": ev.transmit, "ack": ev.ack,
+            "completed": results.completed()}
+
+
+def measure() -> dict:
+    """Best-of-N wall-clock for both engines on the fixed scenario."""
+    from repro.core.engine import run_dons
+    from repro.des import run_baseline
+
+    scenario = smoke_scenario()
+    ood_s, dons_s = [], []
+    ood_res = dons_res = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        ood_res = run_baseline(scenario)
+        ood_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        dons_res = run_dons(scenario)
+        dons_s.append(time.perf_counter() - t0)
+    return {
+        "scenario": scenario.name,
+        "repeats": REPEATS,
+        "ood_s": min(ood_s),
+        "dons_s": min(dons_s),
+        "ratio_dons_over_ood": min(dons_s) / min(ood_s),
+        "ood_events": _events(ood_res),
+        "dons_events": _events(dons_res),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--record", action="store_true",
+                        help="overwrite the recorded baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative slowdown vs baseline")
+    parser.add_argument("--out", default=REPORT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = measure()
+    print(f"scenario : {report['scenario']}")
+    print(f"ood      : {report['ood_s']:.3f}s  "
+          f"({report['ood_events']['total']} events)")
+    print(f"dons     : {report['dons_s']:.3f}s  "
+          f"({report['dons_events']['total']} events)")
+    print(f"ratio    : {report['ratio_dons_over_ood']:.3f} (dons/ood)")
+
+    if args.record or not os.path.exists(BASELINE):
+        with open(BASELINE, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"baseline recorded at {BASELINE}")
+        report["baseline"] = "recorded"
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        return 0
+
+    with open(BASELINE) as fh:
+        base = json.load(fh)
+    failures = []
+    for key in ("ood_events", "dons_events"):
+        if report[key] != base[key]:
+            failures.append(f"{key} changed: {base[key]} -> {report[key]}")
+    limit = base["ratio_dons_over_ood"] * (1.0 + args.tolerance)
+    if report["ratio_dons_over_ood"] > limit:
+        failures.append(
+            f"dons/ood ratio {report['ratio_dons_over_ood']:.3f} exceeds "
+            f"baseline {base['ratio_dons_over_ood']:.3f} + {args.tolerance:.0%}"
+        )
+    report["baseline"] = {"ratio_dons_over_ood": base["ratio_dons_over_ood"],
+                          "limit": limit}
+    report["regressed"] = bool(failures)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"report written to {args.out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"OK: within {args.tolerance:.0%} of baseline "
+          f"(limit {limit:.3f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
