@@ -167,38 +167,61 @@ def cmd_compare(args) -> int:
 
 
 def cmd_profile(args) -> int:
-    """Run the DOD engine and print the instrumentation-bus breakdown:
-    per-window, per-system wall-clock / tasks / items, then totals."""
+    """Run the DOD engine (or a cluster of agents) and print the
+    instrumentation-bus breakdown: per-window, per-system wall-clock /
+    tasks / items, then totals.  With ``--cluster N`` the run is
+    distributed over N agents and every row is tagged ``a<id>:<system>``
+    — the timings are the *measured* per-agent window costs the merged
+    cluster bus collected."""
     import json
     scenario = build_scenario(args)
-    from .core.engine import DodEngine
-    eng = DodEngine(scenario, workers=args.workers)
-    results = eng.run()
-    bus = eng.bus
+    if args.cluster:
+        from .cluster import DonsManager
+        from .partition import ClusterSpec, measured_machine_times
+        mgr = DonsManager(scenario, ClusterSpec.homogeneous(args.cluster),
+                          workers_per_agent=args.workers,
+                          transport=args.transport)
+        run = mgr.run()
+        results, bus = run.results, run.bus
+        agent_times = measured_machine_times(bus, args.cluster)
+    else:
+        from .core.engine import DodEngine
+        eng = DodEngine(scenario, workers=args.workers)
+        results = eng.run()
+        bus = eng.bus
+        agent_times = None
     rows = bus.profile_rows()
     if args.json:
-        json.dump({"counters": bus.counters, "rows": rows},
+        json.dump({"counters": bus.counters, "rows": rows,
+                   "agent_times_s": agent_times},
                   sys.stdout, indent=2)
         print()
         return 0
     print(_summary(results))
     print()
-    print(f"{'window':>6} {'start_us':>9} {'system':<9} "
+    width = max([12] + [len(r["system"]) for r in rows])
+    print(f"{'window':>6} {'start_us':>9} {'system':<{width}} "
           f"{'tasks':>6} {'items':>8} {'ms':>8}")
-    shown = rows if args.all_windows else rows[-4 * args.tail:]
+    per_window = 4 * (args.cluster or 1)
+    shown = rows if args.all_windows else rows[-per_window * args.tail:]
     if len(shown) < len(rows):
         print(f"  ... ({len(rows) - len(shown)} earlier rows; "
               f"--all-windows to show)")
     for row in shown:
         print(f"{row['window']:>6} {ps_to_us(row['start_ps']):>9.1f} "
-              f"{row['system']:<9} {row['tasks']:>6} {row['items']:>8} "
+              f"{row['system']:<{width}} {row['tasks']:>6} {row['items']:>8} "
               f"{row['elapsed_s'] * 1000:>8.3f}")
     print()
-    print(f"{'totals':<16} {'tasks':>6} {'items':>8} {'ms':>8}")
+    print(f"{'totals':<{width + 4}} {'tasks':>6} {'items':>8} {'ms':>8}")
     for name, prof in sorted(bus.totals.items()):
-        print(f"{name:<16} {prof.tasks:>6} {prof.items:>8} "
+        print(f"{name:<{width + 4}} {prof.tasks:>6} {prof.items:>8} "
               f"{prof.elapsed_s * 1000:>8.3f}")
-    print(f"windows          {bus.counters.get('windows', 0):>6}")
+    print(f"windows {bus.counters.get('windows', 0):>{width + 5}}")
+    if agent_times is not None:
+        print()
+        print("per-agent wall-clock (measured T_a):")
+        for agent, seconds in enumerate(agent_times):
+            print(f"  a{agent}: {seconds * 1000:.3f} ms")
     return 0
 
 
@@ -274,13 +297,20 @@ def make_parser() -> argparse.ArgumentParser:
 
     profile = sub.add_parser(
         "profile", parents=[common],
-        help="run the DOD engine, print per-window per-system breakdown")
+        help="run the DOD engine (or --cluster N agents), print "
+             "per-window per-system breakdown")
     profile.add_argument("--json", action="store_true",
                          help="dump counters and rows as JSON")
     profile.add_argument("--all-windows", action="store_true",
                          help="print every window (default: the last few)")
     profile.add_argument("--tail", type=int, default=5,
                          help="windows to show without --all-windows")
+    profile.add_argument("--cluster", type=int, default=0, metavar="N",
+                         help="distribute over N agents; rows come from "
+                              "the merged cluster bus tagged a<id>:system")
+    profile.add_argument("--transport", choices=["local", "process"],
+                         default="local",
+                         help="how cluster agents are hosted (with --cluster)")
     profile.set_defaults(fn=cmd_profile)
 
     plan = sub.add_parser("plan", parents=[common],

@@ -1,17 +1,31 @@
-"""Distributed execution: Manager, Agents, Cluster Controller (§3.1, §4.2)."""
+"""Distributed execution: Manager, Agents, transports, cluster runtime
+(§3.1, §4.2) and checkpoint-based fault tolerance (§8)."""
 
-from .agent import AgentEngine
-from .channel import ClusterTrafficStats, RpcChannel, RPC_FRAME_BYTES, RPC_RECORD_BYTES
-from .manager import ClusterController, DistributedRun, DonsManager, merge_results
+from .agent import AgentEngine, AgentSpec
+from .channel import (
+    ChannelMap, ClusterTrafficStats, RpcChannel,
+    RPC_FRAME_BYTES, RPC_RECORD_BYTES,
+)
+from .transport import (
+    AgentFailure, AgentReport, LocalTransport, ProcessTransport, Transport,
+    make_transport,
+)
+from .fault import FaultPlan, RecoveryStats
+from .runtime import ClusterEngine, merge_results
+from .manager import ClusterController, DistributedRun, DonsManager
 from .migration import MigrationStats, migrate
 from .checkpoint import (
     ClusterCheckpoint, resume_cluster, take_cluster_checkpoint,
 )
 
 __all__ = [
-    "AgentEngine", "ClusterTrafficStats", "RpcChannel",
-    "RPC_FRAME_BYTES", "RPC_RECORD_BYTES",
-    "ClusterController", "DistributedRun", "DonsManager", "merge_results",
+    "AgentEngine", "AgentSpec", "ChannelMap", "ClusterTrafficStats",
+    "RpcChannel", "RPC_FRAME_BYTES", "RPC_RECORD_BYTES",
+    "AgentFailure", "AgentReport", "LocalTransport", "ProcessTransport",
+    "Transport", "make_transport",
+    "FaultPlan", "RecoveryStats",
+    "ClusterEngine", "ClusterController", "DistributedRun", "DonsManager",
+    "merge_results",
     "MigrationStats", "migrate",
     "ClusterCheckpoint", "resume_cluster", "take_cluster_checkpoint",
 ]

@@ -10,6 +10,7 @@ RPCs between windows.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.engine import DodEngine
@@ -17,6 +18,33 @@ from ..des.partition_types import Partition
 from ..metrics import TraceLevel
 from ..protocols.packet import Row
 from ..scenario import Scenario
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """Everything needed to (re)construct one agent's engine.
+
+    The spec — not the engine — is what crosses a transport boundary: a
+    :class:`~repro.cluster.transport.ProcessTransport` pickles it into
+    the worker process, and fault recovery uses it to rebuild a dead
+    agent before restoring the checkpoint payload.
+    """
+
+    agent_id: int
+    scenario: Scenario
+    partition: Partition
+    trace_level: TraceLevel = TraceLevel.NONE
+    workers: int = 1
+
+    def make(self) -> "AgentEngine":
+        return AgentEngine(self.agent_id, self.scenario, self.partition,
+                           self.trace_level, self.workers)
+
+
+def spec_of(engine: "AgentEngine") -> AgentSpec:
+    """Recover the construction recipe of an existing agent engine."""
+    return AgentSpec(engine.agent_id, engine.scenario, engine.partition,
+                     TraceLevel(engine.trace.level), engine.pool.workers)
 
 
 class AgentEngine(DodEngine):
@@ -71,6 +99,11 @@ class AgentEngine(DodEngine):
         out = self.outbox
         self.outbox = {}
         return out
+
+    def run_window(self, window: int) -> Dict[int, List[Tuple[int, int, Row]]]:
+        """One cluster step: execute the window, hand back the outbox."""
+        self.process_window(window)
+        return self.take_outbox()
 
     def finish(self) -> None:
         self.finalize()

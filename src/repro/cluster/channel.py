@@ -1,17 +1,23 @@
 """Inter-agent communication channels with traffic accounting.
 
 In the paper's deployment, Agents exchange RPCs over the cluster fabric
-(40 Gbps in the evaluation).  Here the channel is an in-process mailbox
-(DESIGN.md substitution); what is preserved and measured is the traffic:
-messages, packet records and bytes per direction, which feed tau_a of
-Eq. (1) and the FINISH-barrier accounting of §4.2.
+(40 Gbps in the evaluation).  Here a channel is the unit of *accounting*
+— messages, packet records and bytes per direction, which feed tau_a of
+Eq. (1) and the FINISH-barrier accounting of §4.2 — while the physical
+move of a batch belongs to the :mod:`~repro.cluster.transport` layer
+(in-process mailbox or a multiprocessing pipe).
+
+Channels are created lazily by :class:`ChannelMap` on the first send of
+each directed pair, so a large-N plan whose cut touches only a few
+machine pairs never pays the O(N^2) setup the old controller did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..errors import ClusterError
 from ..protocols.packet import Row
 
 #: Modeled wire size of one packet record inside a batch RPC.
@@ -46,6 +52,52 @@ class RpcChannel:
         out = self.pending
         self.pending = []
         return out
+
+
+class ChannelMap:
+    """Directed channels keyed by ``(src, dst)``, created on first use.
+
+    Only pairs that actually exchange a batch ever get an
+    :class:`RpcChannel`; iteration covers the channels that exist, which
+    is exactly what the FINISH-barrier drain and the final traffic
+    accounting need.
+    """
+
+    def __init__(self) -> None:
+        self._channels: Dict[Tuple[int, int], RpcChannel] = {}
+
+    def __getitem__(self, key: Tuple[int, int]) -> RpcChannel:
+        channel = self._channels.get(key)
+        if channel is None:
+            src, dst = key
+            if src == dst:
+                raise ClusterError(f"agent {src} cannot open a self-channel")
+            channel = self._channels[key] = RpcChannel(src, dst)
+        return channel
+
+    def get(self, key: Tuple[int, int]) -> Optional[RpcChannel]:
+        """The channel if it was ever used, else ``None`` (no creation)."""
+        return self._channels.get(key)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._channels
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._channels)
+
+    def items(self):
+        return self._channels.items()
+
+    def values(self):
+        return self._channels.values()
+
+    def sorted_items(self) -> List[Tuple[Tuple[int, int], RpcChannel]]:
+        """Channels in ``(src, dst)`` order — the deterministic drain
+        order of the window barrier."""
+        return sorted(self._channels.items())
 
 
 @dataclass

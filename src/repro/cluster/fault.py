@@ -1,0 +1,55 @@
+"""Fault injection and recovery accounting (§8, Discussion).
+
+The paper's fault-tolerance story is checkpoint-based: periodically
+snapshot every agent; when a machine dies, restore its share of the
+simulation from the latest snapshot and continue.  This module holds the
+two small data types the stack shares:
+
+* :class:`FaultPlan` — a deterministic fault to inject: kill one agent
+  when the cluster reaches a given window.  The
+  :class:`~repro.cluster.runtime.ClusterEngine` triggers it through the
+  transport's ``kill`` hook (a ``ProcessTransport`` worker is actually
+  ``terminate()``-d; a ``LocalTransport`` engine is dropped), so the
+  recovery path under test is the real one.
+* :class:`RecoveryStats` — what one recovery cost: which snapshot it
+  restored, how many windows it re-executed, how many logged records
+  peers replayed into it.
+
+Recovery itself lives in ``ClusterEngine._recover``: restore the dead
+agent from the latest per-agent snapshot, replay the remote batches it
+received since that snapshot (from the runtime's delivery log), then
+re-run the missed windows with outboxes discarded (peers already hold
+those batches).  Because engine state between windows is a pure function
+of the windows executed, the recovered run's merged trace is
+byte-identical to the fault-free run
+(tests/cluster/test_fault_recovery.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultPlan:
+    """Kill ``agent`` when the cluster reaches window ``at_window``.
+
+    The kill fires at the first cluster window >= ``at_window`` (windows
+    with no pending work are skipped by the scheduler, so an exact match
+    may never run).  ``fired`` records that the fault happened.
+    """
+
+    agent: int
+    at_window: int
+    fired: bool = False
+
+
+@dataclass
+class RecoveryStats:
+    """The measured cost of one agent recovery."""
+
+    agent: int
+    failed_window: int
+    restored_from_window: int
+    windows_replayed: int = 0
+    records_replayed: int = 0

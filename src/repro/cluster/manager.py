@@ -1,34 +1,45 @@
-"""DONS Manager and Cluster Controller (§3.1, §4.2).
+"""DONS Manager and the legacy Cluster Controller facade (§3.1, §4.2).
 
 The Manager accepts a simulation submission, runs the Load Estimator and
-Partitioner to produce the execution plan, hands each machine's Agent
-its sub-graph, and the Cluster Controller then drives the distributed
-execution:
+Partitioner to produce the execution plan, and hands the execution to the
+layered cluster stack:
 
-* every Runner executes the same lookahead batch (windows are agreed
-  cluster-wide);
-* cross-machine packets of a window travel as one batched RPC per
-  destination (overlapping communication with computation);
-* a machine that finished its TransmitSystem and RPCs sends a FINISH
-  signal to the other N-1 machines; receiving N-1 FINISH signals means
-  no further RPC can arrive for this window and the next batch may start
-  — the conservative synchronization of §4.2.
+* **transport** (:mod:`repro.cluster.transport`) — where agents live and
+  how batched window RPCs move: in-process mailboxes
+  (``LocalTransport``) or one ``multiprocessing`` worker per agent
+  (``ProcessTransport``, GIL-free agent parallelism).
+* **runtime** (:mod:`repro.cluster.runtime`) — :class:`ClusterEngine`,
+  the distributed run as an ``Engine`` (one window per ``advance``),
+  driven by the same :class:`~repro.core.runner.EngineRunner` as the
+  single-machine engines.
+* **fault** (:mod:`repro.cluster.fault`) — checkpoint-based recovery
+  from injected agent kills.
 
 Correctness: the merged distributed trace equals the single-machine
-trace (tests/integration/test_distributed_equivalence.py), because RPCs
-only ever carry packets into *future* windows (link delay >= lookahead).
+trace under *every* transport
+(tests/integration/test_transport_equivalence.py), because RPCs only
+ever carry packets into future windows (link delay >= lookahead).
+
+:class:`ClusterController` remains as a thin facade over
+:class:`ClusterEngine` + ``LocalTransport`` for callers (and tests) that
+hold pre-built agent engines.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
-from .agent import AgentEngine
-from .channel import ClusterTrafficStats, RpcChannel
+from .agent import AgentEngine, AgentSpec, spec_of
+from .channel import ClusterTrafficStats
+from .fault import FaultPlan, RecoveryStats
+from .runtime import ClusterEngine, merge_results
+from .transport import LocalTransport, Transport
+from ..core.instrument import InstrumentationBus
+from ..core.runner import EngineRunner
 from ..des.partition_types import Partition
 from ..errors import ClusterError
-from ..metrics import SimResults, TraceLevel, TraceRecorder
+from ..metrics import SimResults, TraceLevel
 from ..partition import (
     ClusterSpec,
     LoadModel,
@@ -36,6 +47,10 @@ from ..partition import (
     plan_scenario,
 )
 from ..scenario import Scenario
+
+__all__ = [
+    "ClusterController", "DistributedRun", "DonsManager", "merge_results",
+]
 
 
 @dataclass
@@ -47,87 +62,61 @@ class DistributedRun:
     traffic: ClusterTrafficStats
     plan: Optional[PartitionPlan]
     partition: Partition
+    #: merged cluster-level instrumentation (per-agent timers tagged a<id>:)
+    bus: Optional[InstrumentationBus] = None
+    #: one entry per recovered agent failure
+    recoveries: List[RecoveryStats] = field(default_factory=list)
 
 
 class ClusterController:
-    """Drives N agents window by window with FINISH-signal sync.
+    """Legacy driver: pre-built agents on the in-process transport.
 
-    ``schedule`` optionally lists repartitioning points for dynamic
-    execution (Appendix A): ``[(from_window, Partition), ...]`` sorted by
-    window; before the first window at or past each boundary, node state
-    migrates to the new owners (``repro.cluster.migration``).
+    Kept as a facade over :class:`ClusterEngine` so existing call sites
+    (checkpoint resume, the migration tests) keep their shape:
+    ``agents``, ``channels``, ``schedule``, ``migrations`` and
+    ``run``/``run_from`` all delegate to the engine.
     """
 
     def __init__(self, agents: List[AgentEngine],
                  schedule: Optional[List[Tuple[int, "Partition"]]] = None) -> None:
         if not agents:
             raise ClusterError("no agents")
-        self.agents = agents
-        n = len(agents)
-        self.channels: Dict[Tuple[int, int], RpcChannel] = {
-            (a, b): RpcChannel(a, b)
-            for a in range(n) for b in range(n) if a != b
-        }
-        self.stats = ClusterTrafficStats(egress_bytes=[0] * n)
-        self.schedule = sorted(schedule or [], key=lambda s: s[0])
-        self.migrations: List["MigrationStats"] = []
+        self.engine = ClusterEngine(
+            [spec_of(agent) for agent in agents],
+            transport=LocalTransport(engines=agents),
+            schedule=schedule,
+        )
+
+    @property
+    def agents(self) -> List[AgentEngine]:
+        return self.engine.agents
+
+    @property
+    def channels(self):
+        return self.engine.channels
+
+    @property
+    def stats(self) -> ClusterTrafficStats:
+        return self.engine.stats
+
+    @property
+    def schedule(self):
+        return self.engine.schedule
+
+    @property
+    def migrations(self):
+        return self.engine.migrations
 
     def _maybe_migrate(self, window: int) -> None:
-        from .migration import migrate
-        while self.schedule and self.schedule[0][0] <= window:
-            _boundary, new_partition = self.schedule.pop(0)
-            old_partition = self.agents[0].partition
-            if new_partition.assignment != old_partition.assignment:
-                self.migrations.append(
-                    migrate(self.agents, old_partition, new_partition)
-                )
+        self.engine._maybe_migrate(window)
 
     def run(self) -> List[SimResults]:
-        for agent in self.agents:
-            agent.build()
-        return self.run_from(-1)
+        return self.engine.run()
 
     def run_from(self, current: int) -> List[SimResults]:
         """Drive already-built (or checkpoint-restored) agents from the
         given window cursor to completion."""
-        agents = self.agents
-        n = len(agents)
-        while True:
-            pending = [a.peek_next_window(current) for a in agents]
-            live = [w for w in pending if w is not None]
-            if not live:
-                break
-            window = min(live)
-            duration = agents[0].scenario.duration_ps
-            if duration is not None and window * agents[0].lookahead > duration:
-                break
-            self._maybe_migrate(window)
-            # Every Runner executes the same batch (§4.2).
-            for agent in agents:
-                agent.process_window(window)
-            # TransmitSystem done everywhere: flush batched RPCs.
-            for agent in agents:
-                for dst, records in sorted(agent.take_outbox().items()):
-                    self.channels[(agent.agent_id, dst)].send_batch(records)
-            for (src, dst), ch in self.channels.items():
-                records = ch.drain()
-                if records:
-                    agents[dst].accept_remote(records)
-            # FINISH barrier: everyone tells everyone (N*(N-1) signals).
-            self.stats.finish_signals += n * (n - 1)
-            self.stats.windows += 1
-            current = window
-        for agent in agents:
-            agent.finish()
-        # Final traffic accounting.
-        self.stats.rpc_messages = sum(c.messages for c in self.channels.values())
-        self.stats.rpc_records = sum(c.records for c in self.channels.values())
-        self.stats.rpc_bytes = sum(c.bytes_sent for c in self.channels.values())
-        self.stats.egress_bytes = [
-            sum(c.bytes_sent for (s, _d), c in self.channels.items() if s == a)
-            for a in range(n)
-        ]
-        return [a.results for a in agents]
+        return self.engine.run_from(current)
 
 
 class DonsManager:
@@ -139,11 +128,38 @@ class DonsManager:
         cluster: ClusterSpec,
         trace_level: TraceLevel = TraceLevel.NONE,
         workers_per_agent: int = 1,
+        transport: Union[str, Transport, None] = "local",
+        checkpoint_every: Optional[int] = None,
+        fault: Optional[FaultPlan] = None,
     ) -> None:
         self.scenario = scenario
         self.cluster = cluster
         self.trace_level = trace_level
         self.workers_per_agent = workers_per_agent
+        self.transport = transport
+        self.checkpoint_every = checkpoint_every
+        self.fault = fault
+
+    def _specs(self, partition: Partition) -> List[AgentSpec]:
+        return [
+            AgentSpec(a, self.scenario, partition, self.trace_level,
+                      self.workers_per_agent)
+            for a in range(partition.num_parts)
+        ]
+
+    def _engine(
+        self,
+        partition: Partition,
+        schedule: Optional[List[Tuple[int, Partition]]] = None,
+    ) -> ClusterEngine:
+        from .transport import make_transport
+        return ClusterEngine(
+            self._specs(partition),
+            transport=make_transport(self.transport),
+            schedule=schedule,
+            checkpoint_every=self.checkpoint_every,
+            fault=self.fault,
+        )
 
     def run(
         self,
@@ -157,29 +173,33 @@ class DonsManager:
             partition = plan.partition
         if len(partition.assignment) != self.scenario.topology.num_nodes:
             raise ClusterError("partition does not match topology")
-        agents = [
-            AgentEngine(a, self.scenario, partition, self.trace_level,
-                        self.workers_per_agent)
-            for a in range(partition.num_parts)
-        ]
-        controller = ClusterController(agents)
-        per_agent = controller.run()
-        merged = merge_results(per_agent, self.scenario.name)
+        engine = self._engine(partition)
+        EngineRunner(engine).run()
         return DistributedRun(
-            results=merged,
-            per_agent=per_agent,
-            traffic=controller.stats,
+            results=engine.results,
+            per_agent=engine.per_agent,
+            traffic=engine.stats,
             plan=plan,
             partition=partition,
+            bus=engine.bus,
+            recoveries=engine.recoveries,
         )
 
     def run_dynamic(
         self,
         bin_ps: int,
         threshold: float = 0.25,
+        measured_times: Optional[List[float]] = None,
+        measured_partition: Optional[Partition] = None,
     ) -> Tuple[DistributedRun, List]:
         """Appendix A end to end: detect traffic phases, partition each,
         and execute with live state migration at the phase boundaries.
+
+        ``measured_times``/``measured_partition`` feed per-agent
+        wall-clock from a previous run's merged bus
+        (:func:`repro.partition.measured_machine_times`) back into the
+        planner, refitting the cluster's compute capacities before the
+        phases are partitioned.
 
         Returns ``(run, migrations)`` where ``migrations`` lists the
         :class:`~repro.cluster.migration.MigrationStats` of each
@@ -189,6 +209,8 @@ class DonsManager:
         phases = dynamic_partition_plan(
             self.scenario.topology, self.scenario.fib, self.scenario.flows,
             bin_ps, self.cluster, threshold,
+            measured_times=measured_times,
+            measured_partition=measured_partition,
         )
         if not phases:
             raise ClusterError("no phases detected")
@@ -198,45 +220,19 @@ class DonsManager:
             (phase.start_bin * bin_ps // lookahead, phase.plan.partition)
             for phase in phases[1:]
         ]
-        agents = [
-            AgentEngine(a, self.scenario, first, self.trace_level,
-                        self.workers_per_agent)
-            for a in range(first.num_parts)
-        ]
-        controller = ClusterController(agents, schedule=schedule)
-        per_agent = controller.run()
-        merged = merge_results(per_agent, self.scenario.name)
+        engine = self._engine(first, schedule=schedule)
+        EngineRunner(engine).run()
+        try:
+            final_partition = engine.agents[0].partition
+        except ClusterError:  # transport without in-process engines
+            final_partition = first
         run = DistributedRun(
-            results=merged,
-            per_agent=per_agent,
-            traffic=controller.stats,
+            results=engine.results,
+            per_agent=engine.per_agent,
+            traffic=engine.stats,
             plan=phases[0].plan,
-            partition=agents[0].partition,
+            partition=final_partition,
+            bus=engine.bus,
+            recoveries=engine.recoveries,
         )
-        return run, controller.migrations
-
-
-def merge_results(per_agent: List[SimResults], scenario_name: str) -> SimResults:
-    """Aggregate agent results the way the Cluster Controller reports."""
-    merged = SimResults("dons-cluster", scenario_name, 0)
-    merged.trace = TraceRecorder(
-        per_agent[0].trace.level if per_agent[0].trace else 0
-    )
-    for res in per_agent:
-        merged.end_time_ps = max(merged.end_time_ps, res.end_time_ps)
-        merged.events.add(res.events)
-        merged.drops += res.drops
-        merged.marks += res.marks
-        merged.tx_bytes += res.tx_bytes
-        merged.rtt_samples.extend(res.rtt_samples)
-        for node, count in res.node_events.items():
-            merged.node_events[node] = merged.node_events.get(node, 0) + count
-        for flow_id, fr in res.flows.items():
-            have = merged.flows.get(flow_id)
-            if have is None or (fr.complete_ps is not None
-                                and have.complete_ps is None):
-                merged.flows[flow_id] = fr
-        if res.trace:
-            merged.trace.entries.extend(res.trace.entries)
-    merged.rtt_samples.sort()
-    return merged
+        return run, engine.migrations

@@ -1,0 +1,491 @@
+"""Transport layer: where agents live and how window batches move.
+
+The cluster runtime (:mod:`repro.cluster.runtime`) never talks to an
+:class:`~repro.cluster.agent.AgentEngine` directly; it talks to a
+*transport*, which decides where each agent executes and carries the
+batched RPCs between them.  Two implementations:
+
+* :class:`LocalTransport` — every agent is an in-process engine and a
+  batch RPC is an in-process mailbox hand-off (the DESIGN.md
+  substitution).  Serial, deterministic, zero serialization cost; the
+  default, and the reference the equivalence tests compare against.
+* :class:`ProcessTransport` — every agent runs in its own
+  ``multiprocessing`` worker; window commands fan out to all workers
+  before any reply is collected, so agents execute their lookahead
+  batches concurrently without sharing a GIL.  Window batches, snapshots
+  and results cross the pipe pickled.
+
+Both route every batch through a lazily-created
+:class:`~repro.cluster.channel.RpcChannel` (one per directed pair that
+actually communicates), so the traffic accounting — records, bytes,
+FINISH signals — is identical whichever transport runs the agents.
+
+The transport is also the fault boundary: :meth:`Transport.kill` is the
+fault-injection hook (worker process terminated / in-process engine
+discarded), failures surface as :class:`AgentFailure`, and
+:meth:`Transport.restore` rebuilds a dead agent from a checkpoint
+payload — the runtime layers replay and catch-up on top.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .agent import AgentEngine, AgentSpec, spec_of
+from .channel import ChannelMap, ClusterTrafficStats
+from ..core.checkpoint import (
+    FORMAT as ENGINE_FORMAT,
+    Checkpoint,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from ..core.instrument import SystemProfile, WindowProfile
+from ..errors import ClusterError
+from ..metrics import SimResults
+from ..protocols.packet import Row
+
+#: One remote delivery: (arrival_time_ps, node, row).
+Record = Tuple[int, int, Row]
+
+
+class AgentFailure(ClusterError):
+    """An agent died (or was killed) and cannot serve requests."""
+
+    def __init__(self, agent_id: int, window: int = -1) -> None:
+        super().__init__(f"agent {agent_id} failed at window {window}")
+        self.agent_id = agent_id
+        self.window = window
+
+
+@dataclass
+class AgentReport:
+    """What one finished agent hands back across the transport."""
+
+    agent_id: int
+    results: SimResults
+    counters: Dict[str, int]
+    totals: Dict[str, SystemProfile]
+    windows: List[WindowProfile]
+
+
+class Transport:
+    """Base transport: channel accounting shared by every implementation.
+
+    Subclasses implement agent hosting (``launch`` / ``build_all`` /
+    ``peek_all`` / ``run_window`` / ``run_window_all`` / ``accept`` /
+    ``snapshot_all`` / ``kill`` / ``restore`` / ``finish_all`` /
+    ``close``); batch accounting, delivery and the FINISH barrier live
+    here.
+    """
+
+    def __init__(self) -> None:
+        self.specs: List[AgentSpec] = []
+        self.channels = ChannelMap()
+        self.stats = ClusterTrafficStats()
+
+    # --- batched RPCs -----------------------------------------------------
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.specs)
+
+    def send_batch(self, src: int, dst: int, records: List[Record]) -> None:
+        """Account and enqueue one window batch (nothing for empty)."""
+        if records:
+            self.channels[src, dst].send_batch(records)
+
+    def deliver_pending(self) -> Dict[int, List[Record]]:
+        """Drain every channel into its destination agent, in ``(src,
+        dst)`` order; returns what each destination received (the
+        runtime's replay log feeds on this)."""
+        delivered: Dict[int, List[Record]] = {}
+        for (_src, dst), channel in self.channels.sorted_items():
+            records = channel.drain()
+            if records:
+                self.accept(dst, records)
+                delivered.setdefault(dst, []).extend(records)
+        return delivered
+
+    def barrier(self) -> None:
+        """End-of-window FINISH barrier: everyone tells everyone (§4.2)."""
+        n = self.num_agents
+        self.stats.finish_signals += n * (n - 1)
+        self.stats.windows += 1
+
+    def finalize_stats(self) -> ClusterTrafficStats:
+        """Aggregate the per-channel accounting into the run totals."""
+        channels = list(self.channels.values())
+        self.stats.rpc_messages = sum(c.messages for c in channels)
+        self.stats.rpc_records = sum(c.records for c in channels)
+        self.stats.rpc_bytes = sum(c.bytes_sent for c in channels)
+        self.stats.egress_bytes = [
+            sum(c.bytes_sent for c in channels if c.src == a)
+            for a in range(self.num_agents)
+        ]
+        return self.stats
+
+    # --- hosting API (subclass responsibility) ----------------------------
+
+    def launch(self, specs: Sequence[AgentSpec]) -> None:
+        raise NotImplementedError
+
+    def build_all(self) -> None:
+        raise NotImplementedError
+
+    def peek_all(self, current: int) -> List[Optional[int]]:
+        raise NotImplementedError
+
+    def run_window(self, agent_id: int, window: int) -> Dict[int, List[Record]]:
+        raise NotImplementedError
+
+    def run_window_all(
+        self, window: int
+    ) -> List[Union[Dict[int, List[Record]], AgentFailure]]:
+        raise NotImplementedError
+
+    def accept(self, agent_id: int, records: List[Record]) -> None:
+        raise NotImplementedError
+
+    def snapshot_all(self, window: int) -> List[bytes]:
+        raise NotImplementedError
+
+    def kill(self, agent_id: int) -> None:
+        raise NotImplementedError
+
+    def alive(self, agent_id: int) -> bool:
+        raise NotImplementedError
+
+    def restore(self, agent_id: int, payload: bytes, window: int) -> None:
+        raise NotImplementedError
+
+    def finish_all(self) -> List[AgentReport]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+def _report_of(engine: AgentEngine) -> AgentReport:
+    return AgentReport(
+        agent_id=engine.agent_id,
+        results=engine.results,
+        counters=dict(engine.bus.counters),
+        totals=dict(engine.bus.totals),
+        windows=list(engine.bus.windows),
+    )
+
+
+class LocalTransport(Transport):
+    """All agents in this process; a batch RPC is a mailbox hand-off.
+
+    ``engines`` may be supplied pre-constructed (the legacy
+    ``ClusterController`` path and checkpoint resume); otherwise
+    :meth:`launch` builds them from the specs.  A killed agent's engine
+    is dropped on the floor — the crash loses its memory, exactly what
+    recovery must survive.
+    """
+
+    def __init__(self, engines: Optional[Sequence[AgentEngine]] = None) -> None:
+        super().__init__()
+        self.engines: List[Optional[AgentEngine]] = list(engines or [])
+        if self.engines:
+            self.specs = [spec_of(e) for e in self.engines]
+        self._dead: set = set()
+
+    def launch(self, specs: Sequence[AgentSpec]) -> None:
+        if self.engines:
+            if len(self.engines) != len(specs):
+                raise ClusterError("adopted engines do not match the specs")
+            self.specs = [spec_of(e) for e in self.engines]
+            return
+        self.specs = list(specs)
+        self.engines = [spec.make() for spec in self.specs]
+
+    def _engine(self, agent_id: int, window: int = -1) -> AgentEngine:
+        engine = self.engines[agent_id]
+        if agent_id in self._dead or engine is None:
+            raise AgentFailure(agent_id, window)
+        return engine
+
+    def build_all(self) -> None:
+        for agent_id in range(len(self.engines)):
+            engine = self._engine(agent_id)
+            if not engine.built:
+                engine.build()
+
+    def peek_all(self, current: int) -> List[Optional[int]]:
+        return [self._engine(a).peek_next_window(current)
+                for a in range(len(self.engines))]
+
+    def run_window(self, agent_id: int, window: int) -> Dict[int, List[Record]]:
+        return self._engine(agent_id, window).run_window(window)
+
+    def run_window_all(self, window: int):
+        out: List[Union[Dict[int, List[Record]], AgentFailure]] = []
+        for agent_id in range(len(self.engines)):
+            try:
+                out.append(self.run_window(agent_id, window))
+            except AgentFailure as failure:
+                out.append(failure)
+        return out
+
+    def accept(self, agent_id: int, records: List[Record]) -> None:
+        self._engine(agent_id).accept_remote(records)
+
+    def snapshot_all(self, window: int) -> List[bytes]:
+        return [take_checkpoint(self._engine(a), window).payload
+                for a in range(len(self.engines))]
+
+    def kill(self, agent_id: int) -> None:
+        """Fault injection: the agent crashes, its in-memory state is gone."""
+        self._dead.add(agent_id)
+        self.engines[agent_id] = None
+
+    def alive(self, agent_id: int) -> bool:
+        return agent_id not in self._dead and self.engines[agent_id] is not None
+
+    def restore(self, agent_id: int, payload: bytes, window: int) -> None:
+        spec = self.specs[agent_id]
+        engine = spec.make()
+        engine.build()
+        restore_checkpoint(engine, Checkpoint(
+            ENGINE_FORMAT, spec.scenario.name, window, payload,
+        ))
+        self.engines[agent_id] = engine
+        self._dead.discard(agent_id)
+
+    def finish_all(self) -> List[AgentReport]:
+        reports = []
+        for agent_id in range(len(self.engines)):
+            engine = self._engine(agent_id)
+            engine.finish()
+            reports.append(_report_of(engine))
+        return reports
+
+    def close(self) -> None:  # engines stay inspectable after the run
+        pass
+
+
+# --- process transport ----------------------------------------------------
+
+def _agent_worker(conn, spec: AgentSpec) -> None:
+    """Command loop of one worker process hosting one agent engine."""
+    import traceback
+    engine = spec.make()
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "exit":
+                conn.send(("ok", None))
+                break
+            try:
+                if command == "build":
+                    if not engine.built:
+                        engine.build()
+                    reply: Any = None
+                elif command == "peek":
+                    reply = engine.peek_next_window(message[1])
+                elif command == "window":
+                    reply = engine.run_window(message[1])
+                elif command == "accept":
+                    engine.accept_remote(message[1])
+                    reply = None
+                elif command == "snapshot":
+                    reply = take_checkpoint(engine, message[1]).payload
+                elif command == "restore":
+                    if not engine.built:
+                        engine.build()
+                    restore_checkpoint(engine, Checkpoint(
+                        ENGINE_FORMAT, spec.scenario.name,
+                        message[2], message[1],
+                    ))
+                    reply = None
+                elif command == "finish":
+                    engine.finish()
+                    reply = _report_of(engine)
+                else:
+                    conn.send(("err", f"unknown command {command!r}"))
+                    continue
+                conn.send(("ok", reply))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one agent's worker process."""
+
+    process: Any
+    conn: Any
+    alive: bool = True
+
+
+def _fork_or_spawn() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods
+                                      else "spawn")
+
+
+class ProcessTransport(Transport):
+    """One worker process per agent: real parallelism across cores.
+
+    Commands that apply to every agent (`build`, `peek`, `window`,
+    `snapshot`) are *fanned out* — all sends first, then all receives —
+    so the workers overlap their lookahead batches; the reply collection
+    is the implicit per-window barrier.  A worker that dies (killed by
+    fault injection or crashed) surfaces as :class:`AgentFailure`;
+    :meth:`restore` respawns it and loads the checkpoint payload.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ctx = _fork_or_spawn()
+        self._workers: List[_Worker] = []
+
+    def launch(self, specs: Sequence[AgentSpec]) -> None:
+        self.specs = list(specs)
+        self._workers = [self._spawn(spec) for spec in self.specs]
+
+    def _spawn(self, spec: AgentSpec) -> _Worker:
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_agent_worker, args=(child, spec), daemon=True,
+            name=f"dons-agent-{spec.agent_id}",
+        )
+        process.start()
+        child.close()
+        return _Worker(process, parent)
+
+    # --- plumbing ---------------------------------------------------------
+
+    def _send(self, agent_id: int, message: tuple, window: int = -1) -> None:
+        worker = self._workers[agent_id]
+        if not worker.alive:
+            raise AgentFailure(agent_id, window)
+        try:
+            worker.conn.send(message)
+        except (OSError, BrokenPipeError):
+            worker.alive = False
+            raise AgentFailure(agent_id, window)
+
+    def _recv(self, agent_id: int, window: int = -1) -> Any:
+        worker = self._workers[agent_id]
+        if not worker.alive:
+            raise AgentFailure(agent_id, window)
+        try:
+            status, value = worker.conn.recv()
+        except (EOFError, OSError):
+            worker.alive = False
+            raise AgentFailure(agent_id, window)
+        if status == "err":
+            raise ClusterError(f"agent {agent_id} worker error:\n{value}")
+        return value
+
+    def _call(self, agent_id: int, message: tuple, window: int = -1) -> Any:
+        self._send(agent_id, message, window)
+        return self._recv(agent_id, window)
+
+    def _fan_out(self, message: tuple, window: int = -1) -> List[Any]:
+        """Send to every live worker, then collect every reply — the
+        workers run the command concurrently."""
+        for agent_id in range(len(self._workers)):
+            self._send(agent_id, message, window)
+        return [self._recv(agent_id, window)
+                for agent_id in range(len(self._workers))]
+
+    # --- hosting API ------------------------------------------------------
+
+    def build_all(self) -> None:
+        self._fan_out(("build",))
+
+    def peek_all(self, current: int) -> List[Optional[int]]:
+        return self._fan_out(("peek", current))
+
+    def run_window(self, agent_id: int, window: int) -> Dict[int, List[Record]]:
+        return self._call(agent_id, ("window", window), window)
+
+    def run_window_all(self, window: int):
+        results: List[Union[Dict[int, List[Record]], AgentFailure]] = []
+        sent: List[bool] = []
+        for agent_id in range(len(self._workers)):
+            try:
+                self._send(agent_id, ("window", window), window)
+                sent.append(True)
+            except AgentFailure:
+                sent.append(False)
+        for agent_id in range(len(self._workers)):
+            if not sent[agent_id]:
+                results.append(AgentFailure(agent_id, window))
+                continue
+            try:
+                results.append(self._recv(agent_id, window))
+            except AgentFailure as failure:
+                results.append(failure)
+        return results
+
+    def accept(self, agent_id: int, records: List[Record]) -> None:
+        self._call(agent_id, ("accept", records))
+
+    def snapshot_all(self, window: int) -> List[bytes]:
+        return self._fan_out(("snapshot", window))
+
+    def kill(self, agent_id: int) -> None:
+        """Fault injection: terminate the worker process outright."""
+        worker = self._workers[agent_id]
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=10)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.alive = False
+
+    def alive(self, agent_id: int) -> bool:
+        return self._workers[agent_id].alive
+
+    def restore(self, agent_id: int, payload: bytes, window: int) -> None:
+        worker = self._workers[agent_id]
+        if not worker.alive:
+            self._workers[agent_id] = self._spawn(self.specs[agent_id])
+            self._call(agent_id, ("build",))
+        self._call(agent_id, ("restore", payload, window))
+
+    def finish_all(self) -> List[AgentReport]:
+        return self._fan_out(("finish",))
+
+    def close(self) -> None:
+        for agent_id, worker in enumerate(self._workers):
+            if worker.alive:
+                try:
+                    self._call(agent_id, ("exit",))
+                except (AgentFailure, ClusterError):
+                    pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=10)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+            worker.alive = False
+
+
+def make_transport(kind: Union[str, Transport, None]) -> Transport:
+    """Resolve a transport argument: an instance, a name, or ``None``."""
+    if kind is None:
+        return LocalTransport()
+    if isinstance(kind, Transport):
+        return kind
+    if kind == "local":
+        return LocalTransport()
+    if kind == "process":
+        return ProcessTransport()
+    raise ClusterError(f"unknown transport {kind!r}")

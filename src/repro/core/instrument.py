@@ -85,6 +85,7 @@ class InstrumentationBus:
         #: per-window profiles (bounded by window count; the profiler CLI
         #: and Fig. 13-style breakdowns read these).
         self.windows: List[WindowProfile] = []
+        self._window_index: Dict[int, WindowProfile] = {}
         #: whole-run aggregate per system.
         self.totals: Dict[str, SystemProfile] = {}
         self._current: Optional[WindowProfile] = None
@@ -178,6 +179,7 @@ class InstrumentationBus:
         if self.keep_window_profiles:
             self._current = WindowProfile(index=index, start_ps=start_ps)
             self.windows.append(self._current)
+            self._window_index[index] = self._current
 
     def system_time(self, system: str, dt: float) -> None:
         """Attribute ``dt`` seconds to one system in the current window.
@@ -201,6 +203,45 @@ class InstrumentationBus:
             yield
         finally:
             self.system_time(system, time.perf_counter() - t0)
+
+    # --- cluster aggregation ----------------------------------------------
+
+    def merge_child(
+        self,
+        tag: str,
+        counters: Dict[str, int],
+        totals: Dict[str, SystemProfile],
+        windows: Sequence[WindowProfile],
+    ) -> None:
+        """Fold one child engine's bus into this aggregate bus.
+
+        The cluster runtime calls this once per agent at ``finalize``
+        with the agent's :class:`AgentReport` streams: counters are
+        *summed* (cluster totals), while per-window and whole-run system
+        profiles are *tagged* ``<tag>:<system>`` so per-agent timings
+        stay distinguishable — ``python -m repro profile --cluster``
+        and :func:`repro.partition.measured_machine_times` read them.
+        """
+        for name, n in counters.items():
+            self.count(name, n)
+        for system, prof in totals.items():
+            name = f"{tag}:{system}"
+            total = self.totals.get(name)
+            if total is None:
+                total = self.totals[name] = SystemProfile()
+            total.add(prof)
+        if not self.keep_window_profiles:
+            return
+        for child in windows:
+            mine = self._window_index.get(child.index)
+            if mine is None:
+                mine = WindowProfile(index=child.index,
+                                     start_ps=child.start_ps)
+                self._window_index[child.index] = mine
+                self.windows.append(mine)
+            for system, prof in child.systems.items():
+                mine.system(f"{tag}:{system}").add(prof)
+        self.windows.sort(key=lambda w: w.index)
 
     # --- reporting --------------------------------------------------------
 

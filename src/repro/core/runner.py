@@ -15,8 +15,16 @@ has to implement the small :class:`Engine` protocol:
   (worker pools, open files).  The runner calls it from a ``finally``
   block, so resources are reclaimed even when a run raises.
 
-``repro.cli``, the benchmarks, and the cluster controller all collect
-results through this path instead of three private copies of it.
+``repro.cli``, the benchmarks, and the distributed stack all collect
+results through this path instead of private copies of it: a
+:class:`~repro.cluster.runtime.ClusterEngine` implements the same
+protocol with *one cluster-wide lookahead window* as its ``advance()``
+unit, so ``DonsManager`` runs, ``python -m repro profile --cluster`` and
+checkpoint resume (``ClusterController.run_from`` sets the engine's
+window cursor, then hands it to an ``EngineRunner``) all share this
+loop.  Engines that support resumption expose their position as a
+cursor the caller may reposition *before* ``run()``; the runner itself
+stays cursor-agnostic — ``advance()`` is always "do the next unit".
 """
 
 from __future__ import annotations

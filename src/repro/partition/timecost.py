@@ -94,6 +94,65 @@ def completion_time(
     return max(machine_times(topo, partition, loads, cluster))
 
 
+def measured_machine_times(bus, num_machines: int) -> List[float]:
+    """Per-machine wall-clock (seconds) from a merged cluster bus.
+
+    A distributed run's :class:`~repro.cluster.runtime.ClusterEngine`
+    merges every agent's per-system timers into its bus tagged
+    ``a<id>:<system>``; summing them per agent yields the *measured*
+    counterpart of Eq. (1)'s estimate T_a — what the planner should
+    trust once a run has actually happened.
+    """
+    times = [0.0] * num_machines
+    for name, prof in bus.totals.items():
+        tag, sep, _system = name.partition(":")
+        if sep and len(tag) > 1 and tag[0] == "a" and tag[1:].isdigit():
+            machine = int(tag[1:])
+            if machine < num_machines:
+                times[machine] += prof.elapsed_s
+    return times
+
+
+def refit_cluster_spec(
+    cluster: ClusterSpec,
+    topo: Topology,
+    partition: Partition,
+    loads: LoadModel,
+    measured_times: Sequence[float],
+) -> ClusterSpec:
+    """Refit compute capacities so Eq. (1) reproduces measured times.
+
+    Inverting Eq. (1) per machine: P_a = E_a / max(T_a - tau_a*8/B_a,
+    eps), where T_a is the *measured* per-agent window cost of a
+    previous run under ``partition``.  Machines whose measured time is
+    zero (or that hosted no load) keep their configured capacity.  The
+    result feeds the next planning round — heterogeneity is now
+    observed, not configured.
+    """
+    if len(measured_times) < partition.num_parts:
+        raise PartitionError(
+            f"{partition.num_parts} parts but only "
+            f"{len(measured_times)} measured times"
+        )
+    compute = np.zeros(partition.num_parts)
+    egress = np.zeros(partition.num_parts)
+    for node in range(topo.num_nodes):
+        compute[partition.part_of(node)] += loads.node_load[node]
+    for link in topo.links:
+        pa = partition.part_of(link.node_a)
+        pb = partition.part_of(link.node_b)
+        if pa != pb:
+            egress[pa] += loads.link_load[link.link_id]
+            egress[pb] += loads.link_load[link.link_id]
+    new_compute = list(cluster.compute)
+    for a in range(partition.num_parts):
+        comm_s = egress[a] * 8.0 / cluster.bandwidth_bps[a]
+        compute_s = measured_times[a] - comm_s
+        if compute_s > 0 and compute[a] > 0:
+            new_compute[a] = compute[a] / compute_s
+    return ClusterSpec(new_compute, list(cluster.bandwidth_bps))
+
+
 def subnet_time(
     nodes: Sequence[int],
     loads: LoadModel,

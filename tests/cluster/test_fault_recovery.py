@@ -1,0 +1,105 @@
+"""Fault tolerance: kill an agent mid-simulation, recover it from the
+latest checkpoint, replay its missed inputs — and the merged trace is
+byte-identical to the fault-free run.
+
+The kill is real on both transports: the LocalTransport drops the
+engine object (its memory is gone), the ProcessTransport terminates the
+worker process outright.
+"""
+
+import pytest
+
+from repro.cluster import DonsManager, FaultPlan
+from repro.core.engine import run_dons
+from repro.des.partition_types import contiguous_partition
+from repro.errors import ClusterError
+from repro.metrics import TraceLevel
+from repro.partition import ClusterSpec
+from repro.scenario import make_scenario
+from repro.topology import fattree
+from repro.traffic import full_mesh_dynamic, TINY
+from repro.units import GBPS, ms, us
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topo = fattree(4, rate_bps=10 * GBPS, delay_ps=us(1))
+    flows = full_mesh_dynamic(topo.hosts, ms(0.3), load=0.4,
+                              host_rate_bps=10 * GBPS, sizes=TINY,
+                              seed=33, max_flows=40)
+    return make_scenario(topo, flows, buffer_bytes=50_000)
+
+
+@pytest.fixture(scope="module")
+def reference(scenario):
+    return run_dons(scenario, TraceLevel.FULL)
+
+
+def _run(scenario, transport, checkpoint_every=None, fault=None):
+    part = contiguous_partition(scenario.topology, 2)
+    mgr = DonsManager(scenario, ClusterSpec.homogeneous(2),
+                      TraceLevel.FULL, transport=transport,
+                      checkpoint_every=checkpoint_every, fault=fault)
+    return mgr.run(partition=part)
+
+
+@pytest.mark.parametrize("transport", ["local", "process"])
+def test_kill_and_recover_byte_identical(scenario, reference, transport):
+    fault = FaultPlan(agent=1, at_window=12)
+    run = _run(scenario, transport, checkpoint_every=5, fault=fault)
+    assert fault.fired
+    assert len(run.recoveries) == 1
+    rec = run.recoveries[0]
+    assert rec.agent == 1
+    assert rec.failed_window >= 12
+    assert rec.restored_from_window < rec.failed_window
+    assert (sorted(run.results.trace.entries)
+            == sorted(reference.trace.entries))
+    assert run.results.fcts_ps() == reference.fcts_ps()
+
+
+def test_recovery_replays_missed_windows_and_records(scenario, reference):
+    """A sparse checkpoint cadence forces a long replay: the restored
+    agent re-executes every window since the snapshot and re-ingests
+    the peer batches logged in between."""
+    fault = FaultPlan(agent=0, at_window=60)
+    run = _run(scenario, "local", checkpoint_every=25, fault=fault)
+    rec = run.recoveries[0]
+    assert rec.windows_replayed > 0
+    assert rec.records_replayed > 0
+    assert (sorted(run.results.trace.entries)
+            == sorted(reference.trace.entries))
+
+
+def test_fault_free_checkpointing_is_invisible(scenario, reference):
+    """Taking periodic snapshots without any failure must not perturb
+    the simulation."""
+    run = _run(scenario, "local", checkpoint_every=10)
+    assert run.recoveries == []
+    assert run.bus.counters["cluster.checkpoints"] > 1
+    assert (sorted(run.results.trace.entries)
+            == sorted(reference.trace.entries))
+
+
+def test_fault_without_checkpoints_recovers_from_initial_snapshot(scenario,
+                                                                  reference):
+    """With a fault plan but no cadence, the only snapshot is the one
+    taken at build time — recovery replays the whole prefix."""
+    fault = FaultPlan(agent=1, at_window=8)
+    run = _run(scenario, "local", fault=fault)
+    rec = run.recoveries[0]
+    assert rec.restored_from_window == -1
+    assert rec.windows_replayed > 0
+    assert (sorted(run.results.trace.entries)
+            == sorted(reference.trace.entries))
+
+
+def test_migration_plus_fault_tolerance_rejected(scenario):
+    """A restored agent would resume under a stale partition; the
+    combination fails loudly at construction."""
+    from repro.cluster import AgentSpec, ClusterEngine
+    part = contiguous_partition(scenario.topology, 2)
+    specs = [AgentSpec(a, scenario, part) for a in range(2)]
+    with pytest.raises(ClusterError, match="migration"):
+        ClusterEngine(specs, checkpoint_every=5,
+                      schedule=[(5, part)])

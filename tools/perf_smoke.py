@@ -54,13 +54,20 @@ def _events(results) -> dict:
 
 
 def measure() -> dict:
-    """Best-of-N wall-clock for both engines on the fixed scenario."""
+    """Best-of-N wall-clock for both engines on the fixed scenario,
+    plus a 2-agent cluster run of the same scenario on the in-process
+    transport (the distributed stack's overhead relative to one
+    engine: window agreement, batched RPCs, FINISH barriers)."""
+    from repro.cluster import DonsManager
     from repro.core.engine import run_dons
     from repro.des import run_baseline
+    from repro.des.partition_types import contiguous_partition
+    from repro.partition import ClusterSpec
 
     scenario = smoke_scenario()
-    ood_s, dons_s = [], []
-    ood_res = dons_res = None
+    partition = contiguous_partition(scenario.topology, 2)
+    ood_s, dons_s, cluster_s = [], [], []
+    ood_res = dons_res = cluster_run = None
     for _ in range(REPEATS):
         t0 = time.perf_counter()
         ood_res = run_baseline(scenario)
@@ -68,14 +75,22 @@ def measure() -> dict:
         t0 = time.perf_counter()
         dons_res = run_dons(scenario)
         dons_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        cluster_run = DonsManager(scenario, ClusterSpec.homogeneous(2)).run(
+            partition=partition)
+        cluster_s.append(time.perf_counter() - t0)
     return {
         "scenario": scenario.name,
         "repeats": REPEATS,
         "ood_s": min(ood_s),
         "dons_s": min(dons_s),
+        "cluster_s": min(cluster_s),
         "ratio_dons_over_ood": min(dons_s) / min(ood_s),
+        "ratio_cluster_over_dons": min(cluster_s) / min(dons_s),
         "ood_events": _events(ood_res),
         "dons_events": _events(dons_res),
+        "cluster_events": _events(cluster_run.results),
+        "cluster_windows": cluster_run.traffic.windows,
     }
 
 
@@ -95,7 +110,12 @@ def main(argv=None) -> int:
           f"({report['ood_events']['total']} events)")
     print(f"dons     : {report['dons_s']:.3f}s  "
           f"({report['dons_events']['total']} events)")
+    print(f"cluster2 : {report['cluster_s']:.3f}s  "
+          f"({report['cluster_events']['total']} events, "
+          f"{report['cluster_windows']} windows)")
     print(f"ratio    : {report['ratio_dons_over_ood']:.3f} (dons/ood)")
+    print(f"ratio    : {report['ratio_cluster_over_dons']:.3f} "
+          f"(cluster/dons)")
 
     if args.record or not os.path.exists(BASELINE):
         with open(BASELINE, "w") as fh:
@@ -109,15 +129,28 @@ def main(argv=None) -> int:
     with open(BASELINE) as fh:
         base = json.load(fh)
     failures = []
-    for key in ("ood_events", "dons_events"):
-        if report[key] != base[key]:
+    for key in ("ood_events", "dons_events", "cluster_events"):
+        if report[key] != base.get(key, report[key]):
             failures.append(f"{key} changed: {base[key]} -> {report[key]}")
+    if report["cluster_windows"] != base.get("cluster_windows",
+                                             report["cluster_windows"]):
+        failures.append(
+            f"cluster_windows changed: {base['cluster_windows']} -> "
+            f"{report['cluster_windows']}")
     limit = base["ratio_dons_over_ood"] * (1.0 + args.tolerance)
     if report["ratio_dons_over_ood"] > limit:
         failures.append(
             f"dons/ood ratio {report['ratio_dons_over_ood']:.3f} exceeds "
             f"baseline {base['ratio_dons_over_ood']:.3f} + {args.tolerance:.0%}"
         )
+    if "ratio_cluster_over_dons" in base:
+        climit = base["ratio_cluster_over_dons"] * (1.0 + args.tolerance)
+        if report["ratio_cluster_over_dons"] > climit:
+            failures.append(
+                f"cluster/dons ratio "
+                f"{report['ratio_cluster_over_dons']:.3f} exceeds baseline "
+                f"{base['ratio_cluster_over_dons']:.3f} + {args.tolerance:.0%}"
+            )
     report["baseline"] = {"ratio_dons_over_ood": base["ratio_dons_over_ood"],
                           "limit": limit}
     report["regressed"] = bool(failures)
