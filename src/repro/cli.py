@@ -7,6 +7,7 @@
     python -m repro plan --topology isp --machines 8
     python -m repro viz --topology abilene --flows mesh:max=100 \
         --out-dir ./viz-out
+    python -m repro fuzz --seed 0 --runs 25 --shrink
 
 Topology specs: ``fattree:K``, ``dumbbell:PAIRS``, ``abilene``, ``geant``,
 ``isp[:SEED]``.  Flow specs: ``mesh:key=value,...`` (load, seed, max,
@@ -225,6 +226,11 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .conformance.runner import cmd_fuzz as run_fuzz_cli
+    return run_fuzz_cli(args)
+
+
 def cmd_plan(args) -> int:
     scenario = build_scenario(args)
     from .partition import ClusterSpec, machine_times, plan_scenario
@@ -322,6 +328,27 @@ def make_parser() -> argparse.ArgumentParser:
                          help="run and render SVG/ASCII visualizations")
     viz.add_argument("--out-dir", default="viz-out")
     viz.set_defaults(fn=cmd_viz)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing: generated scenarios "
+             "through every engine stack, traces must be byte-identical "
+             "and satisfy the reference-free invariants")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="fuzz stream seed (same seed = same scenarios)")
+    fuzz.add_argument("--runs", type=int, default=25,
+                      help="generated scenarios to check")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="shrink the first failure to a minimal spec")
+    fuzz.add_argument("--oracles", metavar="A,B,...",
+                      help="comma-separated oracle set (first is the "
+                           "reference); default: the acceptance set")
+    fuzz.add_argument("--artifact-dir", metavar="DIR",
+                      help="write a JSON repro artifact for a failure")
+    fuzz.add_argument("--replay", metavar="FILE",
+                      help="re-check one saved spec / corpus entry / "
+                           "repro artifact instead of fuzzing")
+    fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 
 

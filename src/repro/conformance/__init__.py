@@ -1,0 +1,43 @@
+"""Differential conformance harness (the "byte-identical everywhere" gate).
+
+The paper's fidelity claim — the DOD engine produces *exactly* the packet
+trace of a classical OOD simulator — is only as strong as the scenarios
+it is checked on.  This package turns the claim into an enforced,
+continuously-fuzzed property:
+
+* :mod:`~repro.conformance.generator` — a seeded scenario generator over
+  the parameter space (topology family x size, traffic mix, protocol
+  set, link delays / lookahead, scheduling, AQM, duration), with
+  deterministic shrinking toward a minimal failing scenario.
+* :mod:`~repro.conformance.oracles` — engine oracles: one generated
+  scenario runs through the OOD baseline, the DOD engine, the cluster
+  runtime (local and process transports, 2/3/4 agents), checkpoint
+  resume and fault-injection recovery, all via the shared
+  :class:`~repro.core.runner.EngineRunner` loop, each returning a
+  canonical trace plus counters.
+* :mod:`~repro.conformance.invariants` — reference-free per-trace
+  checkers (monotone timestamps, per-port service ordering, packet
+  conservation, lookahead discipline, counter/trace consistency).
+* :mod:`~repro.conformance.diff` — first-divergence reporting down to
+  window / system / entity / op index.
+* :mod:`~repro.conformance.runner` — the fuzz loop behind
+  ``python -m repro fuzz`` and the regression-corpus replay.
+* :mod:`~repro.conformance.inject` — deliberate ordering-bug injection
+  used to validate that the harness actually catches what it promises.
+
+Every later performance PR must pass ``python -m repro fuzz`` before
+claiming equivalence.
+"""
+
+from .diff import Divergence, first_divergence
+from .generator import ScenarioSpec, generate_spec, shrink
+from .invariants import Violation, check_invariants
+from .oracles import DEFAULT_ORACLES, ORACLES, OracleRun, run_oracle
+from .runner import CheckReport, check_spec, fuzz, replay_file
+
+__all__ = [
+    "CheckReport", "DEFAULT_ORACLES", "Divergence", "ORACLES", "OracleRun",
+    "ScenarioSpec", "Violation", "check_invariants", "check_spec",
+    "first_divergence", "fuzz", "generate_spec", "replay_file",
+    "run_oracle", "shrink",
+]

@@ -1,0 +1,69 @@
+"""Deliberate ordering-bug injection for harness self-validation.
+
+A conformance harness that has never caught a bug proves nothing.  This
+module plants the exact bug class the harness exists for — a
+partition/order-dependent divergence — and the test suite asserts the
+fuzz loop catches it within a bounded number of runs and shrinks it to
+a small repro.
+
+The planted bug flips the deterministic tie-break inside the transmit
+kernel's merge-sort: packets staged at the same ``(time, priority)`` on
+one egress port are replayed in *reversed* packet-identity order.  This
+mirrors a real failure mode (iterating a hash map / racing commit order
+instead of sorting by the ordering-contract key): the simulation stays
+physically valid — every reference-free invariant still holds — but the
+queue each tied packet sees changes, so service order, and therefore
+the byte trace, diverges from the OOD reference wherever two packets
+collide at the same instant.  Only the differential oracle can see it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.systems import transmit as transmit_mod
+from ..core.window import Staged
+from ..protocols.egress import Emission, EgressPort
+from ..protocols.packet import F_FLOW, F_ISACK, F_SEQ, Row
+
+
+def _flipped_transmit_kernel(
+    ports: List[EgressPort],
+    staged: Dict[int, List[Staged]],
+    window_start: int,
+    window_end: int,
+    full_trace: bool,
+    iface_id: int,
+):
+    """`transmit_kernel` with the packet-identity tie-break reversed."""
+    port = ports[iface_id]
+    arrivals = staged.get(iface_id, [])
+    arrivals.sort(
+        key=lambda a: (a[0], a[1],
+                       -a[2][F_FLOW], -a[2][F_ISACK], -a[2][F_SEQ])
+    )
+    emissions: List[Emission] = []
+    drops: List[Tuple[int, Row]] = []
+    enq: Optional[List[Tuple[int, Row]]] = [] if full_trace else None
+    port.replay_window(arrivals, window_start, window_end,
+                       emissions, drops, enq)
+    still_active = len(port.sched) > 0
+    return iface_id, emissions, drops, enq, still_active, len(arrivals)
+
+
+@contextmanager
+def flipped_transmit_order() -> Iterator[None]:
+    """Patch the DOD transmit kernel with the reversed tie-break.
+
+    Affects every in-process DOD engine (plain, checkpoint, cluster
+    agents on the local transport; forked process agents inherit the
+    patch too).  The OOD baseline is untouched, so it stays a truthful
+    reference while the patch is live.
+    """
+    original = transmit_mod.transmit_kernel
+    transmit_mod.transmit_kernel = _flipped_transmit_kernel
+    try:
+        yield
+    finally:
+        transmit_mod.transmit_kernel = original

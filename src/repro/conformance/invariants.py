@@ -1,0 +1,236 @@
+"""Reference-free trace invariants.
+
+Differential comparison catches any deviation from the reference engine,
+but says nothing when *both* engines are wrong the same way.  These
+checkers need no reference: each one asserts a physical property every
+correct packet trace must have, straight from the canonical entry tuples
+``(time_ps, kind, location, flow_id, is_ack, seq, extra)`` (see
+:mod:`repro.metrics.trace`):
+
+* **monotone time** — timestamps are non-negative, the canonical trace
+  is sorted, and nothing is stamped after the run's end time.
+* **service ordering** — an egress port serves one packet at a time:
+  service starts (DEQ) at one interface never share a timestamp.
+* **conservation** — per interface, packets served never exceed packets
+  accepted (a DROP entry is a tail/AQM rejection, so it has no matching
+  ENQ), with equality on run-to-completion scenarios; and each packet
+  instance is enqueued before it is served.
+* **lookahead discipline** — a delivery is at least one lookahead after
+  some service start of the same packet (link delay >= lookahead is the
+  LCC premise; §4.2 extends it across machines, so a violated gap means
+  a batch leaked into its own window — the partition-dependent ordering
+  bug class).
+* **counter consistency** — the run's aggregate counters (drops, ECN
+  marks, completed flows, transmit events) equal what the trace records,
+  so the instrumentation bus and the trace stream cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .oracles import OracleRun
+from ..metrics.trace import TraceKind
+from ..scenario import Scenario
+
+#: A packet identity inside one run: (flow, is_ack, seq).
+Key = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant on one oracle's trace."""
+
+    invariant: str
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.invariant}: {self.message}"
+
+
+def _v(inv: str, run: OracleRun, msg: str) -> Violation:
+    return Violation(invariant=inv, oracle=run.oracle, message=msg)
+
+
+def check_monotone_time(scenario: Scenario, run: OracleRun) -> List[Violation]:
+    out: List[Violation] = []
+    trace = run.trace
+    if any(e[0] < 0 for e in trace):
+        out.append(_v("monotone-time", run, "negative timestamp"))
+    if any(a > b for a, b in zip(trace, trace[1:])):
+        out.append(_v("monotone-time", run, "canonical trace not sorted"))
+    end = run.results.end_time_ps
+    late = [e for e in trace if e[0] > end]
+    if late:
+        out.append(_v("monotone-time", run,
+                      f"{len(late)} entries after end_time_ps={end}, "
+                      f"first {late[0]}"))
+    return out
+
+
+def check_service_ordering(scenario: Scenario,
+                           run: OracleRun) -> List[Violation]:
+    """One service start per port per instant (serialization takes >0)."""
+    out: List[Violation] = []
+    last: Dict[int, int] = {}
+    for t, kind, iface, flow, is_ack, seq, _x in run.trace:
+        if kind != TraceKind.DEQ:
+            continue
+        prev = last.get(iface)
+        if prev is not None and t <= prev:
+            out.append(_v(
+                "service-ordering", run,
+                f"iface {iface}: service starts at t={t} and t={prev} "
+                f"overlap (flow {flow} seq {seq} ack {is_ack})"))
+            break
+        last[iface] = t
+    return out
+
+
+def check_conservation(scenario: Scenario, run: OracleRun) -> List[Violation]:
+    out: List[Violation] = []
+    enq: Dict[Tuple[int, Key], List[int]] = defaultdict(list)
+    deq: Dict[Tuple[int, Key], List[int]] = defaultdict(list)
+    per_iface = defaultdict(lambda: [0, 0, 0])  # enq, deq, drop
+    for t, kind, iface, flow, is_ack, seq, _x in run.trace:
+        key = (iface, (flow, is_ack, seq))
+        if kind == TraceKind.ENQ:
+            enq[key].append(t)
+            per_iface[iface][0] += 1
+        elif kind == TraceKind.DEQ:
+            deq[key].append(t)
+            per_iface[iface][1] += 1
+        elif kind == TraceKind.DROP:
+            per_iface[iface][2] += 1
+    # A DROP is a tail/AQM drop: the packet was never accepted into the
+    # queue, so it has no ENQ entry.  The conserved quantity is accepted
+    # packets: served <= enqueued, with equality when the run drains.
+    for iface, (n_enq, n_deq, _n_drop) in sorted(per_iface.items()):
+        if n_deq > n_enq:
+            out.append(_v(
+                "conservation", run,
+                f"iface {iface}: {n_deq} served > {n_enq} enqueued"))
+        elif scenario.duration_ps is None and n_deq != n_enq:
+            out.append(_v(
+                "conservation", run,
+                f"iface {iface}: run-to-completion left "
+                f"{n_enq - n_deq} packets in the queue"))
+    for key, deq_times in sorted(deq.items()):
+        enq_times = sorted(enq.get(key, []))
+        for i, t in enumerate(sorted(deq_times)):
+            if i >= len(enq_times):
+                break  # already reported by the per-iface count check
+            if t < enq_times[i]:
+                iface, (flow, is_ack, seq) = key
+                out.append(_v(
+                    "conservation", run,
+                    f"iface {iface}: flow {flow} seq {seq} ack {is_ack} "
+                    f"served at t={t} before its enqueue at "
+                    f"t={enq_times[i]}"))
+                break
+    return out
+
+
+def check_lookahead(scenario: Scenario, run: OracleRun) -> List[Violation]:
+    """Every delivery is >= one lookahead after a matching service start."""
+    out: List[Violation] = []
+    lookahead = run.lookahead_ps or scenario.lookahead_ps
+    first_deq: Dict[Key, int] = {}
+    n_deq: Dict[Key, int] = defaultdict(int)
+    n_deliver: Dict[Key, int] = defaultdict(int)
+    for t, kind, _loc, flow, is_ack, seq, _x in run.trace:
+        if kind == TraceKind.DEQ:
+            key = (flow, is_ack, seq)
+            n_deq[key] += 1
+            if key not in first_deq:
+                first_deq[key] = t
+    for t, kind, node, flow, is_ack, seq, _x in run.trace:
+        if kind != TraceKind.DELIVER:
+            continue
+        key = (flow, is_ack, seq)
+        n_deliver[key] += 1
+        start = first_deq.get(key)
+        if start is None:
+            out.append(_v(
+                "lookahead", run,
+                f"flow {flow} seq {seq} ack {is_ack} delivered at node "
+                f"{node} t={t} without any service start"))
+            break
+        if t - start < lookahead:
+            out.append(_v(
+                "lookahead", run,
+                f"flow {flow} seq {seq} ack {is_ack}: delivery at t={t} "
+                f"only {t - start} ps after service start t={start} "
+                f"(< lookahead {lookahead}) — an event leaked into its "
+                f"own window"))
+            break
+    for key, n in sorted(n_deliver.items()):
+        if n > n_deq.get(key, 0):
+            flow, is_ack, seq = key
+            out.append(_v(
+                "lookahead", run,
+                f"flow {flow} seq {seq} ack {is_ack}: {n} deliveries "
+                f"but only {n_deq.get(key, 0)} service starts"))
+            break
+    return out
+
+
+def check_counters(scenario: Scenario, run: OracleRun) -> List[Violation]:
+    out: List[Violation] = []
+    counts = defaultdict(int)
+    marked = 0
+    done_flows = set()
+    dup_done = False
+    for _t, kind, _loc, flow, _is_ack, _seq, extra in run.trace:
+        counts[kind] += 1
+        if kind == TraceKind.ENQ and extra:
+            marked += 1
+        if kind == TraceKind.FLOW_DONE:
+            if flow in done_flows:
+                dup_done = True
+            done_flows.add(flow)
+    res = run.results
+    if res.drops != counts[TraceKind.DROP]:
+        out.append(_v("counters", run,
+                      f"results.drops={res.drops} but trace records "
+                      f"{counts[TraceKind.DROP]} drops"))
+    # A CE mark applied at one port persists on the packet, so every
+    # downstream enqueue of a marked packet also carries CE: the trace
+    # count bounds results.marks from above, and they are zero together.
+    if res.marks > marked or (res.marks > 0) != (marked > 0):
+        out.append(_v("counters", run,
+                      f"results.marks={res.marks} inconsistent with "
+                      f"{marked} CE-marked enqueues in the trace"))
+    if res.events.transmit != counts[TraceKind.DEQ]:
+        out.append(_v("counters", run,
+                      f"events.transmit={res.events.transmit} but trace "
+                      f"records {counts[TraceKind.DEQ]} service starts"))
+    if dup_done:
+        out.append(_v("counters", run, "a flow completed twice"))
+    if res.completed() != len(done_flows):
+        out.append(_v("counters", run,
+                      f"{res.completed()} flows completed in results vs "
+                      f"{len(done_flows)} FLOW_DONE trace entries"))
+    return out
+
+
+#: The invariant catalogue, in reporting order.
+INVARIANTS: Sequence[Tuple[str, Callable[[Scenario, OracleRun],
+                                         List[Violation]]]] = (
+    ("monotone-time", check_monotone_time),
+    ("service-ordering", check_service_ordering),
+    ("conservation", check_conservation),
+    ("lookahead", check_lookahead),
+    ("counters", check_counters),
+)
+
+
+def check_invariants(scenario: Scenario, run: OracleRun) -> List[Violation]:
+    """Run the full catalogue on one oracle's trace."""
+    out: List[Violation] = []
+    for _name, checker in INVARIANTS:
+        out.extend(checker(scenario, run))
+    return out

@@ -1,0 +1,168 @@
+"""Engine oracles: one scenario, every execution stack, canonical traces.
+
+An *oracle* runs one scenario through one engine configuration and
+returns an :class:`OracleRun`: the canonicalized trace (via the
+instrumentation bus's canonicalization hook), the results object, and
+the bus counters.  The conformance runner compares every oracle's trace
+against the reference (the classical OOD simulator — the ground truth of
+the paper's fidelity claim) and feeds each trace to the reference-free
+invariant checkers.
+
+All oracles drive their engine through the shared
+:class:`~repro.core.runner.EngineRunner` protocol — the same loop the
+CLI and benchmarks use — so what the harness certifies is the code path
+users actually run:
+
+* ``ood`` — the OOD baseline (reference).
+* ``dons`` / ``dons-mt2`` — the DOD engine, serial and 2-worker.
+* ``cluster-local-N`` / ``cluster-process-N`` — the cluster runtime over
+  N agents (N in 2/3/4) on the in-process or multiprocessing transport,
+  contiguous partition.
+* ``checkpoint`` — run a few windows, snapshot, discard the engine,
+  resume a fresh one from the checkpoint (the pause/resume path).
+* ``fault-recovery`` — 2-agent cluster with periodic snapshots and a
+  deliberate agent kill mid-run; recovery must restore byte-identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..cluster import DonsManager, FaultPlan
+from ..core.checkpoint import CheckpointingEngine, take_checkpoint
+from ..core.engine import DodEngine
+from ..des import run_baseline
+from ..des.partition_types import contiguous_partition
+from ..errors import ReproError
+from ..metrics import SimResults, TraceLevel
+from ..partition import ClusterSpec
+from ..scenario import Scenario
+
+
+@dataclass
+class OracleRun:
+    """What one oracle produced for one scenario."""
+
+    oracle: str
+    trace: List[tuple]            # canonical (sorted) trace entries
+    results: SimResults
+    counters: Dict[str, int] = field(default_factory=dict)
+    lookahead_ps: int = 0
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.trace)
+
+
+def _finish(name: str, scenario: Scenario, results: SimResults,
+            counters: Dict[str, int]) -> OracleRun:
+    if results.trace is None:
+        raise ReproError(f"oracle {name!r} produced no trace")
+    return OracleRun(
+        oracle=name,
+        trace=results.trace.sorted_entries(),
+        results=results,
+        counters=dict(counters),
+        lookahead_ps=scenario.lookahead_ps,
+    )
+
+
+def run_ood(scenario: Scenario) -> OracleRun:
+    results = run_baseline(scenario, TraceLevel.FULL)
+    return _finish("ood", scenario, results, {})
+
+
+def run_dod(scenario: Scenario, workers: int = 1,
+            name: str = "dons") -> OracleRun:
+    engine = DodEngine(scenario, TraceLevel.FULL, workers=workers)
+    results = engine.run()
+    return _finish(name, scenario, results, engine.bus.counters)
+
+
+def run_cluster(scenario: Scenario, transport: str, agents: int,
+                name: str) -> OracleRun:
+    agents = min(agents, scenario.topology.num_nodes)
+    partition = contiguous_partition(scenario.topology, agents)
+    mgr = DonsManager(scenario, ClusterSpec.homogeneous(agents),
+                      TraceLevel.FULL, transport=transport)
+    run = mgr.run(partition=partition)
+    return _finish(name, scenario, run.results,
+                   run.bus.counters if run.bus else {})
+
+
+#: Checkpoint cadence / fault window of the recovery oracles.  Small on
+#: purpose: conformance scenarios are short, and the fault must usually
+#: fire (a fault landing after the run ends degrades to a plain cluster
+#: run, which is still a valid — just weaker — oracle).
+CHECKPOINT_AFTER_WINDOWS = 5
+FAULT_AT_WINDOW = 8
+FAULT_CHECKPOINT_EVERY = 3
+
+
+def run_checkpoint_resume(scenario: Scenario) -> OracleRun:
+    """Run a few windows, snapshot, discard the engine, resume fresh."""
+    engine = DodEngine(scenario, TraceLevel.FULL)
+    engine.build()
+    current = -1
+    for _ in range(CHECKPOINT_AFTER_WINDOWS):
+        nxt = engine._next_window(current)
+        if nxt is None:
+            break
+        duration = scenario.duration_ps
+        if duration is not None and nxt * engine.lookahead > duration:
+            break
+        current = nxt
+        engine.process_window(current)
+    ckpt = take_checkpoint(engine, current)
+    engine.pool.close()
+    del engine  # the "crash": nothing of the first engine survives
+    fresh = CheckpointingEngine(scenario, TraceLevel.FULL)
+    results = fresh.resume_from(ckpt)
+    return _finish("checkpoint", scenario, results, fresh.bus.counters)
+
+
+def run_fault_recovery(scenario: Scenario) -> OracleRun:
+    """2-agent cluster, periodic snapshots, one agent killed mid-run."""
+    agents = min(2, scenario.topology.num_nodes)
+    partition = contiguous_partition(scenario.topology, agents)
+    fault = FaultPlan(agent=agents - 1, at_window=FAULT_AT_WINDOW)
+    mgr = DonsManager(scenario, ClusterSpec.homogeneous(agents),
+                      TraceLevel.FULL, transport="local",
+                      checkpoint_every=FAULT_CHECKPOINT_EVERY, fault=fault)
+    run = mgr.run(partition=partition)
+    return _finish("fault-recovery", scenario, run.results,
+                   run.bus.counters if run.bus else {})
+
+
+#: Oracle registry: name -> callable(scenario) -> OracleRun.
+ORACLES: Dict[str, Callable[[Scenario], OracleRun]] = {
+    "ood": run_ood,
+    "dons": run_dod,
+    "dons-mt2": lambda sc: run_dod(sc, workers=2, name="dons-mt2"),
+    "checkpoint": run_checkpoint_resume,
+    "fault-recovery": run_fault_recovery,
+}
+for _n in (2, 3, 4):
+    ORACLES[f"cluster-local-{_n}"] = (
+        lambda sc, n=_n: run_cluster(sc, "local", n, f"cluster-local-{n}"))
+    ORACLES[f"cluster-process-{_n}"] = (
+        lambda sc, n=_n: run_cluster(sc, "process", n,
+                                     f"cluster-process-{n}"))
+
+#: The acceptance set: every stack the fidelity claim covers.  The first
+#: entry is the reference every other trace is diffed against.
+DEFAULT_ORACLES: Tuple[str, ...] = (
+    "ood", "dons", "cluster-local-2", "cluster-local-3",
+    "cluster-process-2", "checkpoint", "fault-recovery",
+)
+
+
+def run_oracle(name: str, scenario: Scenario) -> OracleRun:
+    try:
+        oracle = ORACLES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown oracle {name!r}; known: {', '.join(sorted(ORACLES))}"
+        )
+    return oracle(scenario)

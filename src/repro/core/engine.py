@@ -244,9 +244,27 @@ class DodEngine:
         bus = self.bus
         self._running_window = index
         start = index * L
+        end = start + L
+        node_entries = self.calendar.pop(index, {})
+        duration = self.scenario.duration_ps
+        if duration is not None and end > duration + 1:
+            # The duration cut falls inside this window.  The baseline
+            # processes events with t <= duration and nothing after, so
+            # clamp the window (end is exclusive) and drop calendar
+            # entries past the cut; timer/UDP wakeups carry no timestamp
+            # and re-derive their firing times against ctx.end.
+            end = duration + 1
+            node_entries = {
+                node: kept for node, entries in node_entries.items()
+                if (kept := [
+                    e for e in entries
+                    if e[0] not in (ENTRY_ARRIVAL, ENTRY_FLOW_START)
+                    or e[1] <= duration
+                ])
+            }
         ctx = WindowContext(
-            index=index, start=start, end=start + L,
-            node_entries=self.calendar.pop(index, {}),
+            index=index, start=start, end=end,
+            node_entries=node_entries,
         )
         bus.window_begin(index, start)
         if bus.has_ops:
@@ -292,7 +310,7 @@ class DodEngine:
             if self._carried_staged:
                 # Something is pending: the next window must run.
                 self._insert((ctx.index + 1) * self.lookahead, 0, (ENTRY_TIMER, -1))
-        self.results.end_time_ps = start + L
+        self.results.end_time_ps = ctx.end
         if ctx.counts.total:
             self.results.events.add(ctx.counts)
             self.results.window_breakdown.append(

@@ -1,0 +1,167 @@
+"""The conformance harness's own tests: generator determinism, shrink
+convergence, divergence attribution, invariant sensitivity, and the
+planted-bug drill (the harness must catch the bug class it exists for).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.conformance.diff import first_divergence
+from repro.conformance.generator import (
+    ScenarioSpec, generate_spec, shrink, shrink_candidates,
+)
+from repro.conformance.inject import flipped_transmit_order
+from repro.conformance.invariants import check_invariants
+from repro.conformance.oracles import run_oracle
+from repro.conformance.runner import (
+    check_spec, fuzz, load_spec_file, replay_file, write_artifact,
+)
+from repro.errors import ReproError
+
+FAST_ORACLES = ("ood", "dons")
+
+SMALL = ScenarioSpec(seed=7, topology="dumbbell", topo_arg=2,
+                     traffic="fixed", n_flows=4, flow_kb=30)
+
+
+class TestGenerator:
+    def test_generation_is_deterministic(self):
+        for i in range(8):
+            assert generate_spec(3, i) == generate_spec(3, i)
+        assert generate_spec(3, 0) != generate_spec(4, 0)
+
+    def test_build_is_deterministic(self):
+        spec = generate_spec(0, 0)
+        a, b = spec.build(), spec.build()
+        assert a.name == b.name
+        assert len(a.flows) == len(b.flows)
+        assert [(f.src, f.dst, f.start_ps) for f in a.flows] == \
+               [(f.src, f.dst, f.start_ps) for f in b.flows]
+
+    def test_spec_json_round_trip(self):
+        for i in range(8):
+            spec = generate_spec(1, i)
+            doc = json.loads(json.dumps(spec.to_dict()))
+            assert ScenarioSpec.from_dict(doc) == spec
+
+    def test_generated_specs_build(self):
+        for i in range(12):
+            scenario = generate_spec(2, i).build()
+            assert scenario.flows and scenario.lookahead_ps > 0
+
+    def test_candidates_are_strictly_simpler(self):
+        spec = generate_spec(0, 0)
+        for cand in shrink_candidates(spec):
+            assert cand != spec
+
+    def test_shrink_converges_to_minimum(self):
+        spec = dataclasses.replace(SMALL, n_flows=24, topo_arg=6,
+                                   traffic="incast", scheduler="drr",
+                                   num_classes=3)
+        minimal = shrink(spec, lambda s: s.n_flows >= 3)
+        assert minimal.n_flows == 3
+        assert minimal.topology == "dumbbell" and minimal.topo_arg == 1
+        assert minimal.traffic == "fixed" and minimal.scheduler == "fifo"
+
+    def test_shrink_survives_invalid_candidates(self):
+        def predicate(s):
+            if s.topo_arg < 2:
+                from repro.errors import ConfigError
+                raise ConfigError("too small to build")
+            return s.n_flows >= 3
+        minimal = shrink(SMALL, predicate)
+        assert minimal.topo_arg >= 2 and minimal.n_flows == 3
+
+
+class TestOraclesAndInvariants:
+    def test_unknown_oracle_is_an_error(self):
+        with pytest.raises(ReproError, match="unknown oracle"):
+            run_oracle("no-such-engine", SMALL.build())
+
+    def test_clean_run_has_no_violations(self):
+        scenario = SMALL.build()
+        run = run_oracle("dons", scenario)
+        assert run.trace and check_invariants(scenario, run) == []
+
+    def test_invariants_flag_doctored_traces(self):
+        scenario = SMALL.build()
+        run = run_oracle("dons", scenario)
+
+        negative = dataclasses.replace(
+            run, trace=[(-1,) + run.trace[0][1:]] + run.trace[1:])
+        assert any(v.invariant == "monotone-time"
+                   for v in check_invariants(scenario, negative))
+
+        from repro.metrics.trace import TraceKind
+        deq = next(e for e in run.trace if e[1] == TraceKind.DEQ)
+        doubled = dataclasses.replace(run, trace=sorted(run.trace + [deq]))
+        found = {v.invariant for v in check_invariants(scenario, doubled)}
+        assert "service-ordering" in found
+
+        enq = next(e for e in run.trace if e[1] == TraceKind.ENQ)
+        missing = dataclasses.replace(
+            run, trace=[e for e in run.trace if e != enq])
+        assert any(v.invariant == "conservation"
+                   for v in check_invariants(scenario, missing))
+
+        impossible = dataclasses.replace(run, lookahead_ps=10 ** 15)
+        assert any(v.invariant == "lookahead"
+                   for v in check_invariants(scenario, impossible))
+
+    def test_first_divergence_attributes_the_op(self):
+        scenario = SMALL.build()
+        ref = run_oracle("ood", scenario)
+        cand = run_oracle("dons", scenario)
+        assert first_divergence(scenario, ref, cand) is None
+
+        truncated = dataclasses.replace(cand, trace=cand.trace[:-1])
+        div = first_divergence(scenario, ref, truncated)
+        assert div is not None
+        assert div.op_index == len(cand.trace) - 1
+        assert div.cand_entry is None and div.ref_entry == ref.trace[-1]
+        assert div.window == ref.trace[-1][0] // scenario.lookahead_ps
+        assert div.system and div.entity
+        assert "window" in div.format()
+
+
+class TestFuzzLoop:
+    def test_check_spec_passes_on_fast_oracles(self):
+        report = check_spec(SMALL, FAST_ORACLES)
+        assert report.ok, report.summary()
+        assert report.entry_counts["ood"] == report.entry_counts["dons"]
+
+    def test_planted_ordering_bug_is_caught_and_shrunk(self, tmp_path):
+        """The acceptance drill: flip the transmit kernel's tie-break;
+        the fuzz loop must catch it within 25 runs and shrink it to a
+        tiny topology with window/system/entity attribution."""
+        with flipped_transmit_order():
+            result = fuzz(0, 25, FAST_ORACLES, do_shrink=True,
+                          artifact_dir=tmp_path)
+        assert not result.ok, "planted bug survived 25 fuzz runs"
+        assert result.shrunk is not None
+        assert result.shrunk.spec.num_nodes() <= 8
+        div = result.shrunk.divergences[0]
+        assert div.window is not None and div.system and div.entity
+
+        # The artifact replays: still failing under the bug, clean after.
+        assert result.artifact is not None and result.artifact.exists()
+        with flipped_transmit_order():
+            assert not replay_file(result.artifact, FAST_ORACLES).ok
+        assert replay_file(result.artifact, FAST_ORACLES).ok
+
+    def test_artifact_round_trip(self, tmp_path):
+        report = check_spec(SMALL, FAST_ORACLES)
+        path = write_artifact(report, tmp_path)
+        assert load_spec_file(path) == SMALL
+        doc = json.loads(path.read_text())
+        assert doc["ok"] and doc["spec"]["seed"] == SMALL.seed
+
+
+def test_fuzz_cli_smoke(capsys):
+    from repro.cli import main
+    assert main(["fuzz", "--seed", "0", "--runs", "1",
+                 "--oracles", "ood,dons"]) == 0
+    out = capsys.readouterr().out
+    assert "byte-identical" in out

@@ -1,6 +1,9 @@
-"""Shared fixtures: small, fast scenarios reused across the suite."""
+"""Shared fixtures: small, fast scenarios reused across the suite,
+plus a teardown guard against leaked cluster worker processes."""
 
 from __future__ import annotations
+
+import multiprocessing
 
 import pytest
 
@@ -8,6 +11,43 @@ from repro.scenario import Scenario, make_scenario
 from repro.topology import dumbbell, fattree
 from repro.traffic import Flow, Transport
 from repro.units import GBPS, us
+
+#: Seconds to wait for a leaked agent worker to die before escalating.
+_REAP_TIMEOUT_S = 5.0
+
+
+@pytest.fixture(autouse=True)
+def reap_leaked_agent_workers():
+    """Fail fast — and clean up — if a test leaks ProcessTransport workers.
+
+    Every cluster worker process is named ``dons-agent-<id>`` by the
+    transport.  A test that aborts mid-run (assertion failure, raised
+    exception, fault-injection path gone wrong) can strand them parked
+    on their command queues; later tests then hang or inherit the
+    orphans.  This fixture terminates and joins any survivors after each
+    test, then fails the test that leaked them so the leak is fixed at
+    the source rather than masked.
+    """
+    yield
+    leaked = [
+        p for p in multiprocessing.active_children()
+        if p.name.startswith("dons-agent-")
+    ]
+    if not leaked:
+        return
+    names = [p.name for p in leaked]
+    for proc in leaked:
+        proc.terminate()
+    deadline = _REAP_TIMEOUT_S
+    for proc in leaked:
+        proc.join(timeout=deadline)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=deadline)
+    pytest.fail(
+        f"test leaked cluster worker processes: {', '.join(sorted(names))} "
+        f"(terminated by the reaper fixture)"
+    )
 
 
 @pytest.fixture

@@ -53,12 +53,27 @@ def _events(results) -> dict:
             "completed": results.completed()}
 
 
+def fuzz_runner_spec():
+    """The fixed conformance spec the fuzz-runner entry times.  Small
+    enough to keep the smoke fast; big enough that harness overhead
+    (FULL traces, canonicalization, diff, invariant catalogue) is a
+    measurable slice of the check."""
+    from repro.conformance.generator import ScenarioSpec
+
+    return ScenarioSpec(seed=11, topology="dumbbell", topo_arg=4,
+                        traffic="fixed", n_flows=16, flow_kb=60)
+
+
 def measure() -> dict:
     """Best-of-N wall-clock for both engines on the fixed scenario,
     plus a 2-agent cluster run of the same scenario on the in-process
     transport (the distributed stack's overhead relative to one
-    engine: window agreement, batched RPCs, FINISH barriers)."""
+    engine: window agreement, batched RPCs, FINISH barriers), plus one
+    conformance ``check_spec`` on a fixed spec (the fuzz-runner entry:
+    FULL-trace oracle runs + diff + invariants, so harness overhead is
+    tracked like any other hot path)."""
     from repro.cluster import DonsManager
+    from repro.conformance.runner import check_spec
     from repro.core.engine import run_dons
     from repro.des import run_baseline
     from repro.des.partition_types import contiguous_partition
@@ -66,8 +81,9 @@ def measure() -> dict:
 
     scenario = smoke_scenario()
     partition = contiguous_partition(scenario.topology, 2)
-    ood_s, dons_s, cluster_s = [], [], []
-    ood_res = dons_res = cluster_run = None
+    fuzz_spec = fuzz_runner_spec()
+    ood_s, dons_s, cluster_s, fuzz_s = [], [], [], []
+    ood_res = dons_res = cluster_run = fuzz_report = None
     for _ in range(REPEATS):
         t0 = time.perf_counter()
         ood_res = run_baseline(scenario)
@@ -79,6 +95,9 @@ def measure() -> dict:
         cluster_run = DonsManager(scenario, ClusterSpec.homogeneous(2)).run(
             partition=partition)
         cluster_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fuzz_report = check_spec(fuzz_spec, ("ood", "dons"))
+        fuzz_s.append(time.perf_counter() - t0)
     return {
         "scenario": scenario.name,
         "repeats": REPEATS,
@@ -87,10 +106,14 @@ def measure() -> dict:
         "cluster_s": min(cluster_s),
         "ratio_dons_over_ood": min(dons_s) / min(ood_s),
         "ratio_cluster_over_dons": min(cluster_s) / min(dons_s),
+        "fuzz_s": min(fuzz_s),
+        "ratio_fuzz_over_ood": min(fuzz_s) / min(ood_s),
         "ood_events": _events(ood_res),
         "dons_events": _events(dons_res),
         "cluster_events": _events(cluster_run.results),
         "cluster_windows": cluster_run.traffic.windows,
+        "fuzz_ok": fuzz_report.ok,
+        "fuzz_entries": fuzz_report.entry_counts.get("dons", 0),
     }
 
 
@@ -113,9 +136,18 @@ def main(argv=None) -> int:
     print(f"cluster2 : {report['cluster_s']:.3f}s  "
           f"({report['cluster_events']['total']} events, "
           f"{report['cluster_windows']} windows)")
+    print(f"fuzz     : {report['fuzz_s']:.3f}s  "
+          f"({report['fuzz_entries']} trace entries, "
+          f"ok={report['fuzz_ok']})")
     print(f"ratio    : {report['ratio_dons_over_ood']:.3f} (dons/ood)")
     print(f"ratio    : {report['ratio_cluster_over_dons']:.3f} "
           f"(cluster/dons)")
+    print(f"ratio    : {report['ratio_fuzz_over_ood']:.3f} (fuzz/ood)")
+
+    if not report["fuzz_ok"]:
+        print("FAIL: fuzz-runner conformance check found a divergence",
+              file=sys.stderr)
+        return 1
 
     if args.record or not os.path.exists(BASELINE):
         with open(BASELINE, "w") as fh:
@@ -150,6 +182,19 @@ def main(argv=None) -> int:
                 f"cluster/dons ratio "
                 f"{report['ratio_cluster_over_dons']:.3f} exceeds baseline "
                 f"{base['ratio_cluster_over_dons']:.3f} + {args.tolerance:.0%}"
+            )
+    if report["fuzz_entries"] != base.get("fuzz_entries",
+                                          report["fuzz_entries"]):
+        failures.append(
+            f"fuzz_entries changed: {base['fuzz_entries']} -> "
+            f"{report['fuzz_entries']}")
+    if "ratio_fuzz_over_ood" in base:
+        flimit = base["ratio_fuzz_over_ood"] * (1.0 + args.tolerance)
+        if report["ratio_fuzz_over_ood"] > flimit:
+            failures.append(
+                f"fuzz/ood ratio {report['ratio_fuzz_over_ood']:.3f} "
+                f"exceeds baseline {base['ratio_fuzz_over_ood']:.3f} + "
+                f"{args.tolerance:.0%}"
             )
     report["baseline"] = {"ratio_dons_over_ood": base["ratio_dons_over_ood"],
                           "limit": limit}
