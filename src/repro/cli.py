@@ -145,7 +145,8 @@ def cmd_run(args) -> int:
     scenario = build_scenario(args)
     if args.engine == "dons":
         from .core.engine import run_dons
-        results = run_dons(scenario, workers=args.workers)
+        results = run_dons(scenario, workers=args.workers,
+                           backend=args.backend)
     else:
         from .des import run_baseline
         results = run_baseline(scenario)
@@ -158,7 +159,8 @@ def cmd_compare(args) -> int:
     from .core.engine import run_dons
     from .des import run_baseline
     a = run_baseline(scenario, TraceLevel.FULL)
-    b = run_dons(scenario, TraceLevel.FULL, workers=args.workers)
+    b = run_dons(scenario, TraceLevel.FULL, workers=args.workers,
+                 backend=args.backend)
     same = a.trace.digest() == b.trace.digest()
     print(_summary(b))
     print(f"trace digests   : ood={a.trace.digest()}")
@@ -181,13 +183,15 @@ def cmd_profile(args) -> int:
         from .partition import ClusterSpec, measured_machine_times
         mgr = DonsManager(scenario, ClusterSpec.homogeneous(args.cluster),
                           workers_per_agent=args.workers,
-                          transport=args.transport)
+                          transport=args.transport,
+                          backend=args.backend)
         run = mgr.run()
         results, bus = run.results, run.bus
         agent_times = measured_machine_times(bus, args.cluster)
     else:
         from .core.engine import DodEngine
-        eng = DodEngine(scenario, workers=args.workers)
+        eng = DodEngine(scenario, workers=args.workers,
+                        backend=args.backend)
         results = eng.run()
         bus = eng.bus
         agent_times = None
@@ -256,7 +260,8 @@ def cmd_viz(args) -> int:
     from .partition.loadest import estimate_scenario_loads
     from .viz import (flow_gantt_svg, link_utilization_svg,
                       window_breakdown_heatmap)
-    results = run_dons(scenario, workers=args.workers)
+    results = run_dons(scenario, workers=args.workers,
+                       backend=args.backend)
     os.makedirs(args.out_dir, exist_ok=True)
     gantt = os.path.join(args.out_dir, "flows.svg")
     with open(gantt, "w") as fh:
@@ -287,6 +292,10 @@ def make_parser() -> argparse.ArgumentParser:
     common.add_argument("--classes", type=int, default=3)
     common.add_argument("--buffer-kb", type=int, default=4096)
     common.add_argument("--workers", type=int, default=1)
+    common.add_argument("--backend", choices=["python", "numpy"],
+                        default=None,
+                        help="ECS table/system backend for the DOD engine "
+                             "(default: $REPRO_BACKEND, then python)")
     common.add_argument("--save", metavar="FILE",
                         help="write the scenario JSON before running")
     common.add_argument("--load", metavar="FILE",

@@ -11,7 +11,7 @@ RPCs between windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.engine import DodEngine
 from ..des.partition_types import Partition
@@ -35,16 +35,21 @@ class AgentSpec:
     partition: Partition
     trace_level: TraceLevel = TraceLevel.NONE
     workers: int = 1
+    #: ECS table/system backend ("python" or "numpy"); ``None`` defers to
+    #: the engine's own resolution (``REPRO_BACKEND`` env, then "python"),
+    #: re-resolved in the worker process a ProcessTransport spawns.
+    backend: Optional[str] = None
 
     def make(self) -> "AgentEngine":
         return AgentEngine(self.agent_id, self.scenario, self.partition,
-                           self.trace_level, self.workers)
+                           self.trace_level, self.workers, self.backend)
 
 
 def spec_of(engine: "AgentEngine") -> AgentSpec:
     """Recover the construction recipe of an existing agent engine."""
     return AgentSpec(engine.agent_id, engine.scenario, engine.partition,
-                     TraceLevel(engine.trace.level), engine.pool.workers)
+                     TraceLevel(engine.trace.level), engine.pool.workers,
+                     engine.backend)
 
 
 class AgentEngine(DodEngine):
@@ -59,8 +64,9 @@ class AgentEngine(DodEngine):
         partition: Partition,
         trace_level: TraceLevel = TraceLevel.NONE,
         workers: int = 1,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__(scenario, trace_level, workers)
+        super().__init__(scenario, trace_level, workers, backend=backend)
         self.agent_id = agent_id
         self.partition = partition
         #: per remote agent: (arrival_ps, node, row) records of this window

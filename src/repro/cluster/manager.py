@@ -131,6 +131,7 @@ class DonsManager:
         transport: Union[str, Transport, None] = "local",
         checkpoint_every: Optional[int] = None,
         fault: Optional[FaultPlan] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.scenario = scenario
         self.cluster = cluster
@@ -139,11 +140,12 @@ class DonsManager:
         self.transport = transport
         self.checkpoint_every = checkpoint_every
         self.fault = fault
+        self.backend = backend
 
     def _specs(self, partition: Partition) -> List[AgentSpec]:
         return [
             AgentSpec(a, self.scenario, partition, self.trace_level,
-                      self.workers_per_agent)
+                      self.workers_per_agent, self.backend)
             for a in range(partition.num_parts)
         ]
 

@@ -6,15 +6,28 @@ partition/order-dependent divergence — and the test suite asserts the
 fuzz loop catches it within a bounded number of runs and shrinks it to
 a small repro.
 
-The planted bug flips the deterministic tie-break inside the transmit
-kernel's merge-sort: packets staged at the same ``(time, priority)`` on
-one egress port are replayed in *reversed* packet-identity order.  This
-mirrors a real failure mode (iterating a hash map / racing commit order
-instead of sorting by the ordering-contract key): the simulation stays
-physically valid — every reference-free invariant still holds — but the
-queue each tied packet sees changes, so service order, and therefore
-the byte trace, diverges from the OOD reference wherever two packets
-collide at the same instant.  Only the differential oracle can see it.
+Two bug classes are plantable, one per backend mechanism:
+
+* :func:`flipped_transmit_order` flips the deterministic tie-break
+  inside the transmit merge-sort: packets staged at the same
+  ``(time, priority)`` on one egress port are replayed in *reversed*
+  packet-identity order.  It patches both backends (the Python
+  ``transmit_kernel`` and the vectorized ``transmit_sort`` hook), so
+  whichever engine variant the oracles run is infected.
+* :func:`unstable_transmit_sort` replaces the vectorized backend's
+  ordering-contract sort with one that is **unstable** on ties: it
+  orders only by ``(time, priority)`` after reversing the staged list,
+  so equal-key packets come out in reversed arrival order — the classic
+  symptom of swapping a stable sort for an unstable one (or of trusting
+  ``np.argsort`` without ``kind="stable"``).
+
+Both bugs mirror real failure modes (iterating a hash map / racing
+commit order / unstable sorting instead of the ordering-contract key):
+the simulation stays physically valid — every reference-free invariant
+still holds — but the queue each tied packet sees changes, so service
+order, and therefore the byte trace, diverges from the OOD reference
+wherever two packets collide at the same instant.  Only the
+differential oracle can see it.
 """
 
 from __future__ import annotations
@@ -23,9 +36,14 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.systems import transmit as transmit_mod
+from ..core.systems import vectorized as vectorized_mod
 from ..core.window import Staged
 from ..protocols.egress import Emission, EgressPort
 from ..protocols.packet import F_FLOW, F_ISACK, F_SEQ, Row
+
+
+def _flipped_key(a: Tuple[int, int, Row]):
+    return (a[0], a[1], -a[2][F_FLOW], -a[2][F_ISACK], -a[2][F_SEQ])
 
 
 def _flipped_transmit_kernel(
@@ -39,10 +57,7 @@ def _flipped_transmit_kernel(
     """`transmit_kernel` with the packet-identity tie-break reversed."""
     port = ports[iface_id]
     arrivals = staged.get(iface_id, [])
-    arrivals.sort(
-        key=lambda a: (a[0], a[1],
-                       -a[2][F_FLOW], -a[2][F_ISACK], -a[2][F_SEQ])
-    )
+    arrivals.sort(key=_flipped_key)
     emissions: List[Emission] = []
     drops: List[Tuple[int, Row]] = []
     enq: Optional[List[Tuple[int, Row]]] = [] if full_trace else None
@@ -52,18 +67,58 @@ def _flipped_transmit_kernel(
     return iface_id, emissions, drops, enq, still_active, len(arrivals)
 
 
+def _flipped_transmit_sort(entries: List[Staged]) -> List[Staged]:
+    """The vectorized tie-break hook with packet identity reversed."""
+    entries.sort(key=_flipped_key)
+    return entries
+
+
+def _unstable_sort(entries: List[Staged]) -> List[Staged]:
+    """An order-contract sort that is unstable on (time, prio) ties.
+
+    Reversing first and then sorting by the truncated key is exactly
+    what an unstable sort may legally do to equal keys — ties surface
+    in reversed staging order instead of packet-identity order.
+    """
+    entries.reverse()
+    entries.sort(key=lambda a: (a[0], a[1]))
+    return entries
+
+
 @contextmanager
 def flipped_transmit_order() -> Iterator[None]:
-    """Patch the DOD transmit kernel with the reversed tie-break.
+    """Patch the DOD transmit tie-break with the reversed ordering.
 
-    Affects every in-process DOD engine (plain, checkpoint, cluster
-    agents on the local transport; forked process agents inherit the
-    patch too).  The OOD baseline is untouched, so it stays a truthful
+    Affects every in-process DOD engine on either backend (plain,
+    checkpoint, cluster agents on the local transport; forked process
+    agents inherit the patch too): the Python backend through its
+    ``transmit_kernel``, the NumPy backend through its ``transmit_sort``
+    hook.  The OOD baseline is untouched, so it stays a truthful
     reference while the patch is live.
     """
-    original = transmit_mod.transmit_kernel
+    original_kernel = transmit_mod.transmit_kernel
+    original_sort = vectorized_mod.transmit_sort
     transmit_mod.transmit_kernel = _flipped_transmit_kernel
+    vectorized_mod.transmit_sort = _flipped_transmit_sort
     try:
         yield
     finally:
-        transmit_mod.transmit_kernel = original
+        transmit_mod.transmit_kernel = original_kernel
+        vectorized_mod.transmit_sort = original_sort
+
+
+@contextmanager
+def unstable_transmit_sort() -> Iterator[None]:
+    """Patch the vectorized backend's contract sort with an unstable one.
+
+    Only the NumPy backend is infected — the Python reference kernels
+    keep the true ordering — so catching this bug requires a fuzz
+    oracle set that actually runs the vectorized engine
+    (e.g. ``("ood", "dons-numpy")``).
+    """
+    original = vectorized_mod.transmit_sort
+    vectorized_mod.transmit_sort = _unstable_sort
+    try:
+        yield
+    finally:
+        vectorized_mod.transmit_sort = original

@@ -15,6 +15,10 @@ users actually run:
 
 * ``ood`` — the OOD baseline (reference).
 * ``dons`` / ``dons-mt2`` — the DOD engine, serial and 2-worker.
+* ``dons-numpy`` / ``dons-numpy-mt2`` / ``cluster-numpy-2`` — the same
+  engine (serial, 2-worker, and as 2 local-transport cluster agents) on
+  the vectorized NumPy ECS backend; byte-identity against ``ood`` is the
+  backend's conformance gate.
 * ``cluster-local-N`` / ``cluster-process-N`` — the cluster runtime over
   N agents (N in 2/3/4) on the in-process or multiprocessing transport,
   contiguous partition.
@@ -27,7 +31,7 @@ users actually run:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cluster import DonsManager, FaultPlan
 from ..core.checkpoint import CheckpointingEngine, take_checkpoint
@@ -73,19 +77,20 @@ def run_ood(scenario: Scenario) -> OracleRun:
     return _finish("ood", scenario, results, {})
 
 
-def run_dod(scenario: Scenario, workers: int = 1,
-            name: str = "dons") -> OracleRun:
-    engine = DodEngine(scenario, TraceLevel.FULL, workers=workers)
+def run_dod(scenario: Scenario, workers: int = 1, name: str = "dons",
+            backend: Optional[str] = None) -> OracleRun:
+    engine = DodEngine(scenario, TraceLevel.FULL, workers=workers,
+                       backend=backend)
     results = engine.run()
     return _finish(name, scenario, results, engine.bus.counters)
 
 
 def run_cluster(scenario: Scenario, transport: str, agents: int,
-                name: str) -> OracleRun:
+                name: str, backend: Optional[str] = None) -> OracleRun:
     agents = min(agents, scenario.topology.num_nodes)
     partition = contiguous_partition(scenario.topology, agents)
     mgr = DonsManager(scenario, ClusterSpec.homogeneous(agents),
-                      TraceLevel.FULL, transport=transport)
+                      TraceLevel.FULL, transport=transport, backend=backend)
     run = mgr.run(partition=partition)
     return _finish(name, scenario, run.results,
                    run.bus.counters if run.bus else {})
@@ -140,6 +145,16 @@ ORACLES: Dict[str, Callable[[Scenario], OracleRun]] = {
     "ood": run_ood,
     "dons": run_dod,
     "dons-mt2": lambda sc: run_dod(sc, workers=2, name="dons-mt2"),
+    "dons-python": lambda sc: run_dod(sc, name="dons-python",
+                                      backend="python"),
+    "dons-numpy": lambda sc: run_dod(sc, name="dons-numpy",
+                                     backend="numpy"),
+    "dons-numpy-mt2": lambda sc: run_dod(sc, workers=2,
+                                         name="dons-numpy-mt2",
+                                         backend="numpy"),
+    "cluster-numpy-2": lambda sc: run_cluster(sc, "local", 2,
+                                              "cluster-numpy-2",
+                                              backend="numpy"),
     "checkpoint": run_checkpoint_resume,
     "fault-recovery": run_fault_recovery,
 }
@@ -153,7 +168,7 @@ for _n in (2, 3, 4):
 #: The acceptance set: every stack the fidelity claim covers.  The first
 #: entry is the reference every other trace is diffed against.
 DEFAULT_ORACLES: Tuple[str, ...] = (
-    "ood", "dons", "cluster-local-2", "cluster-local-3",
+    "ood", "dons", "dons-numpy", "cluster-local-2", "cluster-local-3",
     "cluster-process-2", "checkpoint", "fault-recovery",
 )
 

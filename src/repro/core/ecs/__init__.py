@@ -1,15 +1,26 @@
 """Entity-Component-System substrate used by the DOD engine."""
 
 from .components import CHUNK_ENTITIES, FieldSpec, SoATable
-from .commands import CommandBuffer, consolidate, merge_buffers
+from .commands import (
+    CommandBuffer, consolidate, consolidate_grouped, merge_buffers,
+)
 from .entity import (
-    EGRESS_SCHEMA, EntityKind, INGRESS_SCHEMA, RECEIVER_SCHEMA,
-    SENDER_SCHEMA, World,
+    BACKENDS, EGRESS_SCHEMA, EntityKind, INGRESS_SCHEMA, RECEIVER_SCHEMA,
+    SENDER_SCHEMA, World, make_table,
 )
 
 __all__ = [
-    "CHUNK_ENTITIES", "FieldSpec", "SoATable",
-    "CommandBuffer", "consolidate", "merge_buffers",
-    "EntityKind", "World",
+    "CHUNK_ENTITIES", "FieldSpec", "SoATable", "NumpyTable",
+    "CommandBuffer", "consolidate", "consolidate_grouped", "merge_buffers",
+    "BACKENDS", "EntityKind", "World", "make_table",
     "SENDER_SCHEMA", "RECEIVER_SCHEMA", "INGRESS_SCHEMA", "EGRESS_SCHEMA",
 ]
+
+
+def __getattr__(name):
+    # NumpyTable is exported lazily so `import repro.core.ecs` works on
+    # interpreters without numpy (the python backend needs none).
+    if name == "NumpyTable":
+        from .numpy_table import NumpyTable
+        return NumpyTable
+    raise AttributeError(name)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
-from ...errors import ConfigError
+from ...errors import ColumnIndexError, ConfigError
 
 #: Entities per chunk (Unity DOTS uses 16 KiB chunks; with the ~16-byte
 #: scalar components below this is the same order of entity count).
@@ -119,28 +119,56 @@ class SoATable:
 
     # --- bulk columnar access ----------------------------------------------
 
+    def _check_idxs(self, idxs: Sequence[int], op: str, name: str) -> None:
+        """Uniform bounds check shared (in spirit) with NumpyTable.
+
+        Empty index sequences are valid (a no-op gather/scatter); any
+        index outside ``[0, n)`` — including negative indices, which
+        Python lists would silently wrap — raises
+        :class:`~repro.errors.ColumnIndexError`.
+        """
+        n = self._n
+        for i in idxs:
+            if not 0 <= i < n:
+                raise ColumnIndexError(
+                    f"{op} on {self.kind!r}.{name}: index {i} out of "
+                    f"range for {n} entities"
+                )
+
     def gather(self, idxs: Sequence[int], names: Sequence[str]) -> Dict[str, List[Any]]:
         """Read several entities' fields column by column.
 
         Returns ``{name: [column[i] for i in idxs]}`` — the values of each
         requested column at the requested indices, in ``idxs`` order.  One
         column is swept at a time (the cache-friendly order), which is the
-        access pattern the machine model charges for.
+        access pattern the machine model charges for.  An empty ``idxs``
+        yields empty lists; out-of-range indices raise
+        :class:`~repro.errors.ColumnIndexError`.
         """
         out: Dict[str, List[Any]] = {}
+        first = True
         for name in names:
             col = self.column(name)
+            if first:
+                self._check_idxs(idxs, "gather", name)
+                first = False
             out[name] = [col[i] for i in idxs]
         return out
 
     def scatter(self, idxs: Sequence[int], name: str, values: Sequence[Any]) -> None:
-        """Write ``values[k]`` to ``column[name][idxs[k]]`` for every k."""
+        """Write ``values[k]`` to ``column[name][idxs[k]]`` for every k.
+
+        Empty ``idxs`` is a no-op; out-of-range indices raise
+        :class:`~repro.errors.ColumnIndexError` before any write lands
+        (the scatter is atomic with respect to validation).
+        """
         if len(idxs) != len(values):
             raise ConfigError(
                 f"scatter into {self.kind!r}.{name}: {len(idxs)} indices "
                 f"vs {len(values)} values"
             )
         col = self.column(name)
+        self._check_idxs(idxs, "scatter", name)
         for i, v in zip(idxs, values):
             col[i] = v
 

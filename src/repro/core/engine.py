@@ -29,6 +29,7 @@ traces (see ``tests/integration/test_engine_equivalence.py``).
 from __future__ import annotations
 
 import heapq
+import os
 from time import perf_counter
 from typing import Dict, List, Optional, Set
 
@@ -36,9 +37,7 @@ from .ecs import World
 from .instrument import OP_WINDOW, InstrumentationBus
 from .runner import EngineRunner
 from .runtime import WorkerPool
-from .systems import (
-    run_ack_system, run_forward_system, run_send_system, run_transmit_system,
-)
+from .systems import system_set
 from .window import (
     ENTRY_ARRIVAL, ENTRY_FLOW_START, ENTRY_TIMER, ENTRY_UDP, Entry,
     WindowContext,
@@ -66,6 +65,7 @@ class DodEngine:
         lookahead_override: Optional[int] = None,
         system_order: str = "paper",
         sample_queues: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         """``lookahead_override`` shrinks the batch below the minimum
         link delay (correct but slower — the ablation of the §3.3 design
@@ -73,8 +73,20 @@ class DodEngine:
         Send-Forward-Transmit-ACK order the paper rejects; ACK outputs
         then miss their window's TransmitSystem and drift by one batch —
         the LCC violation §3.3 proves the paper order avoids.
+
+        ``backend`` selects the ECS substrate and system variants:
+        ``"python"`` (list columns, scalar orchestration — the
+        deterministic reference) or ``"numpy"`` (typed ndarray columns,
+        vectorized plan/commit).  ``None`` resolves the
+        ``REPRO_BACKEND`` environment variable, defaulting to
+        ``"python"`` — which is how the CI backend matrix runs the whole
+        suite under each backend without touching test code.
         """
         self.scenario = scenario
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND") or "python"
+        self.backend = backend
+        self._systems = system_set(backend)
         self.bus = InstrumentationBus()
         self.trace = self.bus.subscribe_trace(TraceRecorder(trace_level))
         self.pool = WorkerPool(workers, bus=self.bus)
@@ -97,7 +109,7 @@ class DodEngine:
         if self.lookahead <= 0:
             raise SimulationError("lookahead must be positive")
 
-        self.world = World()
+        self.world = World(backend)
         self.ports: List[EgressPort] = []
         self.results = SimResults(self.name, scenario.name, 0)
 
@@ -269,22 +281,23 @@ class DodEngine:
         bus.window_begin(index, start)
         if bus.has_ops:
             bus.op(OP_WINDOW, 0, 0)  # buffer arenas recycle
+        run_ack, run_send, run_forward, run_transmit = self._systems
         if self.system_order == "paper":
             # The paper's execution order (§3.3): ACK, Send, Forward,
             # Transmit.  Timed inline — bus.system_time costs two clock
             # reads per system, nothing else on the hot path.
             clock = perf_counter
             t0 = clock()
-            run_ack_system(self, ctx)
+            run_ack(self, ctx)
             t1 = clock()
             bus.system_time("ack", t1 - t0)
-            run_send_system(self, ctx)
+            run_send(self, ctx)
             t2 = clock()
             bus.system_time("send", t2 - t1)
-            run_forward_system(self, ctx)
+            run_forward(self, ctx)
             t3 = clock()
             bus.system_time("forward", t3 - t2)
-            run_transmit_system(self, ctx)
+            run_transmit(self, ctx)
             bus.system_time("transmit", clock() - t3)
         else:
             # Naive order (ablation): ACK last.  Its staged packets miss
@@ -294,14 +307,14 @@ class DodEngine:
                     ctx.staged.setdefault(iface_id, []).extend(staged)
                 self._carried_staged = {}
             with bus.system_timer("send"):
-                run_send_system(self, ctx)
+                run_send(self, ctx)
             with bus.system_timer("forward"):
-                run_forward_system(self, ctx)
+                run_forward(self, ctx)
             with bus.system_timer("transmit"):
-                run_transmit_system(self, ctx)
+                run_transmit(self, ctx)
             before = {k: len(v) for k, v in ctx.staged.items()}
             with bus.system_timer("ack"):
-                run_ack_system(self, ctx)
+                run_ack(self, ctx)
             self._carried_staged = {
                 k: v[before.get(k, 0):]
                 for k, v in ctx.staged.items()
@@ -356,6 +369,7 @@ def run_dons(
     scenario: Scenario,
     trace_level: TraceLevel = TraceLevel.NONE,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> SimResults:
     """Convenience one-shot run of the DOD engine."""
-    return DodEngine(scenario, trace_level, workers).run()
+    return DodEngine(scenario, trace_level, workers, backend=backend).run()

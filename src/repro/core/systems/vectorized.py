@@ -1,0 +1,522 @@
+"""Vectorized (NumPy-backend) variants of the four systems.
+
+Same plan → kernel → commit decomposition, same pure protocol
+transitions, same deterministic commit order — but the orchestration
+around the kernels is columnar:
+
+* **plan** stages operate on per-window index arrays: the transmit work
+  list is a masked selection over the port axis (fed ∪ active), and
+  ordering-contract sorts go through one stable ``np.lexsort`` over key
+  columns instead of a per-element Python key function
+  (:func:`sort_contract`).
+* **kernel** dispatch is batched: one pool task per worker sweeping a
+  contiguous slice of the entity axis, instead of one task per entity —
+  the per-task overhead (argument binding, result boxing, per-task
+  commit headers) amortizes over the slice.  Per-window sender/receiver
+  state is *gathered* out of the :class:`~repro.core.ecs.NumpyTable`
+  columns into compact Python-value columns in one fancy-indexed read
+  per component, so the DCTCP/UDP/reassembly state machines run on
+  exactly the value types the Python backend feeds them — which is what
+  keeps the traces byte-identical.
+* **commit** writes back with whole index arrays: one ``scatter`` per
+  mutated component column (the resident working set flushes each list
+  column in a single vectorized assignment), and the ForwardSystem's
+  command buffers consolidate through
+  :func:`~repro.core.ecs.consolidate_grouped`, whose stable-argsort
+  path engages for very large batches (below the measured crossover it
+  delegates to the reference dict consolidation — see the threshold
+  note in ``repro.core.ecs.commands``).
+
+Integer timestamp arithmetic stays bit-exact: every value that crosses
+from an ndarray into a packet row or trace entry is converted to a
+Python scalar first, and the vectorized UDP schedule decomposes its
+closed form so ``int64`` cannot overflow (falling back to the scalar
+schedule — same floor divisions — when it could).
+
+The commit helpers (``commit_send``/``commit_ack``/``commit_transmit``)
+are shared with the Python variants: the backends differ in how work is
+planned and dispatched, never in what is committed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .ack import AckCols, ack_kernel, commit_ack
+from .forward import ForwardWork, plan_forward
+from .send import (
+    SENDER_COLS, _DCTCP_FIELDS, commit_send, plan_send, send_kernel,
+)
+from .transmit import commit_transmit
+from ..ecs import CommandBuffer, consolidate_grouped
+from ..runtime import chunk_ranges
+from ..window import ENTRY_ARRIVAL, Staged, WindowContext
+from ...protocols import UdpSchedule
+from ...protocols.aqm import AqmKind, should_mark
+from ...schedulers.disciplines import FifoScheduler
+from ...protocols.packet import (
+    F_DST, F_FLOW, F_ISACK, F_SEQ, F_SIZE, HEADER_BYTES, MSS,
+    PRIO_FLOW_START, Row, data_row, with_ce,
+)
+from ...traffic import Transport
+from ...units import PS_PER_S
+
+#: Below this many entries a Python key-function sort beats building the
+#: key columns; above it the stable lexsort wins.  Order is identical.
+VECTOR_SORT_MIN = 32
+
+
+def _contract_key(a: Tuple[int, int, Row]):
+    """The canonical arrival ordering: (t, prio, flow, is_ack, seq)."""
+    return (a[0], a[1], a[2][F_FLOW], a[2][F_ISACK], a[2][F_SEQ])
+
+
+def sort_contract(entries: List[Tuple[int, int, Row]]) -> List[Tuple[int, int, Row]]:
+    """Sort staged arrivals by the ordering contract, vectorized.
+
+    Builds the five key columns and stable-sorts them with
+    ``np.lexsort`` (least-significant key first), reproducing exactly
+    the ``(t, prio, flow, is_ack, seq)`` tie-break order of the Python
+    backend's ``list.sort``.  Small batches fall back to the scalar
+    in-place sort, where building the key arrays would dominate.
+    """
+    n = len(entries)
+    if n < VECTOR_SORT_MIN:
+        if n > 1:
+            entries.sort(key=_contract_key)
+        return entries
+    t = np.empty(n, np.int64)
+    prio = np.empty(n, np.int64)
+    flow = np.empty(n, np.int64)
+    isack = np.empty(n, np.int64)
+    seq = np.empty(n, np.int64)
+    for k, (tk, pk, row) in enumerate(entries):
+        t[k] = tk
+        prio[k] = pk
+        flow[k] = row[F_FLOW]
+        isack[k] = row[F_ISACK]
+        seq[k] = row[F_SEQ]
+    order = np.lexsort((seq, isack, flow, prio, t))
+    return [entries[k] for k in order.tolist()]
+
+
+#: The transmit tie-break hook, resolved from module globals at kernel
+#: run time so `conformance.inject.unstable_transmit_sort` can patch it
+#: the way `flipped_transmit_order` patches the Python backend's
+#: `transmit_kernel`.
+transmit_sort = sort_contract
+
+
+def _chunked(items: List, workers: int) -> List[List]:
+    """Contiguous near-equal slices of a work list, one per pool task."""
+    if workers <= 1 or len(items) <= 1:
+        return [items]
+    return [items[s:e] for s, e in chunk_ranges(len(items), workers)]
+
+
+# --- SendSystem ------------------------------------------------------------
+
+
+def _udp_send_kernel(cols, scenario, window_end: int, flow_id: int, k: int):
+    """Vectorized UDP pacing: one flow's window as an array expression.
+
+    The closed form ``t(seq) = start + (seq*wire*8*PS)//rate`` is
+    evaluated over the whole remaining segment range at once.  To stay
+    inside ``int64``, the division is decomposed via
+    ``q, r = divmod(wire*8*PS, rate)`` into ``start + seq*q +
+    (seq*r)//rate`` — identical floor arithmetic, and for every rate
+    that divides the wire term (all realistic ones) ``r == 0``.  When
+    the decomposition could still overflow (degenerate rate/size
+    combinations), the scalar schedule runs instead; either path
+    produces bit-identical timestamps.
+    """
+    flow = scenario.flows[flow_id]
+    rate = scenario.topology.host_iface(flow.src).rate_bps
+    sched = UdpSchedule(flow_id, flow.size_bytes, flow.start_ps, rate)
+    udp_col = cols["udp_next_seq"]
+    seq = udp_col[k]
+    total = sched.total_segs
+    out: List[Tuple[int, int, Row]] = []
+    if seq < total:
+        wire8ps = (MSS + HEADER_BYTES) * 8 * PS_PER_S
+        q, r = divmod(wire8ps, rate)
+        # Python-int bound on the largest timestamp the range can reach.
+        t_last = flow.start_ps + ((total - 1) * wire8ps) // rate
+        if t_last < 2 ** 63 and (total - 1) * r < 2 ** 63:
+            seqs = np.arange(seq, total, dtype=np.int64)
+            times = flow.start_ps + seqs * q
+            if r:
+                times += (seqs * r) // rate
+            cut = int(np.searchsorted(times, window_end, side="left"))
+            for s, t in zip(seqs[:cut].tolist(), times[:cut].tolist()):
+                out.append((t, PRIO_FLOW_START,
+                            data_row(flow_id, s, sched.payload(s), t,
+                                     flow.src, flow.dst)))
+            seq += cut
+        else:  # pragma: no cover - degenerate scales, scalar fallback
+            while seq < total:
+                t = sched.enqueue_time(seq)
+                if t >= window_end:
+                    break
+                out.append((t, PRIO_FLOW_START,
+                            data_row(flow_id, seq, sched.payload(seq), t,
+                                     flow.src, flow.dst)))
+                seq += 1
+    udp_col[k] = seq
+    udp_wakeup = sched.enqueue_time(seq) if seq < total else None
+    return flow_id, out, [], None, udp_wakeup, len(out)
+
+
+def send_batch_kernel(cols, sender_of_flow, scenario, acks_of, starts,
+                      window_end, flow_ids: List[int]):
+    """One worker's slice of the sender sweep, flow by flow in order."""
+    out = []
+    for flow_id in flow_ids:
+        if scenario.flows[flow_id].transport == Transport.UDP:
+            out.append(_udp_send_kernel(cols, scenario, window_end,
+                                        flow_id, sender_of_flow[flow_id]))
+        else:
+            out.append(send_kernel(cols, sender_of_flow, scenario, acks_of,
+                                   starts, window_end, flow_id))
+    return out
+
+
+def run_send_system_np(engine, ctx: WindowContext) -> None:
+    """Vectorized SendSystem: resident columns, batched kernels.
+
+    The kernels run against the sender table's resident working set
+    (:meth:`~repro.core.ecs.NumpyTable.resident`): whole columns
+    materialized to Python values once and committed back to the arrays
+    in bulk at sync points, so the per-window loop pays no per-flow
+    conversion at all.
+    """
+    flow_ids, acks_of, starts, deliver_trace = plan_send(engine, ctx)
+    if not flow_ids:
+        return
+
+    bus = engine.bus
+    if bus.trace_level:
+        for t, node, row in sorted(
+            deliver_trace,
+            key=lambda d: (d[0], d[2][F_FLOW], d[2][F_ISACK], d[2][F_SEQ]),
+        ):
+            bus.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+
+    cols = engine.world.senders.resident(SENDER_COLS)
+    sender_of_flow = engine.world.sender_of_flow
+    chunks = _chunked(flow_ids, engine.pool.workers)
+    results = engine.pool.map(
+        "send",
+        lambda chunk: send_batch_kernel(cols, sender_of_flow,
+                                        engine.scenario, acks_of, starts,
+                                        ctx.end, chunk),
+        chunks,
+        sizes=[sum(len(acks_of.get(f, ())) + 1 for f in chunk)
+               for chunk in chunks],
+    )
+    if len(results) == 1:
+        commit_send(engine, ctx, results[0])
+    else:
+        commit_send(engine, ctx, [r for chunk in results for r in chunk])
+
+
+# --- ACKSystem -------------------------------------------------------------
+
+
+AckWork = Tuple[int, List[Tuple[int, int, Row]]]
+
+
+def plan_ack_np(engine, ctx: WindowContext) -> List[AckWork]:
+    """Per-host work slices; the canonical sort runs vectorized."""
+    work: List[AckWork] = []
+    for node, entries in sorted(ctx.node_entries.items()):
+        if not engine.scenario.topology.nodes[node].is_host:
+            continue
+        data = [
+            (e[1], e[2], e[3])
+            for e in entries
+            if e[0] == ENTRY_ARRIVAL and not e[3][F_ISACK]
+        ]
+        if data:
+            work.append((node, sort_contract(data)))
+    return work
+
+
+def ack_batch_kernel(cols: AckCols, receiver_of_flow, flows,
+                     items: List[AckWork]):
+    """One worker's slice of the receiver sweep, host by host."""
+    return [ack_kernel(cols, receiver_of_flow, flows, item) for item in items]
+
+
+def run_ack_system_np(engine, ctx: WindowContext) -> None:
+    """Vectorized ACKSystem: resident columns, batched kernels.
+
+    Like the SendSystem, the reassembly kernels sweep the receiver
+    table's resident working set; the bulk write-back happens at the
+    table's sync points, not per window.
+    """
+    work = plan_ack_np(engine, ctx)
+    if not work:
+        return
+    cols = AckCols(**engine.world.receivers.resident(AckCols._fields))
+    receiver_of_flow = engine.world.receiver_of_flow
+    chunks = _chunked(work, engine.pool.workers)
+    results = engine.pool.map(
+        "ack",
+        lambda chunk: ack_batch_kernel(cols, receiver_of_flow,
+                                       engine.scenario.flows, chunk),
+        chunks,
+        sizes=[sum(len(w[1]) for w in chunk) for chunk in chunks],
+    )
+    if len(results) == 1:
+        commit_ack(engine, ctx, results[0])
+    else:
+        commit_ack(engine, ctx, [r for chunk in results for r in chunk])
+
+
+# --- ForwardSystem ---------------------------------------------------------
+
+
+def forward_batch_kernel(fib, iface_id_of, spray: bool,
+                         items: List[ForwardWork]):
+    """One worker's slice of the switch sweep: all its nodes' arrivals
+    routed into private command buffers (one per node, so the commit's
+    per-node accounting matches the scalar path)."""
+    out = []
+    for node, arrivals in items:
+        buf: CommandBuffer = CommandBuffer()
+        for t, prio, row in arrivals:
+            salt = row[F_SEQ] if spray else None
+            port = fib.resolve_port(node, row[F_DST], row[F_FLOW], salt)
+            buf.append(iface_id_of(node, port), (t, prio, row))
+        out.append((node, len(arrivals), buf))
+    return out
+
+
+def commit_forward_np(engine, ctx: WindowContext, results) -> None:
+    """``commit_forward`` with the grouped array consolidation path."""
+    bus = engine.bus
+    buffers = []
+    for node, n, buf in results:
+        ctx.counts.forward += n
+        engine.bump_node(node, n)
+        if bus.has_ops:
+            from ...protocols.packet import packet_uid
+            for _target, (_t, _prio, row) in buf.entries:
+                bus.op(1, node, packet_uid(row))  # OP_FORWARD
+        buffers.append(buf)
+    consolidate_grouped(buffers, ctx.staged)
+
+
+def run_forward_system_np(engine, ctx: WindowContext) -> None:
+    """Vectorized ForwardSystem: batched routing, grouped consolidation."""
+    work = plan_forward(engine, ctx)
+    if not work:
+        return
+    sc = engine.scenario
+    chunks = _chunked(work, engine.pool.workers)
+    results = engine.pool.map(
+        "forward",
+        lambda chunk: forward_batch_kernel(
+            sc.fib, sc.topology.iface_id, sc.ecmp_mode == "packet", chunk),
+        chunks,
+        sizes=[sum(len(w[1]) for w in chunk) for chunk in chunks],
+    )
+    if len(results) == 1:
+        commit_forward_np(engine, ctx, results[0])
+    else:
+        commit_forward_np(engine, ctx, [r for chunk in results for r in chunk])
+
+
+# --- TransmitSystem --------------------------------------------------------
+
+
+def plan_transmit_np(engine, ctx: WindowContext) -> List[int]:
+    """Masked selection over the port axis: fed ∪ still-serializing.
+
+    ``np.flatnonzero`` of the boolean mask yields ascending iface ids —
+    the same list ``sorted(set(staged) | active)`` produces.
+    """
+    staged = ctx.staged
+    active = engine.active_ports
+    if len(staged) + len(active) < VECTOR_SORT_MIN:
+        return sorted(set(staged) | active)
+    mask = np.zeros(len(engine.ports), dtype=bool)
+    if staged:
+        mask[np.fromiter(staged, np.int64, len(staged))] = True
+    if active:
+        mask[np.fromiter(active, np.int64, len(active))] = True
+    return np.flatnonzero(mask).tolist()
+
+
+#: 8 * PS_PER_S, the serialization-formula constant (see repro.units).
+_PS8 = 8 * PS_PER_S
+
+
+def _replay_window_fifo(
+    port,
+    arrivals: List[Staged],
+    window_start: int,
+    window_end: int,
+    emissions: List,
+    drops: List[Tuple[int, Row]],
+    enq: Optional[List[Tuple[int, Row]]],
+) -> None:
+    """:meth:`EgressPort.replay_window` specialized for FIFO ports.
+
+    Same interleave, same state transitions, statement for statement —
+    but every per-packet helper (``arrive``, ``_dequeue``,
+    ``serialization_ps``, the scheduler's single queue, the integer
+    EWMA, the DCTCP threshold test) is inlined over local variables,
+    with port/stats state written back once at exit.  FIFO ignores the
+    classifier (all classes collapse to queue 0, see
+    ``FifoScheduler.enqueue``), so the per-packet classifier call is
+    skipped outright.  This loop runs once per fed-or-active port per
+    window; on the reference workload the dispatch it removes is most
+    of the TransmitSystem's non-automaton cost.  Keep in lockstep with
+    ``EgressPort.replay_window``/``arrive`` and ``Scheduler._pop``; the
+    backend-equivalence suite diffs the backends byte for byte.
+    """
+    sched = port.sched
+    queue = sched.queues[0]
+    head = sched._heads[0]
+    slen = sched._len
+    stats = port.stats
+    rate = port.iface.rate_bps
+    iface_id = port.iface.iface_id
+    cfg = port.config
+    aqm = cfg.aqm
+    weight_shift = aqm.red_weight_shift
+    buffer_bytes = cfg.buffer_bytes
+    # DCTCP threshold marking (the default) inlines; other AQM kinds go
+    # through the shared decision function.
+    ecn_k = (aqm.ecn_threshold_bytes
+             if aqm.kind == AqmKind.ECN_THRESHOLD else None)
+    sample_queue = port.sample_queue
+    queued = port.queued_bytes
+    avg = port.avg_bytes
+    free_at = port.free_at
+    max_q = stats.max_queue_bytes
+    n_deq = n_enq = n_drop = n_mark = tx = 0
+    cursor = window_start
+    i = 0
+    n = len(arrivals)
+    while True:
+        next_arr = arrivals[i][0] if i < n else None
+        start: Optional[int] = None
+        if slen > 0:
+            start = free_at if free_at > cursor else cursor
+            if start >= window_end:
+                start = None
+        if start is not None and (next_arr is None or start <= next_arr):
+            row = queue[head]            # Scheduler._pop, inlined
+            head += 1
+            if head > 64 and head * 2 >= len(queue):
+                del queue[:head]
+                head = 0
+            slen -= 1
+            size = row[F_SIZE]
+            queued -= size
+            n_deq += 1
+            tx += size
+            end = start + (size * _PS8) // rate
+            free_at = end
+            emissions.append((row, start, end))
+            cursor = start
+        elif next_arr is not None:
+            t, _prio, row = arrivals[i]
+            i += 1
+            # EgressPort.arrive, inlined (marking sees the queue
+            # occupancy before the packet, per the DCTCP convention)
+            size = row[F_SIZE]
+            avg += (queued - avg) >> weight_shift
+            if queued + size > buffer_bytes:
+                n_drop += 1
+                drops.append((t, row))
+            else:
+                if (queued >= ecn_k and not row[F_ISACK]
+                        if ecn_k is not None
+                        else should_mark(aqm, row, queued, avg, iface_id)):
+                    row = with_ce(row)
+                    n_mark += 1
+                queue.append(row)
+                slen += 1
+                queued += size
+                n_enq += 1
+                if queued > max_q:
+                    max_q = queued
+                if sample_queue:
+                    stats.queue_samples.append((t, queued))
+                if enq is not None:
+                    enq.append((t, row))
+            cursor = t
+        else:
+            break
+    sched._heads[0] = head
+    sched._len = slen
+    port.queued_bytes = queued
+    port.avg_bytes = avg
+    port.free_at = free_at
+    stats.dequeued += n_deq
+    stats.enqueued += n_enq
+    stats.dropped += n_drop
+    stats.marked += n_mark
+    stats.tx_bytes += tx
+    stats.max_queue_bytes = max_q
+
+
+def transmit_batch_kernel(
+    ports,
+    staged: Dict[int, List[Staged]],
+    window_start: int,
+    window_end: int,
+    full_trace: bool,
+    iface_ids: List[int],
+):
+    """One worker's slice of the port axis, replayed port by port."""
+    out = []
+    sort = transmit_sort  # module attribute: the injectable tie-break
+    staged_get = staged.get
+    append = out.append
+    for iface_id in iface_ids:
+        port = ports[iface_id]
+        arrivals = staged_get(iface_id)
+        if arrivals is None:
+            arrivals = []
+        elif len(arrivals) > 1:  # 0/1 arrivals: nothing to tie-break
+            arrivals = sort(arrivals)
+        emissions: List = []
+        drops: List[Tuple[int, Row]] = []
+        enq: Optional[List[Tuple[int, Row]]] = [] if full_trace else None
+        if type(port.sched) is FifoScheduler:
+            _replay_window_fifo(port, arrivals, window_start, window_end,
+                                emissions, drops, enq)
+        else:
+            port.replay_window(arrivals, window_start, window_end,
+                               emissions, drops, enq)
+        append((iface_id, emissions, drops, enq,
+                len(port.sched) > 0, len(arrivals)))
+    return out
+
+
+def run_transmit_system_np(engine, ctx: WindowContext) -> None:
+    """Vectorized TransmitSystem: masked plan, batched port replay."""
+    iface_ids = plan_transmit_np(engine, ctx)
+    if not iface_ids:
+        return
+    full_trace = engine.bus.trace_level >= 2
+    chunks = _chunked(iface_ids, engine.pool.workers)
+    results = engine.pool.map(
+        "transmit",
+        lambda chunk: transmit_batch_kernel(
+            engine.ports, ctx.staged, ctx.start, ctx.end, full_trace, chunk),
+        chunks,
+        sizes=[sum(len(ctx.staged.get(i, ())) + 1 for i in chunk)
+               for chunk in chunks],
+    )
+    if len(results) == 1:
+        commit_transmit(engine, ctx, results[0])
+    else:
+        commit_transmit(engine, ctx, [r for chunk in results for r in chunk])

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from .aqm import AqmConfig, ewma_update, should_mark
-from .packet import F_SIZE, Row, with_ce
+from .packet import F_FLOW, F_SIZE, Row, with_ce
 from ..errors import SimulationError
 from ..schedulers import Scheduler, SchedulerKind, make_scheduler
 from ..topology import Interface
@@ -80,7 +80,6 @@ class TableClassifier:
         self.classes = list(classes)
 
     def __call__(self, row: Row) -> int:
-        from .packet import F_FLOW
         return self.classes[row[F_FLOW]]
 
 
@@ -217,6 +216,11 @@ class EgressPort:
         Service starts and arrivals are interleaved in chronological
         order; at equal timestamps service precedes arrival, matching the
         baseline's PORT_DONE-before-ARRIVAL event priority.
+
+        ``repro.core.systems.vectorized._replay_window_fifo`` inlines
+        this loop (and ``arrive``) for FIFO ports on the NumPy backend —
+        any semantic change here must be mirrored there (the
+        backend-equivalence suite enforces it).
         """
         i = 0
         n = len(arrivals)

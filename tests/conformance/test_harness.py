@@ -12,7 +12,9 @@ from repro.conformance.diff import first_divergence
 from repro.conformance.generator import (
     ScenarioSpec, generate_spec, shrink, shrink_candidates,
 )
-from repro.conformance.inject import flipped_transmit_order
+from repro.conformance.inject import (
+    flipped_transmit_order, unstable_transmit_sort,
+)
 from repro.conformance.invariants import check_invariants
 from repro.conformance.oracles import run_oracle
 from repro.conformance.runner import (
@@ -21,6 +23,9 @@ from repro.conformance.runner import (
 from repro.errors import ReproError
 
 FAST_ORACLES = ("ood", "dons")
+#: The vectorized-backend drill needs an oracle that actually runs the
+#: NumPy engine, whatever REPRO_BACKEND says.
+NUMPY_ORACLES = ("ood", "dons-numpy")
 
 SMALL = ScenarioSpec(seed=7, topology="dumbbell", topo_arg=2,
                      traffic="fixed", n_flows=4, flow_kb=30)
@@ -150,6 +155,31 @@ class TestFuzzLoop:
         with flipped_transmit_order():
             assert not replay_file(result.artifact, FAST_ORACLES).ok
         assert replay_file(result.artifact, FAST_ORACLES).ok
+
+    def test_planted_unstable_sort_is_caught_and_shrunk(self, tmp_path):
+        """The NumPy-backend drill: replace the vectorized ordering-
+        contract sort with one unstable on (time, prio) ties.  Only the
+        vectorized engine is infected, so the fuzz loop must catch it
+        through the ``dons-numpy`` oracle — and shrink it small."""
+        with unstable_transmit_sort():
+            result = fuzz(0, 25, NUMPY_ORACLES, do_shrink=True,
+                          artifact_dir=tmp_path)
+        assert not result.ok, "planted bug survived 25 fuzz runs"
+        assert result.shrunk is not None
+        assert result.shrunk.spec.num_nodes() <= 8
+        div = result.shrunk.divergences[0]
+        assert div.window is not None and div.system and div.entity
+
+        # The Python reference kernels are untouched: the same fuzz
+        # stream stays clean when the vectorized engine is not asked for.
+        with unstable_transmit_sort():
+            assert fuzz(0, 3, ("ood", "dons-python")).ok
+
+        # The artifact replays: still failing under the bug, clean after.
+        assert result.artifact is not None and result.artifact.exists()
+        with unstable_transmit_sort():
+            assert not replay_file(result.artifact, NUMPY_ORACLES).ok
+        assert replay_file(result.artifact, NUMPY_ORACLES).ok
 
     def test_artifact_round_trip(self, tmp_path):
         report = check_spec(SMALL, FAST_ORACLES)

@@ -52,6 +52,29 @@ class TestCommands:
                    "--flows", "fixed:n=2,size=30000"])
         assert rc == 0
 
+    def test_run_numpy_backend(self, capsys):
+        pytest.importorskip("numpy")
+        rc = main(["run", "--topology", "dumbbell:2",
+                   "--flows", "fixed:n=2,size=30000",
+                   "--backend", "numpy"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flows completed : 2/2" in out
+
+    def test_compare_numpy_backend_identical(self, capsys):
+        pytest.importorskip("numpy")
+        rc = main(["compare", "--topology", "dumbbell:2",
+                   "--flows", "fixed:n=2,size=30000",
+                   "--backend", "numpy"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "identical       : True" in out
+
+    def test_bad_backend_is_a_parse_error(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(
+                ["run", "--backend", "fortran"])
+
     def test_compare_identical(self, capsys):
         rc = main(["compare", "--topology", "fattree:4",
                    "--flows", "fixed:n=4,size=20000"])

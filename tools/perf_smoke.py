@@ -2,9 +2,13 @@
 """Perf smoke harness: the columnar hot path must not regress.
 
 Runs a fixed FatTree4 DCTCP scenario on both engines (the OOD baseline
-and the DOD engine), measures wall-clock and event counts, writes a JSON
-report, and asserts the DOD engine has not regressed more than
-``--tolerance`` (default 20%) against the recorded baseline.
+and the DOD engine, the latter on both the Python and NumPy backends),
+measures wall-clock and event counts, writes a JSON report, and asserts
+the DOD engine has not regressed more than ``--tolerance`` (default
+20%) against the recorded baseline.  The NumPy backend carries two
+standing gates of its own: its event counts must equal the Python
+backend's exactly, and ``ratio_numpy_over_python`` must stay below 1.0
+(the vectorized backend exists to be faster).
 
 Wall-clock is machine-dependent, so the regression check is *relative*:
 the dons/ood time ratio of this run is compared against the baseline's
@@ -79,18 +83,28 @@ def measure() -> dict:
     from repro.des.partition_types import contiguous_partition
     from repro.partition import ClusterSpec
 
+    try:
+        import numpy  # noqa: F401  (availability probe only)
+        have_numpy = True
+    except ImportError:
+        have_numpy = False
+
     scenario = smoke_scenario()
     partition = contiguous_partition(scenario.topology, 2)
     fuzz_spec = fuzz_runner_spec()
-    ood_s, dons_s, cluster_s, fuzz_s = [], [], [], []
-    ood_res = dons_res = cluster_run = fuzz_report = None
+    ood_s, dons_s, numpy_s, cluster_s, fuzz_s = [], [], [], [], []
+    ood_res = dons_res = numpy_res = cluster_run = fuzz_report = None
     for _ in range(REPEATS):
         t0 = time.perf_counter()
         ood_res = run_baseline(scenario)
         ood_s.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
-        dons_res = run_dons(scenario)
+        dons_res = run_dons(scenario, backend="python")
         dons_s.append(time.perf_counter() - t0)
+        if have_numpy:
+            t0 = time.perf_counter()
+            numpy_res = run_dons(scenario, backend="numpy")
+            numpy_s.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
         cluster_run = DonsManager(scenario, ClusterSpec.homogeneous(2)).run(
             partition=partition)
@@ -103,13 +117,17 @@ def measure() -> dict:
         "repeats": REPEATS,
         "ood_s": min(ood_s),
         "dons_s": min(dons_s),
+        "dons_numpy_s": min(numpy_s) if numpy_s else None,
         "cluster_s": min(cluster_s),
         "ratio_dons_over_ood": min(dons_s) / min(ood_s),
+        "ratio_numpy_over_python": (min(numpy_s) / min(dons_s)
+                                    if numpy_s else None),
         "ratio_cluster_over_dons": min(cluster_s) / min(dons_s),
         "fuzz_s": min(fuzz_s),
         "ratio_fuzz_over_ood": min(fuzz_s) / min(ood_s),
         "ood_events": _events(ood_res),
         "dons_events": _events(dons_res),
+        "dons_numpy_events": _events(numpy_res) if numpy_res else None,
         "cluster_events": _events(cluster_run.results),
         "cluster_windows": cluster_run.traffic.windows,
         "fuzz_ok": fuzz_report.ok,
@@ -133,6 +151,9 @@ def main(argv=None) -> int:
           f"({report['ood_events']['total']} events)")
     print(f"dons     : {report['dons_s']:.3f}s  "
           f"({report['dons_events']['total']} events)")
+    if report["dons_numpy_s"] is not None:
+        print(f"numpy    : {report['dons_numpy_s']:.3f}s  "
+              f"({report['dons_numpy_events']['total']} events)")
     print(f"cluster2 : {report['cluster_s']:.3f}s  "
           f"({report['cluster_events']['total']} events, "
           f"{report['cluster_windows']} windows)")
@@ -140,6 +161,9 @@ def main(argv=None) -> int:
           f"({report['fuzz_entries']} trace entries, "
           f"ok={report['fuzz_ok']})")
     print(f"ratio    : {report['ratio_dons_over_ood']:.3f} (dons/ood)")
+    if report["ratio_numpy_over_python"] is not None:
+        print(f"ratio    : {report['ratio_numpy_over_python']:.3f} "
+              f"(numpy/python)")
     print(f"ratio    : {report['ratio_cluster_over_dons']:.3f} "
           f"(cluster/dons)")
     print(f"ratio    : {report['ratio_fuzz_over_ood']:.3f} (fuzz/ood)")
@@ -148,6 +172,22 @@ def main(argv=None) -> int:
         print("FAIL: fuzz-runner conformance check found a divergence",
               file=sys.stderr)
         return 1
+
+    # The vectorized backend's standing gates (not baseline-relative):
+    # it must produce the exact event counts of the reference kernels,
+    # and it must actually be faster than them on the smoke scenario.
+    if report["dons_numpy_s"] is not None:
+        if report["dons_numpy_events"] != report["dons_events"]:
+            print(f"FAIL: numpy backend events "
+                  f"{report['dons_numpy_events']} != python backend "
+                  f"{report['dons_events']}", file=sys.stderr)
+            return 1
+        if report["ratio_numpy_over_python"] >= 1.0:
+            print(f"FAIL: numpy/python ratio "
+                  f"{report['ratio_numpy_over_python']:.3f} >= 1.0 — the "
+                  f"vectorized backend must beat the reference kernels",
+                  file=sys.stderr)
+            return 1
 
     if args.record or not os.path.exists(BASELINE):
         with open(BASELINE, "w") as fh:
@@ -161,7 +201,8 @@ def main(argv=None) -> int:
     with open(BASELINE) as fh:
         base = json.load(fh)
     failures = []
-    for key in ("ood_events", "dons_events", "cluster_events"):
+    for key in ("ood_events", "dons_events", "dons_numpy_events",
+                "cluster_events"):
         if report[key] != base.get(key, report[key]):
             failures.append(f"{key} changed: {base[key]} -> {report[key]}")
     if report["cluster_windows"] != base.get("cluster_windows",
