@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import Dict, List, Optional
 
 from .errors import ConfigError, ReproError
@@ -141,6 +142,67 @@ def _summary(results) -> str:
     return "\n".join(lines)
 
 
+class _Progress:
+    """One-line stderr progress/ETA meter for long runs.
+
+    Hangs off :class:`~repro.core.runner.EngineRunner`'s ``on_step``
+    hook; shows windows done, events/s, percent complete with an ETA,
+    and (for a telemetered cluster run) the per-agent lag of the last
+    window.  Suppressed entirely when stderr is not a TTY, so piped and
+    CI output stays clean.
+    """
+
+    def __init__(self, engine, duration_ps, lookahead_ps,
+                 stream=None) -> None:
+        self.engine = engine
+        self.duration = duration_ps
+        self.lookahead = lookahead_ps
+        self.stream = sys.stderr if stream is None else stream
+        isatty = getattr(self.stream, "isatty", None)
+        self.enabled = bool(isatty and isatty())
+        self.t0 = time.perf_counter()
+        self._last = 0.0
+        self._wrote = False
+
+    def __call__(self, steps: int) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if now - self._last < 0.2:  # 5 Hz is plenty for a human
+            return
+        self._last = now
+        elapsed = now - self.t0
+        parts = [f"{steps} windows"]
+        events = getattr(getattr(self.engine, "results", None), "events",
+                         None)
+        if events is not None and events.total and elapsed > 0:
+            parts.append(f"{events.total / elapsed:,.0f} ev/s")
+        cursor = getattr(self.engine, "_cursor", -1)
+        if self.duration and self.lookahead and cursor > 0 and elapsed > 0:
+            frac = min(1.0, cursor * self.lookahead / self.duration)
+            if frac > 0:
+                eta = elapsed * (1.0 - frac) / frac
+                parts.append(f"{frac * 100:3.0f}% eta {eta:5.1f}s")
+        times = getattr(getattr(self.engine, "transport", None),
+                        "window_times", None)
+        if times:
+            parts.append(f"lag {(max(times) - min(times)) * 1e3:.2f}ms")
+        self._wrote = True
+        print("\r" + " | ".join(parts) + "\x1b[K", end="",
+              file=self.stream, flush=True)
+
+    def close(self) -> None:
+        """Clear the meter line so normal output starts clean."""
+        if self.enabled and self._wrote:
+            print("\r\x1b[K", end="", file=self.stream, flush=True)
+
+
+def _progress_for(args, engine, scenario) -> Optional[_Progress]:
+    if not getattr(args, "progress", False):
+        return None
+    return _Progress(engine, scenario.duration_ps, scenario.lookahead_ps)
+
+
 def cmd_run(args) -> int:
     scenario = build_scenario(args)
     if args.engine == "dons":
@@ -178,23 +240,48 @@ def cmd_profile(args) -> int:
     cluster bus collected."""
     import json
     scenario = build_scenario(args)
+    telemetry = bool(args.timeline) or None  # None: REPRO_TELEMETRY decides
     if args.cluster:
         from .cluster import DonsManager
         from .partition import ClusterSpec, measured_machine_times
+        from .partition import plan_scenario
         mgr = DonsManager(scenario, ClusterSpec.homogeneous(args.cluster),
                           workers_per_agent=args.workers,
                           transport=args.transport,
-                          backend=args.backend)
-        run = mgr.run()
-        results, bus = run.results, run.bus
+                          backend=args.backend,
+                          telemetry=bool(telemetry))
+        engine = mgr._engine(plan_scenario(scenario, mgr.cluster).partition)
+        progress = _progress_for(args, engine, scenario)
+        try:
+            from .core.runner import EngineRunner
+            EngineRunner(engine, on_step=progress).run()
+        finally:
+            if progress:
+                progress.close()
+        results, bus = engine.results, engine.bus
         agent_times = measured_machine_times(bus, args.cluster)
     else:
         from .core.engine import DodEngine
+        from .core.runner import EngineRunner
         eng = DodEngine(scenario, workers=args.workers,
-                        backend=args.backend)
-        results = eng.run()
+                        backend=args.backend, telemetry=telemetry)
+        progress = _progress_for(args, eng, scenario)
+        try:
+            results = EngineRunner(eng, on_step=progress).run()
+        finally:
+            if progress:
+                progress.close()
         bus = eng.bus
         agent_times = None
+    if args.timeline:
+        from .metrics.timeline import write_timeline
+        write_timeline(bus, args.timeline, manifest=dict(
+            command="profile", scenario=scenario.name,
+            backend=args.backend or os.environ.get("REPRO_BACKEND") or "python",
+            transport=args.transport if args.cluster else None,
+            cluster=args.cluster or None, workers=args.workers,
+        ))
+        print(f"timeline written to {args.timeline}", file=sys.stderr)
     rows = bus.profile_rows()
     if args.json:
         json.dump({"counters": bus.counters, "rows": rows,
@@ -227,6 +314,45 @@ def cmd_profile(args) -> int:
         print("per-agent wall-clock (measured T_a):")
         for agent, seconds in enumerate(agent_times):
             print(f"  a{agent}: {seconds * 1000:.3f} ms")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Run one scenario with telemetry on and dump everything the bus
+    measured — counters, gauges, histograms, per-system totals, and (for
+    cluster runs) the per-agent busy / barrier-wait series — as JSON or
+    CSV, to stdout or ``--out FILE`` (with a provenance manifest)."""
+    import json
+    scenario = build_scenario(args)
+    if args.cluster:
+        from .cluster import DonsManager
+        from .partition import ClusterSpec
+        mgr = DonsManager(scenario, ClusterSpec.homogeneous(args.cluster),
+                          workers_per_agent=args.workers,
+                          transport=args.transport,
+                          backend=args.backend, telemetry=True)
+        bus = mgr.run().bus
+    else:
+        from .core.engine import DodEngine
+        eng = DodEngine(scenario, workers=args.workers,
+                        backend=args.backend, telemetry=True)
+        eng.run()
+        bus = eng.bus
+    from .metrics.timeline import stats_csv, stats_dict, write_stats
+    if args.out:
+        write_stats(bus, args.out, fmt=args.format, manifest=dict(
+            command="stats", scenario=scenario.name,
+            backend=args.backend or os.environ.get("REPRO_BACKEND")
+            or "python",
+            transport=args.transport if args.cluster else None,
+            cluster=args.cluster or None, workers=args.workers,
+        ))
+        print(f"stats written to {args.out}")
+    elif args.format == "csv":
+        sys.stdout.write(stats_csv(bus))
+    else:
+        json.dump(stats_dict(bus), sys.stdout, indent=2, sort_keys=True)
+        print()
     return 0
 
 
@@ -326,7 +452,26 @@ def make_parser() -> argparse.ArgumentParser:
     profile.add_argument("--transport", choices=["local", "process"],
                          default="local",
                          help="how cluster agents are hosted (with --cluster)")
+    profile.add_argument("--timeline", metavar="FILE",
+                         help="enable telemetry and export the run as "
+                              "Chrome trace JSON (open in Perfetto)")
+    profile.add_argument("--progress", action="store_true",
+                         help="stderr progress/ETA line (TTY only)")
     profile.set_defaults(fn=cmd_profile)
+
+    stats = sub.add_parser(
+        "stats", parents=[common],
+        help="run with telemetry and dump counters / gauges / histograms")
+    stats.add_argument("--cluster", type=int, default=0, metavar="N",
+                       help="distribute over N agents")
+    stats.add_argument("--transport", choices=["local", "process"],
+                       default="local",
+                       help="how cluster agents are hosted (with --cluster)")
+    stats.add_argument("--out", metavar="FILE",
+                       help="write to FILE (plus FILE.manifest.json) "
+                            "instead of stdout")
+    stats.add_argument("--format", choices=["json", "csv"], default="json")
+    stats.set_defaults(fn=cmd_stats)
 
     plan = sub.add_parser("plan", parents=[common],
                           help="plan distributed execution")
@@ -357,6 +502,8 @@ def make_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", metavar="FILE",
                       help="re-check one saved spec / corpus entry / "
                            "repro artifact instead of fuzzing")
+    fuzz.add_argument("--progress", action="store_true",
+                      help="stderr progress line (TTY only)")
     fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 

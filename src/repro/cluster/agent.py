@@ -39,17 +39,21 @@ class AgentSpec:
     #: the engine's own resolution (``REPRO_BACKEND`` env, then "python"),
     #: re-resolved in the worker process a ProcessTransport spawns.
     backend: Optional[str] = None
+    #: Span recording + metric sampling on the agent's bus; the spans
+    #: come back in the AgentReport and merge into the cluster timeline.
+    telemetry: bool = False
 
     def make(self) -> "AgentEngine":
         return AgentEngine(self.agent_id, self.scenario, self.partition,
-                           self.trace_level, self.workers, self.backend)
+                           self.trace_level, self.workers, self.backend,
+                           self.telemetry)
 
 
 def spec_of(engine: "AgentEngine") -> AgentSpec:
     """Recover the construction recipe of an existing agent engine."""
     return AgentSpec(engine.agent_id, engine.scenario, engine.partition,
                      TraceLevel(engine.trace.level), engine.pool.workers,
-                     engine.backend)
+                     engine.backend, engine.bus.telemetry)
 
 
 class AgentEngine(DodEngine):
@@ -65,8 +69,12 @@ class AgentEngine(DodEngine):
         trace_level: TraceLevel = TraceLevel.NONE,
         workers: int = 1,
         backend: Optional[str] = None,
+        telemetry: bool = False,
     ) -> None:
-        super().__init__(scenario, trace_level, workers, backend=backend)
+        # ``False`` defers to REPRO_TELEMETRY (like ``backend=None``), so
+        # the env switch reaches worker processes a transport spawns.
+        super().__init__(scenario, trace_level, workers, backend=backend,
+                         telemetry=telemetry or None)
         self.agent_id = agent_id
         self.partition = partition
         #: per remote agent: (arrival_ps, node, row) records of this window
@@ -113,3 +121,11 @@ class AgentEngine(DodEngine):
 
     def finish(self) -> None:
         self.finalize()
+        bus = self.bus
+        if bus.telemetry and bus.spans:
+            # Agents are driven window-by-window by the coordinator, so
+            # no EngineRunner wraps them in a "run" span; synthesize one
+            # over the whole recorded range so the agent's track nests
+            # like a single-machine timeline.
+            t0 = min(span[0] for span in bus.spans)
+            bus.span_add("run", t0, bus.now(), "run", {"engine": self.name})

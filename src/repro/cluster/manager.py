@@ -132,6 +132,7 @@ class DonsManager:
         checkpoint_every: Optional[int] = None,
         fault: Optional[FaultPlan] = None,
         backend: Optional[str] = None,
+        telemetry: bool = False,
     ) -> None:
         self.scenario = scenario
         self.cluster = cluster
@@ -141,11 +142,12 @@ class DonsManager:
         self.checkpoint_every = checkpoint_every
         self.fault = fault
         self.backend = backend
+        self.telemetry = telemetry
 
     def _specs(self, partition: Partition) -> List[AgentSpec]:
         return [
             AgentSpec(a, self.scenario, partition, self.trace_level,
-                      self.workers_per_agent, self.backend)
+                      self.workers_per_agent, self.backend, self.telemetry)
             for a in range(partition.num_parts)
         ]
 
@@ -167,8 +169,13 @@ class DonsManager:
         self,
         partition: Optional[Partition] = None,
         loads: Optional[LoadModel] = None,
+        on_step=None,
     ) -> DistributedRun:
-        """Plan (unless a partition is supplied) and execute."""
+        """Plan (unless a partition is supplied) and execute.
+
+        ``on_step`` is passed through to the
+        :class:`~repro.core.runner.EngineRunner` (per-window progress
+        callback)."""
         plan = None
         if partition is None:
             plan = plan_scenario(self.scenario, self.cluster, loads)
@@ -176,7 +183,7 @@ class DonsManager:
         if len(partition.assignment) != self.scenario.topology.num_nodes:
             raise ClusterError("partition does not match topology")
         engine = self._engine(partition)
-        EngineRunner(engine).run()
+        EngineRunner(engine, on_step=on_step).run()
         return DistributedRun(
             results=engine.results,
             per_agent=engine.per_agent,

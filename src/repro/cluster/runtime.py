@@ -38,6 +38,7 @@ stays byte-identical to the fault-free run.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .agent import AgentSpec
@@ -47,6 +48,7 @@ from .transport import (
     make_transport,
 )
 from ..core.instrument import InstrumentationBus
+from ..core.telemetry import WAIT_MS_BUCKETS
 from ..des.partition_types import Partition
 from ..errors import ClusterError
 from ..metrics import SimResults, TraceRecorder
@@ -80,6 +82,24 @@ class ClusterEngine:
             )
 
         self.bus = InstrumentationBus()
+        # Telemetry on the cluster bus follows the agents: any spec with
+        # it on (or the REPRO_TELEMETRY switch) lights up the
+        # coordinator-side spans/metrics too, so one exported timeline
+        # holds both the agent tracks and the barrier-wait slices.
+        if (any(spec.telemetry for spec in self.specs)
+                or os.environ.get("REPRO_TELEMETRY", "")
+                not in ("", "0", "false", "off")):
+            self.bus.enable_telemetry()
+            self.bus.metrics.histogram("cluster.barrier_wait_ms",
+                                       WAIT_MS_BUCKETS)
+        self.transport.bus = self.bus
+        #: Coordinator-observed per-agent busy / barrier-wait seconds,
+        #: accumulated per window; exported as ``a<i>:busy_s`` /
+        #: ``a<i>:barrier_wait_s`` gauges at finalize — the exact series
+        #: :func:`repro.partition.refit_cluster_spec` takes as
+        #: ``measured_times``.
+        self._busy_s = [0.0] * len(self.specs)
+        self._wait_s = [0.0] * len(self.specs)
         self.results = SimResults(self.name, self.specs[0].scenario.name, 0)
         self.per_agent: List[SimResults] = []
         self.migrations: List = []
@@ -172,7 +192,12 @@ class ClusterEngine:
     def advance(self) -> bool:
         """Execute one cluster-wide lookahead window; False when done."""
         transport = self.transport
+        bus = self.bus
+        telemetry = bus.telemetry
+        _w0 = bus.now() if telemetry else 0.0
         peeks = transport.peek_all(self._cursor)
+        if telemetry:
+            bus.span_add("agree", _w0, bus.now(), "cluster")
         live = [w for w in peeks if w is not None]
         if not live:
             return False
@@ -190,6 +215,9 @@ class ClusterEngine:
         for agent_id, out in enumerate(outboxes):
             if isinstance(out, AgentFailure):
                 outboxes[agent_id] = self._recover(agent_id, window)
+        if telemetry:
+            self._window_telemetry(window)
+            _f0 = bus.now()
 
         for agent_id, out in enumerate(outboxes):
             for dst, records in sorted(out.items()):
@@ -197,6 +225,10 @@ class ClusterEngine:
         delivered = transport.deliver_pending()
         transport.barrier()
         self.bus.count("cluster.windows")
+        if telemetry:
+            now = bus.now()
+            bus.span_add("flush", _f0, now, "cluster")
+            bus.span_add("window", _w0, now, "cluster", {"index": window})
         self._cursor = window
 
         if self._fault_tolerant:
@@ -207,6 +239,26 @@ class ClusterEngine:
                     and len(self._windows_since_snap) >= self.checkpoint_every):
                 self._take_snapshots(window)
         return True
+
+    def _window_telemetry(self, window: int) -> None:
+        """Split the window the coordinator just ran into per-agent busy
+        time and barrier wait (slowest agent waits zero), as both
+        ``a<i>:barrier-wait`` timeline slices and accumulated seconds."""
+        bus = self.bus
+        times = self.transport.window_times
+        if not times:
+            return
+        t_done = bus.now()
+        t_max = max(times)
+        for agent_id, busy in enumerate(times):
+            wait = t_max - busy
+            self._busy_s[agent_id] += busy
+            self._wait_s[agent_id] += wait
+            bus.metrics.record("cluster.barrier_wait_ms", wait * 1e3)
+            if wait > 0.0:
+                bus.span_add(f"a{agent_id}:barrier-wait",
+                             t_done - wait, t_done, "cluster",
+                             {"window": window})
 
     def finalize(self) -> SimResults:
         """Collect per-agent results and bus streams, merge, shut down."""
@@ -223,7 +275,15 @@ class ClusterEngine:
                 self.bus.merge_child(
                     f"a{report.agent_id}", report.counters,
                     report.totals, report.windows,
+                    spans=report.spans, metrics=report.metrics,
+                    epoch_wall=report.epoch_wall,
                 )
+            if self.bus.telemetry:
+                for agent_id in range(len(self.specs)):
+                    self.bus.metrics.gauge(f"a{agent_id}:busy_s",
+                                           self._busy_s[agent_id])
+                    self.bus.metrics.gauge(f"a{agent_id}:barrier_wait_s",
+                                           self._wait_s[agent_id])
             self.transport.finalize_stats()
         finally:
             self.transport.close()
@@ -274,19 +334,22 @@ class ClusterEngine:
                 "checkpoint exists (enable checkpoint_every)"
             )
         transport = self.transport
-        transport.restore(agent_id, self._snapshots[agent_id],
-                          self._snap_window)
-        # Replay the batched RPCs peers delivered since the snapshot —
-        # their channels accounted them once already, so they go straight
-        # into the restored calendar.
-        log = self._replay_log.get(agent_id, [])
-        if log:
-            transport.accept(agent_id, list(log))
-        # Re-run the windows the cluster executed since the snapshot.
-        # Outboxes are discarded: the peers received those batches in the
-        # original timeline, and re-execution is deterministic.
-        for past in self._windows_since_snap:
-            transport.run_window(agent_id, past)
+        with self.bus.span("replay", "transport", agent=agent_id,
+                           window=window,
+                           from_window=self._snap_window):
+            transport.restore(agent_id, self._snapshots[agent_id],
+                              self._snap_window)
+            # Replay the batched RPCs peers delivered since the snapshot
+            # — their channels accounted them once already, so they go
+            # straight into the restored calendar.
+            log = self._replay_log.get(agent_id, [])
+            if log:
+                transport.accept(agent_id, list(log))
+            # Re-run the windows the cluster executed since the snapshot.
+            # Outboxes are discarded: the peers received those batches in
+            # the original timeline, and re-execution is deterministic.
+            for past in self._windows_since_snap:
+                transport.run_window(agent_id, past)
         stats = RecoveryStats(
             agent=agent_id,
             failed_window=window,

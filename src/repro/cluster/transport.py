@@ -68,6 +68,13 @@ class AgentReport:
     counters: Dict[str, int]
     totals: Dict[str, SystemProfile]
     windows: List[WindowProfile]
+    #: Telemetry streams (PR 5): the agent bus's span buffer, its metric
+    #: registry snapshot, and the wall-clock position of its span epoch
+    #: — the cluster bus uses the latter to normalize child clocks
+    #: before merging the spans under the ``a<id>:`` namespace.
+    spans: List[tuple] = None  # type: ignore[assignment]
+    metrics: Dict[str, Any] = None  # type: ignore[assignment]
+    epoch_wall: float = 0.0
 
 
 class Transport:
@@ -84,6 +91,16 @@ class Transport:
         self.specs: List[AgentSpec] = []
         self.channels = ChannelMap()
         self.stats = ClusterTrafficStats()
+        #: Cluster bus for transport-level telemetry; the runtime wires
+        #: it at build when telemetry is on, else spans stay un-emitted.
+        self.bus = None
+        #: Per-agent busy seconds of the most recent ``run_window_all``
+        #: (coordinator-observed; filled only when ``bus`` telemetry is
+        #: on) — the runtime turns these into barrier-wait slices.
+        self.window_times: List[float] = []
+
+    def _telemetry(self) -> bool:
+        return self.bus is not None and self.bus.telemetry
 
     # --- batched RPCs -----------------------------------------------------
 
@@ -94,7 +111,12 @@ class Transport:
     def send_batch(self, src: int, dst: int, records: List[Record]) -> None:
         """Account and enqueue one window batch (nothing for empty)."""
         if records:
-            self.channels[src, dst].send_batch(records)
+            if self._telemetry():
+                with self.bus.span("send", "transport", src=src, dst=dst,
+                                   records=len(records)):
+                    self.channels[src, dst].send_batch(records)
+            else:
+                self.channels[src, dst].send_batch(records)
 
     def deliver_pending(self) -> Dict[int, List[Record]]:
         """Drain every channel into its destination agent, in ``(src,
@@ -104,7 +126,15 @@ class Transport:
         for (_src, dst), channel in self.channels.sorted_items():
             records = channel.drain()
             if records:
-                self.accept(dst, records)
+                if self._telemetry():
+                    # The serialize + hand-off of one batch: in-process
+                    # it is a mailbox append, across a ProcessTransport
+                    # pipe it is the pickle + write.
+                    with self.bus.span("serialize", "transport", dst=dst,
+                                       records=len(records)):
+                        self.accept(dst, records)
+                else:
+                    self.accept(dst, records)
                 delivered.setdefault(dst, []).extend(records)
         return delivered
 
@@ -168,12 +198,16 @@ class Transport:
 
 
 def _report_of(engine: AgentEngine) -> AgentReport:
+    bus = engine.bus
     return AgentReport(
         agent_id=engine.agent_id,
         results=engine.results,
-        counters=dict(engine.bus.counters),
-        totals=dict(engine.bus.totals),
-        windows=list(engine.bus.windows),
+        counters=dict(bus.counters),
+        totals=dict(bus.totals),
+        windows=list(bus.windows),
+        spans=list(bus.spans),
+        metrics=bus.metrics.snapshot() if bus.metrics else {},
+        epoch_wall=bus.epoch_wall,
     )
 
 
@@ -224,11 +258,19 @@ class LocalTransport(Transport):
 
     def run_window_all(self, window: int):
         out: List[Union[Dict[int, List[Record]], AgentFailure]] = []
+        telemetry = self._telemetry()
+        if telemetry:
+            self.window_times = []
         for agent_id in range(len(self.engines)):
+            t0 = self.bus.now() if telemetry else 0.0
             try:
                 out.append(self.run_window(agent_id, window))
             except AgentFailure as failure:
                 out.append(failure)
+            if telemetry:
+                # Serial execution: each agent's busy time is exactly its
+                # own wall time; the runtime derives barrier waits.
+                self.window_times.append(self.bus.now() - t0)
         return out
 
     def accept(self, agent_id: int, records: List[Record]) -> None:
@@ -414,20 +456,33 @@ class ProcessTransport(Transport):
     def run_window_all(self, window: int):
         results: List[Union[Dict[int, List[Record]], AgentFailure]] = []
         sent: List[bool] = []
+        telemetry = self._telemetry()
+        t_sent = 0.0
         for agent_id in range(len(self._workers)):
             try:
                 self._send(agent_id, ("window", window), window)
                 sent.append(True)
             except AgentFailure:
                 sent.append(False)
+        if telemetry:
+            t_sent = self.bus.now()
+            self.window_times = []
         for agent_id in range(len(self._workers)):
             if not sent[agent_id]:
                 results.append(AgentFailure(agent_id, window))
+                if telemetry:
+                    self.window_times.append(0.0)
                 continue
             try:
                 results.append(self._recv(agent_id, window))
             except AgentFailure as failure:
                 results.append(failure)
+            if telemetry:
+                # Reply-arrival time since fan-out: an upper bound on the
+                # agent's busy time (a fast agent's reply can sit in the
+                # pipe while an earlier recv blocks), good enough for the
+                # runtime's barrier-wait split.
+                self.window_times.append(self.bus.now() - t_sent)
         return results
 
     def accept(self, agent_id: int, records: List[Record]) -> None:

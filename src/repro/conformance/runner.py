@@ -12,6 +12,7 @@ candidate) and the minimal repro is written as a JSON artifact that
 from __future__ import annotations
 
 import json
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -116,6 +117,26 @@ def write_artifact(report: CheckReport, directory: Path) -> Path:
     return path
 
 
+def write_failure_timeline(report: CheckReport,
+                           directory: Path) -> Optional[Path]:
+    """Re-run a failing spec on the DOD engine with telemetry on and
+    archive a Chrome-trace timeline next to the repro artifact — the
+    first thing to open when triaging a nightly failure."""
+    from ..core.engine import DodEngine
+    from ..metrics.timeline import write_timeline
+    directory.mkdir(parents=True, exist_ok=True)
+    try:
+        engine = DodEngine(report.spec.build(), telemetry=True)
+        engine.run()
+    except ReproError:  # a failure can make the re-run itself unrunnable
+        return None
+    path = directory / f"{report.spec.scenario_name()}.timeline.json"
+    write_timeline(engine.bus, str(path), manifest=dict(
+        command="fuzz", scenario=report.spec.scenario_name(),
+    ))
+    return path
+
+
 @dataclass
 class FuzzResult:
     """Aggregate outcome of one fuzz campaign."""
@@ -124,6 +145,7 @@ class FuzzResult:
     failures: List[CheckReport] = field(default_factory=list)
     shrunk: Optional[CheckReport] = None
     artifact: Optional[Path] = None
+    timeline: Optional[Path] = None
 
     @property
     def ok(self) -> bool:
@@ -137,15 +159,20 @@ def fuzz(
     do_shrink: bool = False,
     artifact_dir: Optional[Path] = None,
     emit: Callable[[str], None] = lambda _msg: None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> FuzzResult:
     """Check ``runs`` generated scenarios; stop at the first failure.
 
     A failure is optionally shrunk to a minimal spec (re-checking each
     shrink candidate with the same oracle set) and written to
-    ``artifact_dir`` as a JSON repro.
+    ``artifact_dir`` as a JSON repro, along with a telemetry timeline of
+    the failing scenario.  ``progress(done, total)`` is called before
+    each run (the CLI's ``--progress`` meter).
     """
     result = FuzzResult(runs=runs)
     for index in range(runs):
+        if progress is not None:
+            progress(index + 1, runs)
         spec = generate_spec(seed, index)
         report = check_spec(spec, oracles)
         emit(f"[{index + 1}/{runs}] {report.summary()}")
@@ -168,6 +195,9 @@ def fuzz(
         if artifact_dir is not None:
             result.artifact = write_artifact(final, artifact_dir)
             emit(f"repro artifact: {result.artifact}")
+            result.timeline = write_failure_timeline(final, artifact_dir)
+            if result.timeline is not None:
+                emit(f"failure timeline: {result.timeline}")
         break
     return result
 
@@ -198,9 +228,19 @@ def cmd_fuzz(args: Any) -> int:
         print(report.summary())
         return 0 if report.ok else 1
     artifact_dir = Path(args.artifact_dir) if args.artifact_dir else None
-    result = fuzz(args.seed, args.runs, oracles,
-                  do_shrink=args.shrink, artifact_dir=artifact_dir,
-                  emit=print)
+    progress = None
+    if getattr(args, "progress", False) and sys.stderr.isatty():
+        def progress(done: int, total: int) -> None:
+            sys.stderr.write(f"\rfuzz {done}/{total}\x1b[K")
+            sys.stderr.flush()
+    try:
+        result = fuzz(args.seed, args.runs, oracles,
+                      do_shrink=args.shrink, artifact_dir=artifact_dir,
+                      emit=print, progress=progress)
+    finally:
+        if progress is not None:
+            sys.stderr.write("\r\x1b[K")
+            sys.stderr.flush()
     if result.ok:
         print(f"fuzz: {result.runs} runs, "
               f"{len(oracles)} oracles, all byte-identical")

@@ -46,7 +46,7 @@ class Checkpoint:
 
 
 def _engine_state(engine: DodEngine, current_window: int) -> dict:
-    return {
+    state = {
         "current_window": current_window,
         "calendar": engine.calendar,
         "win_heap": engine._win_heap,
@@ -58,6 +58,16 @@ def _engine_state(engine: DodEngine, current_window: int) -> dict:
         "trace": engine.trace,
         "carried_staged": engine._carried_staged,
     }
+    if engine.bus.telemetry:
+        # Telemetry buffers (spans, histograms, counters) must survive a
+        # kill: a restored agent re-runs only the windows since the
+        # snapshot, so everything recorded before it would otherwise be
+        # dropped and recovered runs would report holey timelines.
+        # Gated on the telemetry switch so untelemetered checkpoints
+        # stay byte-for-byte what they were.
+        state["bus_state"] = engine.bus.export_state()
+        state["tx_prev"] = engine._tx_prev
+    return state
 
 
 def take_checkpoint(engine: DodEngine, current_window: int) -> Checkpoint:
@@ -95,6 +105,10 @@ def restore_checkpoint(engine: DodEngine, checkpoint: Checkpoint) -> int:
     engine._carried_staged = state.get("carried_staged", {})
     engine._running_window = state["current_window"]
     engine._cursor = state["current_window"]
+    bus_state = state.get("bus_state")
+    if bus_state is not None:
+        engine.bus.adopt_state(bus_state)
+        engine._tx_prev = state.get("tx_prev", {})
     return state["current_window"]
 
 

@@ -66,6 +66,7 @@ class DodEngine:
         system_order: str = "paper",
         sample_queues: bool = False,
         backend: Optional[str] = None,
+        telemetry: Optional[bool] = None,
     ) -> None:
         """``lookahead_override`` shrinks the batch below the minimum
         link delay (correct but slower — the ablation of the §3.3 design
@@ -81,6 +82,11 @@ class DodEngine:
         ``REPRO_BACKEND`` environment variable, defaulting to
         ``"python"`` — which is how the CI backend matrix runs the whole
         suite under each backend without touching test code.
+
+        ``telemetry`` turns on span recording and metric sampling on the
+        engine's bus (``None`` resolves ``REPRO_TELEMETRY``).  Telemetry
+        only reads clocks and port counters — the event trace, and
+        therefore the conformance digest, is identical either way.
         """
         self.scenario = scenario
         if backend is None:
@@ -88,6 +94,12 @@ class DodEngine:
         self.backend = backend
         self._systems = system_set(backend)
         self.bus = InstrumentationBus()
+        if telemetry is None:
+            telemetry = os.environ.get("REPRO_TELEMETRY", "") not in (
+                "", "0", "false", "off")
+        if telemetry:
+            self.bus.enable_telemetry()
+        self._tx_prev: Dict[int, int] = {}
         self.trace = self.bus.subscribe_trace(TraceRecorder(trace_level))
         self.pool = WorkerPool(workers, bus=self.bus)
         self.max_windows = max_windows
@@ -128,6 +140,10 @@ class DodEngine:
     @property
     def built(self) -> bool:
         return self._built
+
+    @property
+    def telemetry(self) -> bool:
+        return self.bus.telemetry
 
     def attach_trace(self, recorder: TraceRecorder) -> TraceRecorder:
         """Swap in a different trace recorder (checkpoint restore path)."""
@@ -254,6 +270,9 @@ class DodEngine:
         """Execute one lookahead batch: the four systems in §3.3 order."""
         L = self.lookahead
         bus = self.bus
+        telemetry = bus.telemetry
+        if telemetry:
+            _w0 = bus.now()
         self._running_window = index
         start = index * L
         end = start + L
@@ -298,7 +317,16 @@ class DodEngine:
             t3 = clock()
             bus.system_time("forward", t3 - t2)
             run_transmit(self, ctx)
-            bus.system_time("transmit", clock() - t3)
+            t4 = clock()
+            bus.system_time("transmit", t4 - t3)
+            if telemetry:
+                # System spans reuse the timing reads above — the only
+                # extra hot-path cost is four list appends.
+                rel = bus.rel
+                bus.span_add("ack", rel(t0), rel(t1), "system")
+                bus.span_add("send", rel(t1), rel(t2), "system")
+                bus.span_add("forward", rel(t2), rel(t3), "system")
+                bus.span_add("transmit", rel(t3), rel(t4), "system")
         else:
             # Naive order (ablation): ACK last.  Its staged packets miss
             # this window's TransmitSystem and carry into the next batch.
@@ -330,7 +358,38 @@ class DodEngine:
                 (start, ctx.counts.ack, ctx.counts.send,
                  ctx.counts.forward, ctx.counts.transmit)
             )
+        if telemetry:
+            self._sample_window_metrics(ctx)
+            bus.span_add("window", _w0, bus.now(), "window",
+                         {"index": index, "start_ps": start})
         return ctx
+
+    def _sample_window_metrics(self, ctx: WindowContext) -> None:
+        """End-of-window metric sampling (telemetry only; read-only).
+
+        Busy ports are sampled for queue depth and per-window link
+        utilization (tx-bytes delta against the last sample, normalized
+        by line rate x window length).  Bounded by the active-port set,
+        not the topology size.
+        """
+        from .telemetry import QUEUE_DEPTH_BUCKETS, UTILIZATION_BUCKETS
+        metrics = self.bus.metrics
+        depth = metrics.histogram("port.queue_depth_bytes",
+                                  QUEUE_DEPTH_BUCKETS)
+        util = metrics.histogram("link.window_utilization",
+                                 UTILIZATION_BUCKETS)
+        window_ps = ctx.end - ctx.start
+        tx_prev = self._tx_prev
+        for iface_id in self.active_ports:
+            port = self.ports[iface_id]
+            depth.record(port.queued_bytes)
+            tx = port.stats.tx_bytes
+            sent = tx - tx_prev.get(iface_id, 0)
+            if sent:
+                tx_prev[iface_id] = tx
+                capacity = port.iface.rate_bps * window_ps * 1e-12
+                if capacity > 0:
+                    util.record(min(1.0, sent * 8.0 / capacity))
 
     def advance(self) -> bool:
         """Run the next pending lookahead window (the runner's unit)."""
@@ -361,8 +420,34 @@ class DodEngine:
             for port in self.ports:
                 res.marks += port.stats.marked
                 res.tx_bytes += port.stats.tx_bytes
+            if self.bus.telemetry:
+                self._final_metrics()
         self.pool.close()
         return self.results
+
+    def _final_metrics(self) -> None:
+        """Whole-run metric rollups recorded once at finalize."""
+        from .telemetry import FCT_US_BUCKETS
+        metrics = self.bus.metrics
+        fct = metrics.histogram("flow.completion_time_us", FCT_US_BUCKETS)
+        for flow in self.results.flows.values():
+            if flow.complete_ps is not None:
+                fct.record((flow.complete_ps - flow.start_ps) * 1e-6)
+        drops = marks = enq = deq = 0
+        max_depth = 0
+        for port in self.ports:
+            stats = port.stats
+            drops += stats.dropped
+            marks += stats.marked
+            enq += stats.enqueued
+            deq += stats.dequeued
+            if stats.max_queue_bytes > max_depth:
+                max_depth = stats.max_queue_bytes
+        metrics.count("port.drops", drops)
+        metrics.count("port.ecn_marks", marks)
+        metrics.count("port.enqueued", enq)
+        metrics.count("port.dequeued", deq)
+        metrics.gauge("port.max_queue_bytes", float(max_depth))
 
 
 def run_dons(
@@ -370,6 +455,8 @@ def run_dons(
     trace_level: TraceLevel = TraceLevel.NONE,
     workers: int = 1,
     backend: Optional[str] = None,
+    telemetry: Optional[bool] = None,
 ) -> SimResults:
     """Convenience one-shot run of the DOD engine."""
-    return DodEngine(scenario, trace_level, workers, backend=backend).run()
+    return DodEngine(scenario, trace_level, workers, backend=backend,
+                     telemetry=telemetry).run()

@@ -22,10 +22,28 @@ pool, direct ``TraceRecorder`` calls inside the systems) is a
   from :meth:`system_timer`.  ``python -m repro profile`` renders these;
   the cost model consumes the event counts as before.
 
+Telemetry (PR 5) adds two more observation kinds behind one master
+switch, ``bus.telemetry``:
+
+* **spans** — begin/end wall-clock intervals (run → window → system →
+  kernel/commit phases, plus transport-level serialize / send /
+  barrier-wait slices recorded by the cluster stack).  ``bus.span(name,
+  **attrs)`` is the context-manager API; hot paths that already hold
+  ``perf_counter`` readings call :meth:`span_add` directly.  Span
+  timestamps are seconds relative to the bus *epoch*; the paired
+  ``epoch_wall`` (wall-clock at bus creation) is what lets a cluster bus
+  normalize child-agent spans recorded on another machine's clock.
+* **metrics** — a :class:`~repro.core.telemetry.MetricsRegistry` of
+  counters, gauges, and fixed-bucket histograms (queue depths, link
+  utilization, FCTs, barrier waits) whose ``snapshot()``/``merge()``
+  rides the same transport report path as the counters.
+
 The hot-path contract: with no subscribers, every publish degrades to a
-guarded no-op (``bus.has_ops`` / ``bus.trace_level`` checks), so an
-uninstrumented run pays one attribute test per publish site, the same
-price the old ``if self.op_hook:`` / ``if trace.level:`` guards paid.
+guarded no-op (``bus.has_ops`` / ``bus.trace_level`` / ``bus.telemetry``
+checks), so an uninstrumented run pays one attribute test per publish
+site, the same price the old ``if self.op_hook:`` / ``if trace.level:``
+guards paid.  With telemetry disabled ``span()`` returns one shared
+no-op context manager — zero allocation, zero records.
 """
 
 from __future__ import annotations
@@ -34,6 +52,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from .telemetry import MetricsRegistry
 
 #: Machine-model op codes carried on the op stream (kept in sync with
 #: ``repro.machine.access`` / ``repro.des.simulator``).
@@ -45,6 +65,51 @@ OP_WINDOW = 9
 
 #: An op-stream subscriber: ``hook(op_code, location, packet_uid)``.
 OpSubscriber = Callable[[int, int, int], None]
+
+#: One recorded span: ``(t0_s, t1_s, name, category, attrs-or-None)``.
+#: Times are seconds relative to the owning bus's epoch; ``category``
+#: groups spans for the timeline exporter ("run", "window", "system",
+#: "transport", "cluster").
+SpanRecord = tuple
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: records ``(t0, t1, name, cat, attrs)`` on exit."""
+
+    __slots__ = ("_bus", "_name", "_cat", "_attrs", "_t0")
+
+    def __init__(self, bus: "InstrumentationBus", name: str, cat: str,
+                 attrs: Optional[Dict[str, Any]]) -> None:
+        self._bus = bus
+        self._name = name
+        self._cat = cat
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._bus.now()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        bus = self._bus
+        bus.spans.append(
+            (self._t0, bus.now(), self._name, self._cat, self._attrs)
+        )
+        return False
 
 
 @dataclass
@@ -93,11 +158,49 @@ class InstrumentationBus:
         self.has_ops = False
         self._trace_subs: List[Any] = []
         self.trace_level = 0
+        #: Master telemetry switch: spans + metric sampling.  Off by
+        #: default; every telemetry publish site guards on it.
+        self.telemetry = False
+        self.spans: List[SpanRecord] = []
+        self.metrics = MetricsRegistry()
+        # Clock anchors: span timestamps are perf_counter seconds
+        # relative to _epoch_perf; epoch_wall locates that zero on the
+        # wall clock so buses from different processes can be aligned.
+        self.epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
 
     # --- counters ---------------------------------------------------------
 
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
+
+    # --- telemetry: spans -------------------------------------------------
+
+    def enable_telemetry(self, on: bool = True) -> None:
+        """Turn span recording and metric sampling on (or off)."""
+        self.telemetry = on
+
+    def now(self) -> float:
+        """Seconds since the bus epoch (the span timebase)."""
+        return time.perf_counter() - self._epoch_perf
+
+    def span(self, name: str, cat: str = "span", **attrs: Any):
+        """Context manager recording one span; a shared no-op when
+        telemetry is disabled (zero allocation on the cold path)."""
+        if not self.telemetry:
+            return _NOOP_SPAN
+        return _Span(self, name, cat, attrs or None)
+
+    def span_add(self, name: str, t0: float, t1: float, cat: str = "span",
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Record a finished span from explicit epoch-relative times —
+        the hot path uses this to reuse ``perf_counter`` readings it
+        already took.  Callers guard with ``bus.telemetry``."""
+        self.spans.append((t0, t1, name, cat, attrs))
+
+    def rel(self, perf_t: float) -> float:
+        """Convert a raw ``time.perf_counter()`` reading to span time."""
+        return perf_t - self._epoch_perf
 
     # --- op stream --------------------------------------------------------
 
@@ -243,6 +346,9 @@ class InstrumentationBus:
         counters: Dict[str, int],
         totals: Dict[str, SystemProfile],
         windows: Sequence[WindowProfile],
+        spans: Optional[Sequence[SpanRecord]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
+        epoch_wall: Optional[float] = None,
     ) -> None:
         """Fold one child engine's bus into this aggregate bus.
 
@@ -252,9 +358,25 @@ class InstrumentationBus:
         profiles are *tagged* ``<tag>:<system>`` so per-agent timings
         stay distinguishable — ``python -m repro profile --cluster``
         and :func:`repro.partition.measured_machine_times` read them.
+
+        Telemetry streams ride the same call: ``spans`` are renamed
+        ``<tag>:<name>`` and shifted from the child's clock into this
+        bus's timebase via the wall-clock offset (``epoch_wall`` is the
+        child bus's epoch on the shared wall clock); ``metrics`` is the
+        child registry's snapshot — counters/histograms summed
+        cluster-wide, gauges prefixed ``<tag>:``.
         """
         for name, n in counters.items():
             self.count(name, n)
+        if spans:
+            offset = ((epoch_wall - self.epoch_wall)
+                      if epoch_wall is not None else 0.0)
+            for t0, t1, name, cat, attrs in spans:
+                self.spans.append(
+                    (t0 + offset, t1 + offset, f"{tag}:{name}", cat, attrs)
+                )
+        if metrics:
+            self.metrics.merge(metrics, prefix=f"{tag}:")
         for system, prof in totals.items():
             name = f"{tag}:{system}"
             total = self.totals.get(name)
@@ -273,6 +395,42 @@ class InstrumentationBus:
             for system, prof in child.systems.items():
                 mine.system(f"{tag}:{system}").add(prof)
         self.windows.sort(key=lambda w: w.index)
+
+    # --- checkpoint support -----------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """Everything a checkpoint must carry so a restored engine's
+        telemetry resumes where the dead engine's left off (spans and
+        histograms recorded before the snapshot must survive the kill —
+        the fault-recovery timeline-completeness guarantee)."""
+        return {
+            "counters": dict(self.counters),
+            "totals": self.totals,
+            "windows": self.windows,
+            "spans": list(self.spans),
+            "metrics": self.metrics.snapshot(),
+            "epoch_wall": self.epoch_wall,
+            "telemetry": self.telemetry,
+        }
+
+    def adopt_state(self, state: Dict[str, Any]) -> None:
+        """Install a checkpointed bus state (restore path).  Restored
+        span timestamps are rebased from the dead bus's epoch into this
+        bus's timebase, so spans recorded before the crash and spans
+        recorded after the restore share one clock."""
+        import copy
+        self.counters = dict(state["counters"])
+        self.totals = copy.deepcopy(state["totals"])
+        self.windows = copy.deepcopy(state["windows"])
+        self._window_index = {w.index: w for w in self.windows}
+        offset = state["epoch_wall"] - self.epoch_wall
+        self.spans = [
+            (t0 + offset, t1 + offset, name, cat, attrs)
+            for t0, t1, name, cat, attrs in state["spans"]
+        ]
+        self.metrics = MetricsRegistry()
+        self.metrics.merge(state["metrics"])
+        self.telemetry = bool(state.get("telemetry", self.telemetry))
 
     # --- reporting --------------------------------------------------------
 

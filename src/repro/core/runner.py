@@ -64,25 +64,45 @@ class Engine(Protocol):
 
 
 class EngineRunner:
-    """Drives one engine from build to finalized results."""
+    """Drives one engine from build to finalized results.
 
-    def __init__(self, engine: "Engine", max_steps: Optional[int] = None) -> None:
+    ``on_step`` is an optional per-advance callback ``fn(steps)`` — the
+    CLI's ``--progress`` line hangs off it; exceptions it raises
+    propagate (it is a driver hook, not a subscriber).
+    """
+
+    def __init__(self, engine: "Engine", max_steps: Optional[int] = None,
+                 on_step=None) -> None:
         self.engine = engine
         self.max_steps = max_steps
+        self.on_step = on_step
         self.steps = 0
 
     def run(self) -> "SimResults":
         """Build if needed, advance to exhaustion, always finalize."""
         engine = self.engine
+        bus = getattr(engine, "bus", None)
+        record = bus is not None and getattr(bus, "telemetry", False)
+        if record:
+            t0 = bus.now()
         if not engine.built:
             engine.build()
+        if record:
+            bus.span_add("build", t0, bus.now(), "run",
+                         {"engine": engine.name})
+        on_step = self.on_step
         try:
             while engine.advance():
                 self.steps += 1
+                if on_step is not None:
+                    on_step(self.steps)
                 if self.max_steps is not None and self.steps >= self.max_steps:
                     break
         finally:
             engine.finalize()
+            if record:
+                bus.span_add("run", t0, bus.now(), "run",
+                             {"engine": engine.name, "steps": self.steps})
         return engine.results
 
 

@@ -8,6 +8,11 @@ from .traceview import (
     drops_by_port, flow_timeline, hops, marked_fraction, packet_journey,
     per_hop_latency, queueing_delays,
 )
+from .timeline import (
+    chrome_trace_events, run_manifest, stats_csv, stats_dict,
+    validate_chrome_trace, validate_timeline_file, write_manifest,
+    write_stats, write_timeline,
+)
 
 __all__ = [
     "Entry", "TraceKind", "TraceLevel", "TraceRecorder",
@@ -16,4 +21,8 @@ __all__ = [
     "flows_csv", "rtt_csv", "window_breakdown_csv",
     "drops_by_port", "flow_timeline", "hops", "marked_fraction",
     "packet_journey", "per_hop_latency", "queueing_delays",
+    "chrome_trace_events", "write_timeline",
+    "validate_chrome_trace", "validate_timeline_file",
+    "stats_dict", "stats_csv", "write_stats",
+    "run_manifest", "write_manifest",
 ]

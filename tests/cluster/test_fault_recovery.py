@@ -94,6 +94,40 @@ def test_fault_without_checkpoints_recovers_from_initial_snapshot(scenario,
             == sorted(reference.trace.entries))
 
 
+@pytest.mark.parametrize("transport", ["local", "process"])
+def test_recovery_keeps_telemetry_spans(scenario, reference, transport):
+    """A kill must not drop the dead agent's telemetry: spans recorded
+    before the snapshot ride the checkpoint (bus state is captured when
+    telemetry is on) and the replay re-records the windows since, so the
+    merged timeline has no holes."""
+    fault = FaultPlan(agent=1, at_window=12)
+    part = contiguous_partition(scenario.topology, 2)
+    mgr = DonsManager(scenario, ClusterSpec.homogeneous(2),
+                      TraceLevel.FULL, transport=transport,
+                      checkpoint_every=5, fault=fault, telemetry=True)
+    run = mgr.run(partition=part)
+    assert fault.fired and len(run.recoveries) == 1
+
+    def window_indices(tag):
+        return {span[4]["index"] for span in run.bus.spans
+                if span[2] == f"{tag}:window" and span[3] == "window"
+                and span[4]}
+
+    survivor, killed = window_indices("a0"), window_indices("a1")
+    assert survivor and killed
+    # The restored agent's timeline covers every window the survivor
+    # ran — nothing recorded before the kill was lost.
+    assert survivor <= killed
+    # Its metric samples survived too (summed into the cluster registry
+    # from both agents, including the pre-kill checkpointed counts).
+    hist = run.bus.metrics.histograms["port.queue_depth_bytes"]
+    assert hist.count > 0
+    # And telemetry never costs fidelity: the recovered trace still
+    # matches the fault-free single-machine reference.
+    assert (sorted(run.results.trace.entries)
+            == sorted(reference.trace.entries))
+
+
 def test_migration_plus_fault_tolerance_rejected(scenario):
     """A restored agent would resume under a stale partition; the
     combination fails loudly at construction."""

@@ -101,3 +101,82 @@ class TestCommands:
         rc = main(["run", "--topology", "nope"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTelemetryCommands:
+    ARGS = ["--topology", "dumbbell:2", "--flows", "fixed:n=2,size=30000"]
+
+    def test_profile_timeline_export(self, tmp_path, capsys):
+        from repro.metrics.timeline import validate_timeline_file
+        out = tmp_path / "timeline.json"
+        rc = main(["profile", *self.ARGS, "--timeline", str(out)])
+        assert rc == 0
+        events = validate_timeline_file(str(out))
+        assert any(e.get("name") == "run" for e in events)
+        assert (tmp_path / "timeline.json.manifest.json").exists()
+
+    def test_profile_cluster_timeline_export(self, tmp_path, capsys):
+        from repro.metrics.timeline import validate_timeline_file
+        out = tmp_path / "cluster.json"
+        rc = main(["profile", *self.ARGS, "--cluster", "2",
+                   "--timeline", str(out)])
+        assert rc == 0
+        events = validate_timeline_file(str(out))
+        assert {e["pid"] for e in events} == {0, 1, 2}
+
+    def test_stats_json_stdout(self, capsys):
+        import json
+        rc = main(["stats", *self.ARGS])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == 1
+        assert "flow.completion_time_us" in report["metrics"]["histograms"]
+
+    def test_stats_csv_to_file_with_manifest(self, tmp_path, capsys):
+        out = tmp_path / "stats.csv"
+        rc = main(["stats", *self.ARGS, "--out", str(out),
+                   "--format", "csv"])
+        assert rc == 0
+        assert out.read_text().startswith("kind,name,field,value")
+        assert (tmp_path / "stats.csv.manifest.json").exists()
+
+    def test_stats_cluster_reports_agent_series(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "stats.json"
+        rc = main(["stats", *self.ARGS, "--cluster", "2",
+                   "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert len(report["agent_busy_s"]) == 2
+        assert len(report["agent_barrier_wait_s"]) == 2
+
+    def test_progress_suppressed_off_tty(self, capsys):
+        rc = main(["profile", *self.ARGS, "--progress"])
+        assert rc == 0
+        assert "\r" not in capsys.readouterr().err
+
+    def test_progress_meter_renders_on_tty(self):
+        import io
+        from repro.cli import _Progress
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        class FakeEngine:
+            class results:
+                class events:
+                    total = 1000
+            _cursor = 5
+
+        stream = Tty()
+        meter = _Progress(FakeEngine(), duration_ps=10_000,
+                          lookahead_ps=1_000, stream=stream)
+        meter._last = -1.0  # defeat throttling
+        meter(5)
+        meter.close()
+        text = stream.getvalue()
+        assert "5 windows" in text
+        assert "ev/s" in text
+        assert "eta" in text
+

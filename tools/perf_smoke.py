@@ -10,6 +10,11 @@ standing gates of its own: its event counts must equal the Python
 backend's exactly, and ``ratio_numpy_over_python`` must stay below 1.0
 (the vectorized backend exists to be faster).
 
+The telemetry layer carries its own standing gates: a fully
+instrumented run (``ratio_telemetry_over_plain``) must stay under
+``TELEMETRY_GATE`` and must reproduce the plain run's event counts
+exactly.
+
 Wall-clock is machine-dependent, so the regression check is *relative*:
 the dons/ood time ratio of this run is compared against the baseline's
 ratio — the OOD engine acts as the per-machine speed calibration, the
@@ -36,6 +41,12 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 BASELINE = os.path.join(REPO, "tools", "BENCH_smoke_baseline.json")
 REPORT = os.path.join(REPO, "BENCH_smoke.json")
 REPEATS = 3
+#: Standing gate: a fully-telemetered run (spans + metric sampling on)
+#: may cost at most 15% over the plain run on the same scenario.  The
+#: *disabled* path has no within-run reference (its guards are compiled
+#: into every run), so it is held by the baseline-relative dons/ood
+#: ratio check instead.
+TELEMETRY_GATE = 1.15
 
 
 def smoke_scenario():
@@ -89,11 +100,15 @@ def measure() -> dict:
     except ImportError:
         have_numpy = False
 
+    from repro.metrics.timeline import TELEMETRY_SCHEMA_VERSION
+
     scenario = smoke_scenario()
     partition = contiguous_partition(scenario.topology, 2)
     fuzz_spec = fuzz_runner_spec()
     ood_s, dons_s, numpy_s, cluster_s, fuzz_s = [], [], [], [], []
+    telem_s = []
     ood_res = dons_res = numpy_res = cluster_run = fuzz_report = None
+    telem_res = None
     for _ in range(REPEATS):
         t0 = time.perf_counter()
         ood_res = run_baseline(scenario)
@@ -101,6 +116,9 @@ def measure() -> dict:
         t0 = time.perf_counter()
         dons_res = run_dons(scenario, backend="python")
         dons_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        telem_res = run_dons(scenario, backend="python", telemetry=True)
+        telem_s.append(time.perf_counter() - t0)
         if have_numpy:
             t0 = time.perf_counter()
             numpy_res = run_dons(scenario, backend="numpy")
@@ -113,13 +131,16 @@ def measure() -> dict:
         fuzz_report = check_spec(fuzz_spec, ("ood", "dons"))
         fuzz_s.append(time.perf_counter() - t0)
     return {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
         "scenario": scenario.name,
         "repeats": REPEATS,
         "ood_s": min(ood_s),
         "dons_s": min(dons_s),
+        "dons_telemetry_s": min(telem_s),
         "dons_numpy_s": min(numpy_s) if numpy_s else None,
         "cluster_s": min(cluster_s),
         "ratio_dons_over_ood": min(dons_s) / min(ood_s),
+        "ratio_telemetry_over_plain": min(telem_s) / min(dons_s),
         "ratio_numpy_over_python": (min(numpy_s) / min(dons_s)
                                     if numpy_s else None),
         "ratio_cluster_over_dons": min(cluster_s) / min(dons_s),
@@ -127,6 +148,7 @@ def measure() -> dict:
         "ratio_fuzz_over_ood": min(fuzz_s) / min(ood_s),
         "ood_events": _events(ood_res),
         "dons_events": _events(dons_res),
+        "dons_telemetry_events": _events(telem_res),
         "dons_numpy_events": _events(numpy_res) if numpy_res else None,
         "cluster_events": _events(cluster_run.results),
         "cluster_windows": cluster_run.traffic.windows,
@@ -151,6 +173,9 @@ def main(argv=None) -> int:
           f"({report['ood_events']['total']} events)")
     print(f"dons     : {report['dons_s']:.3f}s  "
           f"({report['dons_events']['total']} events)")
+    print(f"telemetry: {report['dons_telemetry_s']:.3f}s  "
+          f"(ratio {report['ratio_telemetry_over_plain']:.3f}, "
+          f"gate {TELEMETRY_GATE:.2f})")
     if report["dons_numpy_s"] is not None:
         print(f"numpy    : {report['dons_numpy_s']:.3f}s  "
               f"({report['dons_numpy_events']['total']} events)")
@@ -171,6 +196,20 @@ def main(argv=None) -> int:
     if not report["fuzz_ok"]:
         print("FAIL: fuzz-runner conformance check found a divergence",
               file=sys.stderr)
+        return 1
+
+    # Telemetry's standing gates (not baseline-relative): recording must
+    # not perturb the simulation (identical event counts) and a fully
+    # instrumented run must stay within TELEMETRY_GATE of the plain one.
+    if report["dons_telemetry_events"] != report["dons_events"]:
+        print(f"FAIL: telemetry changed the simulation: "
+              f"{report['dons_telemetry_events']} != "
+              f"{report['dons_events']}", file=sys.stderr)
+        return 1
+    if report["ratio_telemetry_over_plain"] > TELEMETRY_GATE:
+        print(f"FAIL: telemetry overhead "
+              f"{report['ratio_telemetry_over_plain']:.3f} exceeds the "
+              f"{TELEMETRY_GATE:.2f} gate", file=sys.stderr)
         return 1
 
     # The vectorized backend's standing gates (not baseline-relative):
