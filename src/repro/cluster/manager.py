@@ -133,6 +133,7 @@ class DonsManager:
         fault: Optional[FaultPlan] = None,
         backend: Optional[str] = None,
         telemetry: bool = False,
+        batch_windows: Optional[int] = None,
     ) -> None:
         self.scenario = scenario
         self.cluster = cluster
@@ -143,6 +144,7 @@ class DonsManager:
         self.fault = fault
         self.backend = backend
         self.telemetry = telemetry
+        self.batch_windows = batch_windows
 
     def _specs(self, partition: Partition) -> List[AgentSpec]:
         return [
@@ -163,6 +165,7 @@ class DonsManager:
             schedule=schedule,
             checkpoint_every=self.checkpoint_every,
             fault=self.fault,
+            batch_windows=self.batch_windows,
         )
 
     def run(

@@ -20,7 +20,6 @@ the fabric.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -60,18 +59,8 @@ class MigrationStats:
 
 def _move_calendar_node(src: AgentEngine, dst: AgentEngine, node: int,
                         stats: MigrationStats) -> None:
-    for win in list(src.calendar):
-        bucket = src.calendar[win]
-        entries = bucket.pop(node, None)
-        if not bucket:
-            del src.calendar[win]
-        if not entries:
-            continue
-        dbucket = dst.calendar.setdefault(win, {})
-        dbucket.setdefault(node, []).extend(entries)
-        if win not in dst._win_queued:
-            dst._win_queued.add(win)
-            heapq.heappush(dst._win_heap, win)
+    for win, entries in src.events.take_node(node):
+        dst.events.insert_entries(win, node, entries)
         stats.calendar_entries_moved += len(entries)
 
 
@@ -116,10 +105,7 @@ def migrate(
                 src.active_ports.discard(iface_id)
                 dst.active_ports.add(iface_id)
                 # the new owner must keep draining the backlog
-                nxt = dst._running_window + 1
-                if nxt not in dst._win_queued:
-                    dst._win_queued.add(nxt)
-                    heapq.heappush(dst._win_heap, nxt)
+                dst.events.touch(dst._running_window + 1)
 
         # 2. Pending calendar entries addressed to the node.
         _move_calendar_node(src, dst, node, stats)

@@ -175,6 +175,19 @@ class Transport:
     ) -> List[Union[Dict[int, List[Record]], AgentFailure]]:
         raise NotImplementedError
 
+    def quiet_all(self, current: int, limit: int) -> List[int]:
+        """Every agent's :meth:`AgentEngine.remote_quiet_horizon` — the
+        batcher takes the minimum before committing to a barrier-free
+        span."""
+        raise NotImplementedError
+
+    def run_windows_all(
+        self, current: int, end_window: int
+    ) -> List[Tuple[int, Dict[int, List[Record]]]]:
+        """Batched span: every agent runs its scheduled windows in
+        ``(current, end_window)`` without intermediate barriers."""
+        raise NotImplementedError
+
     def accept(self, agent_id: int, records: List[Record]) -> None:
         raise NotImplementedError
 
@@ -273,6 +286,23 @@ class LocalTransport(Transport):
                 self.window_times.append(self.bus.now() - t0)
         return out
 
+    def quiet_all(self, current: int, limit: int) -> List[int]:
+        return [self._engine(a).remote_quiet_horizon(current, limit)
+                for a in range(len(self.engines))]
+
+    def run_windows_all(self, current: int, end_window: int):
+        out: List[Tuple[int, Dict[int, List[Record]]]] = []
+        telemetry = self._telemetry()
+        if telemetry:
+            self.window_times = []
+        for agent_id in range(len(self.engines)):
+            t0 = self.bus.now() if telemetry else 0.0
+            out.append(self._engine(agent_id, current)
+                       .run_windows(current, end_window))
+            if telemetry:
+                self.window_times.append(self.bus.now() - t0)
+        return out
+
     def accept(self, agent_id: int, records: List[Record]) -> None:
         self._engine(agent_id).accept_remote(records)
 
@@ -332,6 +362,10 @@ def _agent_worker(conn, spec: AgentSpec) -> None:
                     reply = engine.peek_next_window(message[1])
                 elif command == "window":
                     reply = engine.run_window(message[1])
+                elif command == "quiet":
+                    reply = engine.remote_quiet_horizon(message[1], message[2])
+                elif command == "windows":
+                    reply = engine.run_windows(message[1], message[2])
                 elif command == "accept":
                     engine.accept_remote(message[1])
                     reply = None
@@ -484,6 +518,24 @@ class ProcessTransport(Transport):
                 # runtime's barrier-wait split.
                 self.window_times.append(self.bus.now() - t_sent)
         return results
+
+    def quiet_all(self, current: int, limit: int) -> List[int]:
+        return self._fan_out(("quiet", current, limit), current)
+
+    def run_windows_all(self, current: int, end_window: int):
+        telemetry = self._telemetry()
+        t_sent = 0.0
+        for agent_id in range(len(self._workers)):
+            self._send(agent_id, ("windows", current, end_window), current)
+        if telemetry:
+            t_sent = self.bus.now()
+            self.window_times = []
+        out: List[Tuple[int, Dict[int, List[Record]]]] = []
+        for agent_id in range(len(self._workers)):
+            out.append(self._recv(agent_id, current))
+            if telemetry:
+                self.window_times.append(self.bus.now() - t_sent)
+        return out
 
     def accept(self, agent_id: int, records: List[Record]) -> None:
         self._call(agent_id, ("accept", records))

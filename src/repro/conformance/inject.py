@@ -6,7 +6,7 @@ partition/order-dependent divergence — and the test suite asserts the
 fuzz loop catches it within a bounded number of runs and shrinks it to
 a small repro.
 
-Two bug classes are plantable, one per backend mechanism:
+Three bug classes are plantable:
 
 * :func:`flipped_transmit_order` flips the deterministic tie-break
   inside the transmit merge-sort: packets staged at the same
@@ -20,6 +20,13 @@ Two bug classes are plantable, one per backend mechanism:
   so equal-key packets come out in reversed arrival order — the classic
   symptom of swapping a stable sort for an unstable one (or of trusting
   ``np.argsort`` without ``kind="stable"``).
+* :func:`stale_window_index` corrupts the columnar event store's
+  window-occupancy index (the O(1) ``peek_next_window`` structure):
+  registration of a newly occupied window lags the column append, so a
+  window whose bucket holds a single entry is invisible to the
+  scheduler.  Entries starve — the engine skips or never runs their
+  window — which is exactly the failure mode of letting a derived index
+  drift from the data it summarizes.
 
 Both bugs mirror real failure modes (iterating a hash map / racing
 commit order / unstable sorting instead of the ordering-contract key):
@@ -35,6 +42,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..core import events as events_mod
 from ..core.systems import transmit as transmit_mod
 from ..core.systems import vectorized as vectorized_mod
 from ..core.window import Staged
@@ -105,6 +113,43 @@ def flipped_transmit_order() -> Iterator[None]:
     finally:
         transmit_mod.transmit_kernel = original_kernel
         vectorized_mod.transmit_sort = original_sort
+
+
+def _stale_register_window(events, win: int) -> None:
+    """Occupancy registration that lags the column append by one entry.
+
+    A window already indexed stays indexed; a window whose bucket holds
+    two or more entries gets indexed (late, on the second insert); but a
+    *singleton* bucket is never registered — the index claims the window
+    is empty while its columns hold work.  Deterministic per engine run,
+    no state outside the store itself.
+    """
+    if win in events._queued:
+        return
+    bucket = events._buckets.get(win)
+    if bucket is not None and len(bucket) >= 2:
+        events_mod._register_window(events, win)
+
+
+@contextmanager
+def stale_window_index() -> Iterator[None]:
+    """Plant the stale-occupancy-index bug in the columnar event store.
+
+    Patches the module-level ``register_window`` hook that
+    :meth:`EventColumns.insert` resolves at call time, so every DOD
+    engine on either backend (plain, checkpoint, cluster agents) is
+    infected; the OOD baseline keeps its own heap and stays a truthful
+    reference.  Windows whose only pending work is a single entry — a
+    lone RTO wakeup, a solitary ACK arrival — vanish from the
+    scheduler's view, their entries starve, and the byte trace diverges
+    wherever the reference ran them.
+    """
+    original = events_mod.register_window
+    events_mod.register_window = _stale_register_window
+    try:
+        yield
+    finally:
+        events_mod.register_window = original
 
 
 @contextmanager

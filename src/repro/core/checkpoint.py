@@ -7,8 +7,9 @@ necessary variables and data structures", with replication across
 multiple locations against single-point failures.
 
 A checkpoint captures everything the batch engine needs to resume —
-the window cursor, the calendar, every egress port's queue/line state,
-the component tables, accumulated results — as one pickled blob.
+the window cursor, the columnar pending-event store (columns plus its
+window-occupancy index), every egress port's queue/line state, the
+component tables, accumulated results — as one pickled blob.
 Restoring into a fresh engine and continuing produces *exactly* the
 trace the uninterrupted run would have produced (asserted in
 tests/core/test_checkpoint.py), because the engine state between two
@@ -29,7 +30,9 @@ from .engine import DodEngine
 from ..errors import SimulationError
 
 #: Format tag so stale checkpoints fail loudly instead of misloading.
-FORMAT = "dons-checkpoint-v1"
+#: v2: the scalar ``calendar``/``win_heap``/``win_queued`` triplet was
+#: replaced by the single columnar ``events`` store (EventColumns).
+FORMAT = "dons-checkpoint-v2"
 
 
 @dataclass
@@ -48,9 +51,7 @@ class Checkpoint:
 def _engine_state(engine: DodEngine, current_window: int) -> dict:
     state = {
         "current_window": current_window,
-        "calendar": engine.calendar,
-        "win_heap": engine._win_heap,
-        "win_queued": engine._win_queued,
+        "events": engine.events,
         "active_ports": engine.active_ports,
         "ports": engine.ports,
         "world": engine.world,
@@ -94,9 +95,7 @@ def restore_checkpoint(engine: DodEngine, checkpoint: Checkpoint) -> int:
             f"engine runs {engine.scenario.name!r}"
         )
     state = pickle.loads(checkpoint.payload)
-    engine.calendar = state["calendar"]
-    engine._win_heap = state["win_heap"]
-    engine._win_queued = state["win_queued"]
+    engine.events = state["events"]
     engine.active_ports = state["active_ports"]
     engine.ports = state["ports"]
     engine.world = state["world"]

@@ -7,12 +7,19 @@ the LCC-safe order — ACKSystem, SendSystem, ForwardSystem,
 TransmitSystem — and each system processes *all* entities of its aspect
 together, data-parallel across a worker pool.
 
-Deliveries, flow starts and timer wakeups are kept in a window calendar:
-``calendar[window][node] -> entries``.  The LCC argument (§3.3) shows up
-as an invariant here: every entry of window *w* was inserted by a window
+Deliveries, flow starts and timer wakeups are kept in a columnar
+pending-event store (:class:`~repro.core.events.EventColumns`): one
+bucket of parallel ``node``/``tag``/``time``/``prio``/``payload``
+columns per pending window, plus a window-occupancy index that makes
+``peek_next_window`` O(1).  The LCC argument (§3.3) shows up as an
+invariant here: every entry of window *w* was inserted by a window
 strictly before *w* (link delay >= lookahead), so a window's inputs are
 complete before it runs, and no synchronization is ever needed within a
-machine.
+machine.  The same discipline is what makes multi-window batching
+(``advance(max_windows=K)``, ``REPRO_BATCH_WINDOWS``) safe: a span of
+windows whose inputs are already complete can run back-to-back with no
+intervening scheduling work — see docs/ARCHITECTURE.md, "Why K-window
+batching is safe".
 
 All observation goes through the engine's
 :class:`~repro.core.instrument.InstrumentationBus`: the trace recorder,
@@ -28,12 +35,14 @@ traces (see ``tests/integration/test_engine_equivalence.py``).
 
 from __future__ import annotations
 
-import heapq
 import os
+import struct
+from hashlib import blake2b
 from time import perf_counter
 from typing import Dict, List, Optional, Set
 
 from .ecs import World
+from .events import EventColumns
 from .instrument import OP_WINDOW, InstrumentationBus
 from .runner import EngineRunner
 from .runtime import WorkerPool
@@ -67,6 +76,7 @@ class DodEngine:
         sample_queues: bool = False,
         backend: Optional[str] = None,
         telemetry: Optional[bool] = None,
+        batch_windows: Optional[int] = None,
     ) -> None:
         """``lookahead_override`` shrinks the batch below the minimum
         link delay (correct but slower — the ablation of the §3.3 design
@@ -87,6 +97,13 @@ class DodEngine:
         engine's bus (``None`` resolves ``REPRO_TELEMETRY``).  Telemetry
         only reads clocks and port counters — the event trace, and
         therefore the conformance digest, is identical either way.
+
+        ``batch_windows`` is the default window budget of one
+        :meth:`advance` call (``None`` resolves ``REPRO_BATCH_WINDOWS``,
+        defaulting to 1).  Budgets above 1 run up to K consecutive
+        windows per advance; the trace stays byte-identical because
+        each window's inputs were complete before the batch started
+        (the LCC discipline).
         """
         self.scenario = scenario
         if backend is None:
@@ -103,6 +120,9 @@ class DodEngine:
         self.trace = self.bus.subscribe_trace(TraceRecorder(trace_level))
         self.pool = WorkerPool(workers, bus=self.bus)
         self.max_windows = max_windows
+        if batch_windows is None:
+            batch_windows = int(os.environ.get("REPRO_BATCH_WINDOWS") or 1)
+        self.batch_windows = max(1, batch_windows)
         if system_order not in ("paper", "naive"):
             raise SimulationError(f"unknown system order {system_order!r}")
         self.system_order = system_order
@@ -125,15 +145,21 @@ class DodEngine:
         self.ports: List[EgressPort] = []
         self.results = SimResults(self.name, scenario.name, 0)
 
-        # Window calendar + scheduling heap of pending window indices.
-        self.calendar: Dict[int, Dict[int, List[Entry]]] = {}
-        self._win_heap: List[int] = []
-        self._win_queued: Set[int] = set()
+        # Columnar pending-event store + window-occupancy index.
+        self.events = EventColumns()
         self.active_ports: Set[int] = set()
         self._built = False
         self._finalized = False
         self._cursor = -1
         self._windows_run = 0
+
+        # Fused single-pass window execution is a vectorized-backend
+        # specialization of the paper order; the reference backend keeps
+        # the four separate system runs.
+        self._fused_run = None
+        if backend == "numpy" and system_order == "paper":
+            from .systems.vectorized import run_window_fused
+            self._fused_run = run_window_fused
 
     # --- construction -------------------------------------------------------
 
@@ -212,15 +238,30 @@ class DodEngine:
         # late entries are clamped forward instead of silently lost.
         if win <= self._running_window:
             win = self._running_window + 1
-        bucket = self.calendar.setdefault(win, {})
-        bucket.setdefault(node, []).append(entry)
-        if win not in self._win_queued:
-            self._win_queued.add(win)
-            heapq.heappush(self._win_heap, win)
+        self.events.insert(win, node, entry)
 
     def deliver(self, node: int, t: int, row: Row) -> None:
         """TransmitSystem callback: a packet reaches ``node`` at ``t``."""
         self._insert(t, node, (ENTRY_ARRIVAL, t, PRIO_ARRIVAL, row))
+
+    #: True when every delivery lands in the local event store — the
+    #: fused transmit sweep may then append to the columns directly.
+    #: The cluster AgentEngine clears it (peers can live off-partition).
+    deliveries_local = True
+
+    def deliver_emissions(self, node: int, delay_ps: int, emissions) -> None:
+        """Bulk :meth:`deliver`: one port's window emissions at once.
+
+        Every emission of an egress port lands on the same peer after
+        the same link delay, so the delivery loop collapses into one
+        columnar append (:meth:`EventColumns.insert_arrivals`) — same
+        entries, same order, same LCC clamp.  The cluster AgentEngine
+        overrides this to route whole spans to the outbox when the peer
+        lives on another partition.
+        """
+        self.events.insert_arrivals(node, emissions, delay_ps,
+                                    self.lookahead,
+                                    self._running_window + 1)
 
     def register_wakeup(self, t: int, node: int, tag: int, flow_id: int) -> None:
         """SendSystem callback: revisit ``flow_id`` in the window of ``t``."""
@@ -235,36 +276,35 @@ class DodEngine:
     # --- main loop --------------------------------------------------------------
 
     def _next_window(self, current: int) -> Optional[int]:
-        heap = self._win_heap
-        while heap and heap[0] <= current:
-            self._win_queued.discard(heapq.heappop(heap))
-        candidates = []
-        if self.active_ports:
-            candidates.append(current + 1)
-        if heap:
-            candidates.append(heap[0])
-        if not candidates:
-            return None
-        nxt = min(candidates)
-        if heap and heap[0] == nxt:
-            self._win_queued.discard(heapq.heappop(heap))
-        return nxt
+        return self.events.next_window(current, bool(self.active_ports))
 
     def peek_next_window(self, current: int) -> Optional[int]:
         """The next window index with pending work, without consuming it.
 
-        Used by the distributed coordinator to agree on the cluster-wide
-        window (§4.2: every Runner executes the same batch).
+        O(1) off the occupancy index.  Used by the distributed
+        coordinator to agree on the cluster-wide window (§4.2: every
+        Runner executes the same batch) and by the batcher to prove a
+        span of windows is free of new scheduling work.
         """
-        heap = self._win_heap
-        while heap and heap[0] <= current:
-            self._win_queued.discard(heapq.heappop(heap))
-        candidates = []
-        if self.active_ports:
-            candidates.append(current + 1)
-        if heap:
-            candidates.append(heap[0])
-        return min(candidates) if candidates else None
+        return self.events.peek_next(current, bool(self.active_ports))
+
+    def window_signature(self) -> str:
+        """Hash of the engine's pending-window state (hex, 128-bit).
+
+        Covers the cursor, the lookahead, every pending event column
+        (including payload rows) and the active-port set — everything
+        that determines the remainder of the run.  The encoding is
+        little-endian int64 streams (see
+        :meth:`EventColumns.signature_bytes`), so the digest is stable
+        across ECS backends: the future memoization/fast-forwarding
+        cache keys on it.
+        """
+        h = blake2b(digest_size=16)
+        h.update(struct.pack("<qq", self._cursor, self.lookahead))
+        h.update(self.events.signature_bytes())
+        active = sorted(self.active_ports)
+        h.update(struct.pack(f"<q{len(active)}q", len(active), *active))
+        return h.hexdigest()
 
     def process_window(self, index: int) -> WindowContext:
         """Execute one lookahead batch: the four systems in §3.3 order."""
@@ -276,27 +316,28 @@ class DodEngine:
         self._running_window = index
         start = index * L
         end = start + L
-        node_entries = self.calendar.pop(index, {})
         duration = self.scenario.duration_ps
+        t_cut = None
         if duration is not None and end > duration + 1:
             # The duration cut falls inside this window.  The baseline
             # processes events with t <= duration and nothing after, so
-            # clamp the window (end is exclusive) and drop calendar
+            # clamp the window (end is exclusive) and drop pending
             # entries past the cut; timer/UDP wakeups carry no timestamp
             # and re-derive their firing times against ctx.end.
             end = duration + 1
-            node_entries = {
-                node: kept for node, entries in node_entries.items()
-                if (kept := [
-                    e for e in entries
-                    if e[0] not in (ENTRY_ARRIVAL, ENTRY_FLOW_START)
-                    or e[1] <= duration
-                ])
-            }
-        ctx = WindowContext(
-            index=index, start=start, end=end,
-            node_entries=node_entries,
-        )
+            t_cut = duration
+        if self._fused_run is not None:
+            # The fused plan traverses the raw insert-ordered columns;
+            # no per-node grouping dict is ever built.
+            ctx = WindowContext(
+                index=index, start=start, end=end, node_entries={},
+                columns=self.events.pop_window_columns(index, t_cut),
+            )
+        else:
+            ctx = WindowContext(
+                index=index, start=start, end=end,
+                node_entries=self.events.pop_window(index, t_cut),
+            )
         bus.window_begin(index, start)
         if bus.has_ops:
             bus.op(OP_WINDOW, 0, 0)  # buffer arenas recycle
@@ -304,20 +345,25 @@ class DodEngine:
         if self.system_order == "paper":
             # The paper's execution order (§3.3): ACK, Send, Forward,
             # Transmit.  Timed inline — bus.system_time costs two clock
-            # reads per system, nothing else on the hot path.
-            clock = perf_counter
-            t0 = clock()
-            run_ack(self, ctx)
-            t1 = clock()
+            # reads per system, nothing else on the hot path.  The
+            # vectorized backend runs the same four phases through one
+            # fused pass (one plan traversal, shared column handles).
+            if self._fused_run is not None:
+                t0, t1, t2, t3, t4 = self._fused_run(self, ctx)
+            else:
+                clock = perf_counter
+                t0 = clock()
+                run_ack(self, ctx)
+                t1 = clock()
+                run_send(self, ctx)
+                t2 = clock()
+                run_forward(self, ctx)
+                t3 = clock()
+                run_transmit(self, ctx)
+                t4 = clock()
             bus.system_time("ack", t1 - t0)
-            run_send(self, ctx)
-            t2 = clock()
             bus.system_time("send", t2 - t1)
-            run_forward(self, ctx)
-            t3 = clock()
             bus.system_time("forward", t3 - t2)
-            run_transmit(self, ctx)
-            t4 = clock()
             bus.system_time("transmit", t4 - t3)
             if telemetry:
                 # System spans reuse the timing reads above — the only
@@ -391,20 +437,173 @@ class DodEngine:
                 if capacity > 0:
                     util.record(min(1.0, sent * 8.0 / capacity))
 
-    def advance(self) -> bool:
-        """Run the next pending lookahead window (the runner's unit)."""
-        nxt = self._next_window(self._cursor)
-        if nxt is None:
-            return False
+    def advance(self, max_windows: Optional[int] = None) -> bool:
+        """Run up to ``max_windows`` pending lookahead windows.
+
+        ``None`` resolves the engine's ``batch_windows`` default (1
+        unless configured).  With a budget of 1 this is exactly the
+        classic one-window step; larger budgets run consecutive windows
+        back-to-back — safe because the LCC discipline completed every
+        window's inputs before this call — and, on the fused backend,
+        merge runs of queue-drain-only windows into single port-replay
+        spans (:meth:`_drain_span`).
+
+        Returns ``False`` once no runnable window remains (or duration
+        / ``max_windows`` is reached), exactly as before.
+        """
+        budget = max_windows if max_windows is not None else self.batch_windows
+        if budget < 1:
+            budget = 1
+        if self.max_windows is not None:
+            remaining = self.max_windows - self._windows_run
+            if remaining < budget:
+                budget = remaining if remaining > 1 else 1
         duration = self.scenario.duration_ps
-        if duration is not None and nxt * self.lookahead > duration:
-            return False
-        self._cursor = nxt
-        self.process_window(nxt)
-        self._windows_run += 1
-        if self.max_windows is not None and self._windows_run >= self.max_windows:
-            return False
-        return True
+        L = self.lookahead
+        batched = budget > 1
+        progressed = 0
+        while budget > 0:
+            nxt = self._next_window(self._cursor)
+            if nxt is None:
+                break
+            if duration is not None and nxt * L > duration:
+                break
+            if (budget > 1 and self._fused_run is not None
+                    and self.active_ports
+                    and not self.events.has_window(nxt)
+                    and not self.bus.has_ops and not self.bus.telemetry):
+                ran = self._drain_span(nxt, budget)
+            else:
+                self._cursor = nxt
+                self.process_window(nxt)
+                ran = 1
+            self._windows_run += ran
+            progressed += ran
+            budget -= ran
+            if (self.max_windows is not None
+                    and self._windows_run >= self.max_windows):
+                if batched:
+                    self._note_batch(progressed)
+                return False
+        if batched and progressed:
+            self._note_batch(progressed)
+        return progressed > 0 and budget == 0
+
+    def _note_batch(self, n: int) -> None:
+        """Batched-advance observability: counter always, histogram when
+        telemetry is live (neither feeds the trace digest)."""
+        bus = self.bus
+        bus.count("engine.batch_windows", n)
+        if bus.telemetry:
+            from .telemetry import BATCH_SIZE_BUCKETS
+            bus.metrics.record("window.batch_size", n, BATCH_SIZE_BUCKETS)
+
+    def _drain_span(self, first: int, budget: int) -> int:
+        """Run a span of consecutive drain-only windows as one replay.
+
+        Preconditions (checked by :meth:`advance`): fused vectorized
+        backend, window ``first`` has no pending entries, ports are
+        active, no op probes, no telemetry.  Within such a span the only
+        work is TransmitSystem replaying busy egress ports, so the span
+        collapses to one work-conserving replay per port over
+        ``[first*L, bound*L)`` — equivalent to per-window replays
+        because a busy FIFO port's next emission time is independent of
+        window boundaries.
+
+        The span's upper ``bound`` is clamped so that, provably, no
+        in-span emission's *delivery* (emission end + link delay) lands
+        inside the span, no occupied window is crossed, and the
+        duration cut stays outside; whenever the bound degenerates the
+        method falls back to the classic single window.  Returns the
+        number of windows consumed.
+        """
+        L = self.lookahead
+        bound = first + budget
+        occ = self.events.peek_occupied(first)
+        if occ is not None and occ < bound:
+            bound = occ
+        duration = self.scenario.duration_ps
+        if duration is not None:
+            # First window whose end would need the duration clamp.
+            cut = (duration + 1) // L
+            if cut < bound:
+                bound = cut
+        ports = self.ports
+        if bound > first + 1:
+            from ..protocols.packet import F_SIZE
+            from ..schedulers.disciplines import FifoScheduler
+            from .systems.vectorized import _PS8
+            span_start = first * L
+            for iface_id in self.active_ports:
+                port = ports[iface_id]
+                sched = port.sched
+                if type(sched) is not FifoScheduler:
+                    # Stateful disciplines (DRR credit, RR pointer) are
+                    # cheap to keep on the per-window path.
+                    bound = first + 1
+                    break
+                # The port's first in-span emission: starts when the
+                # line frees (clamped into the span), serializes the
+                # head packet, and delivers one link delay later.  No
+                # other port can beat its own head.
+                start = port.free_at
+                if start < span_start:
+                    start = span_start
+                end = start + (sched._peek(0)[F_SIZE] * _PS8) \
+                    // port.iface.rate_bps
+                delivery = (end + port.iface.delay_ps) // L
+                if delivery < bound:
+                    bound = delivery
+        if bound <= first + 1:
+            self._cursor = first
+            self.process_window(first)
+            return 1
+        # Merged replay over [first, bound): per-window bookkeeping
+        # (window_begin, breakdown rows, event counts, deliveries) is
+        # reconstructed from emission timestamps so the run is
+        # indistinguishable from the per-window path.
+        from ..protocols.packet import F_FLOW, F_ISACK, F_SEQ
+        from .systems.vectorized import transmit_batch_kernel
+        bus = self.bus
+        n_windows = bound - first
+        self._running_window = first
+        self._cursor = bound - 1
+        span_start = first * L
+        span_end = bound * L
+        full_trace = bus.trace_level >= 2
+        trace_on = bool(bus.trace_level)
+        clock = perf_counter
+        t0 = clock()
+        iface_ids = sorted(self.active_ports)
+        results = transmit_batch_kernel(ports, {}, span_start, span_end,
+                                        full_trace, iface_ids)
+        per_win = [0] * n_windows
+        deliver = self.deliver
+        for iface_id, emissions, _drops, _enq, still_active, _n in results:
+            iface = ports[iface_id].iface
+            self.bump_node(iface.node, len(emissions))
+            delay = iface.delay_ps
+            peer = iface.peer_node
+            for row, start, end in emissions:
+                if trace_on:
+                    bus.deq(start, iface_id, row[F_FLOW], row[F_ISACK],
+                            row[F_SEQ])
+                deliver(peer, end + delay, row)
+                per_win[start // L - first] += 1
+            if not still_active:
+                self.active_ports.discard(iface_id)
+        t1 = clock()
+        res = self.results
+        for j in range(n_windows):
+            bus.window_begin(first + j, (first + j) * L)
+            c = per_win[j]
+            if c:
+                res.events.transmit += c
+                res.window_breakdown.append(
+                    ((first + j) * L, 0, 0, 0, c))
+        bus.system_time("transmit", t1 - t0)
+        res.end_time_ps = span_end
+        return n_windows
 
     def run(self) -> SimResults:
         """Run to completion (or duration / max_windows)."""
@@ -456,7 +655,9 @@ def run_dons(
     workers: int = 1,
     backend: Optional[str] = None,
     telemetry: Optional[bool] = None,
+    batch_windows: Optional[int] = None,
 ) -> SimResults:
     """Convenience one-shot run of the DOD engine."""
     return DodEngine(scenario, trace_level, workers, backend=backend,
-                     telemetry=telemetry).run()
+                     telemetry=telemetry,
+                     batch_windows=batch_windows).run()

@@ -21,6 +21,7 @@ The system is written in the engine's plan → kernel → commit shape
 from __future__ import annotations
 
 from functools import partial
+from itertools import repeat
 from typing import Dict, List, NamedTuple, Tuple
 
 from ..window import ENTRY_ARRIVAL, WindowContext
@@ -140,9 +141,14 @@ def commit_ack(engine, ctx: WindowContext, results) -> None:
         if trace_on:
             for t, _prio, row in arrivals:
                 bus.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
-        for t, host, out in acks:
-            iface = engine.scenario.topology.host_iface(host)
-            ctx.stage(iface.iface_id, t, PRIO_ARRIVAL, out)
+        if acks:
+            host_iface = engine.scenario.topology.host_iface
+            ctx.stage_batch(
+                [host_iface(a[1]).iface_id for a in acks],
+                [a[0] for a in acks],
+                repeat(PRIO_ARRIVAL),
+                [a[2] for a in acks],
+            )
         for flow_id, t in completions:
             engine.results.flows[flow_id].complete_ps = t
             if trace_on:

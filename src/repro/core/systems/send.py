@@ -49,14 +49,33 @@ SENDER_COLS = _DCTCP_FIELDS + (
 
 
 def load_dctcp_cols(cols: Dict[str, list], idx: int, params) -> DctcpState:
-    """Materialize a flow's sender row from bulk column handles."""
+    """Materialize a flow's sender row from bulk column handles.
+
+    The field moves are written out long-hand (direct attribute stores,
+    no ``setattr`` loop): this pair runs once per flow-task per window
+    and is the per-row boundary cost the columnar layout is supposed to
+    amortize.  Keep the field set in lockstep with ``_DCTCP_FIELDS``.
+    """
     state = DctcpState(
         flow_id=cols["flow_id"][idx],
         total_segs=cols["total_segs"][idx],
         params=params,
     )
-    for name in _DCTCP_FIELDS:
-        setattr(state, name, cols[name][idx])
+    state.snd_una = cols["snd_una"][idx]
+    state.next_seq = cols["next_seq"][idx]
+    state.cwnd = cols["cwnd"][idx]
+    state.ssthresh = cols["ssthresh"][idx]
+    state.alpha = cols["alpha"][idx]
+    state.acked_win = cols["acked_win"][idx]
+    state.marked_win = cols["marked_win"][idx]
+    state.alpha_seq = cols["alpha_seq"][idx]
+    state.cut_seq = cols["cut_seq"][idx]
+    state.dupacks = cols["dupacks"][idx]
+    state.srtt_ps = cols["srtt_ps"][idx]
+    state.rttvar_ps = cols["rttvar_ps"][idx]
+    state.rto_ps = cols["rto_ps"][idx]
+    state.backoff = cols["backoff"][idx]
+    state.timer_gen = cols["timer_gen"][idx]
     deadline = cols["rtx_deadline"][idx]
     state.rtx_deadline = None if deadline < 0 else deadline
     state.done = bool(cols["done"][idx])
@@ -67,8 +86,21 @@ def load_dctcp_cols(cols: Dict[str, list], idx: int, params) -> DctcpState:
 
 def store_dctcp_cols(cols: Dict[str, list], idx: int, state: DctcpState) -> None:
     """Write a DctcpState back into the sender row, column by column."""
-    for name in _DCTCP_FIELDS:
-        cols[name][idx] = getattr(state, name)
+    cols["snd_una"][idx] = state.snd_una
+    cols["next_seq"][idx] = state.next_seq
+    cols["cwnd"][idx] = state.cwnd
+    cols["ssthresh"][idx] = state.ssthresh
+    cols["alpha"][idx] = state.alpha
+    cols["acked_win"][idx] = state.acked_win
+    cols["marked_win"][idx] = state.marked_win
+    cols["alpha_seq"][idx] = state.alpha_seq
+    cols["cut_seq"][idx] = state.cut_seq
+    cols["dupacks"][idx] = state.dupacks
+    cols["srtt_ps"][idx] = state.srtt_ps
+    cols["rttvar_ps"][idx] = state.rttvar_ps
+    cols["rto_ps"][idx] = state.rto_ps
+    cols["backoff"][idx] = state.backoff
+    cols["timer_gen"][idx] = state.timer_gen
     cols["rtx_deadline"][idx] = (
         -1 if state.rtx_deadline is None else state.rtx_deadline
     )
@@ -217,27 +249,45 @@ def commit_send(engine, ctx: WindowContext, results) -> None:
     from ..window import ENTRY_TIMER, ENTRY_UDP
     topo = engine.scenario.topology
     bus = engine.bus
+    flows = engine.scenario.flows
+    nic_of = getattr(engine, "_flow_nic", None)
+    if nic_of is None:
+        nic_of = engine._flow_nic = [
+            topo.host_iface(f.src).iface_id for f in flows]
+    staged = ctx.staged
+    counts = ctx.counts
+    node_events = engine.results.node_events
+    rtt_extend = engine.results.rtt_samples.extend
+    has_ops = bus.has_ops
     for flow_id, out, rtts, rtx_wakeup, udp_wakeup, events in results:
-        flow = engine.scenario.flows[flow_id]
-        nic = topo.host_iface(flow.src).iface_id
+        flow = flows[flow_id]
+        src = flow.src
         segments = 0
-        if bus.has_ops:
+        if has_ops:
             from ...protocols.packet import packet_uid
             for _ in rtts:
-                bus.op(3, flow.src, (flow_id << 25) | (1 << 24))  # ack handled
+                bus.op(3, src, (flow_id << 25) | (1 << 24))  # ack handled
             for _t, _prio, row in out:
-                bus.op(0, flow.src, packet_uid(row))  # OP_SEND
-        for t, prio, row in out:
-            ctx.stage(nic, t, prio, row)
-            segments += 1
-        ctx.counts.send += segments
-        ctx.counts.ack += len(rtts)  # ack deliveries processed at the sender
-        engine.bump_node(flow.src, segments + len(rtts))
-        engine.results.rtt_samples.extend(rtts)
+                bus.op(0, src, packet_uid(row))  # OP_SEND
+        if out:
+            segments = len(out)
+            nic = nic_of[flow_id]
+            lst = staged.get(nic)
+            if lst is None:
+                staged[nic] = list(out)
+            else:
+                lst.extend(out)
+            counts.send += segments
+        if rtts:
+            counts.ack += len(rtts)  # ack deliveries handled at the sender
+            rtt_extend(rtts)
+        n_ev = segments + len(rtts)
+        if n_ev:
+            node_events[src] = node_events.get(src, 0) + n_ev
         if rtx_wakeup is not None:
-            engine.register_wakeup(rtx_wakeup, flow.src, ENTRY_TIMER, flow_id)
+            engine.register_wakeup(rtx_wakeup, src, ENTRY_TIMER, flow_id)
         if udp_wakeup is not None:
-            engine.register_wakeup(udp_wakeup, flow.src, ENTRY_UDP, flow_id)
+            engine.register_wakeup(udp_wakeup, src, ENTRY_UDP, flow_id)
 
 
 def run_send_system(engine, ctx: WindowContext) -> None:

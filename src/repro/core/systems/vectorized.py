@@ -40,6 +40,7 @@ planned and dispatched, never in what is committed.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -50,15 +51,16 @@ from .send import (
     SENDER_COLS, _DCTCP_FIELDS, commit_send, plan_send, send_kernel,
 )
 from .transmit import commit_transmit
+from .. import events as events_mod
 from ..ecs import CommandBuffer, consolidate_grouped
 from ..runtime import chunk_ranges
-from ..window import ENTRY_ARRIVAL, Staged, WindowContext
+from ..window import ENTRY_ARRIVAL, ENTRY_FLOW_START, Staged, WindowContext
 from ...protocols import UdpSchedule
 from ...protocols.aqm import AqmKind, should_mark
 from ...schedulers.disciplines import FifoScheduler
 from ...protocols.packet import (
     F_DST, F_FLOW, F_ISACK, F_SEQ, F_SIZE, HEADER_BYTES, MSS,
-    PRIO_FLOW_START, Row, data_row, with_ce,
+    PRIO_ARRIVAL, PRIO_FLOW_START, Row, data_row, with_ce,
 )
 from ...traffic import Transport
 from ...units import PS_PER_S
@@ -280,17 +282,41 @@ def run_ack_system_np(engine, ctx: WindowContext) -> None:
 
 
 def forward_batch_kernel(fib, iface_id_of, spray: bool,
-                         items: List[ForwardWork]):
+                         items: List[ForwardWork],
+                         memo: Optional[Dict] = None):
     """One worker's slice of the switch sweep: all its nodes' arrivals
     routed into private command buffers (one per node, so the commit's
-    per-node accounting matches the scalar path)."""
+    per-node accounting matches the scalar path).
+
+    ``memo`` caches ``(node, dst, flow) -> egress iface id`` across
+    windows: flow-hashed ECMP is pure in that key, so after a flow's
+    first packet crosses a switch every later packet's route is a dict
+    hit instead of a FIB walk plus hash.  Packet spraying re-salts the
+    hash per segment, so the memo is bypassed (``spray=True`` callers
+    pass ``memo=None``).
+    """
     out = []
+    if memo is None:
+        for node, arrivals in items:
+            buf: CommandBuffer = CommandBuffer()
+            for t, prio, row in arrivals:
+                salt = row[F_SEQ] if spray else None
+                port = fib.resolve_port(node, row[F_DST], row[F_FLOW], salt)
+                buf.append(iface_id_of(node, port), (t, prio, row))
+            out.append((node, len(arrivals), buf))
+        return out
+    resolve = fib.resolve_port
+    memo_get = memo.get
     for node, arrivals in items:
-        buf: CommandBuffer = CommandBuffer()
+        buf = CommandBuffer()
+        append = buf.append
         for t, prio, row in arrivals:
-            salt = row[F_SEQ] if spray else None
-            port = fib.resolve_port(node, row[F_DST], row[F_FLOW], salt)
-            buf.append(iface_id_of(node, port), (t, prio, row))
+            key = (node, row[F_DST], row[F_FLOW])
+            target = memo_get(key)
+            if target is None:
+                target = memo[key] = iface_id_of(
+                    node, resolve(node, key[1], key[2]))
+            append(target, (t, prio, row))
         out.append((node, len(arrivals), buf))
     return out
 
@@ -310,17 +336,74 @@ def commit_forward_np(engine, ctx: WindowContext, results) -> None:
     consolidate_grouped(buffers, ctx.staged)
 
 
+def _forward_serial_np(engine, ctx: WindowContext, work, memo,
+                       spray: bool) -> None:
+    """:func:`forward_batch_kernel` fused with its commit for the
+    single-worker, probe-off sweep: resolved routes append straight
+    into ``ctx.staged`` — no per-node command buffer, no consolidation
+    pass.  Per-target arrival order matches the buffered path, which
+    also preserves the global (node, arrival) recording order.
+    """
+    sc = engine.scenario
+    resolve = sc.fib.resolve_port
+    iface_id_of = sc.topology.iface_id
+    staged = ctx.staged
+    staged_get = staged.get
+    node_events = engine.results.node_events
+    memo_get = memo.get if memo is not None else None
+    # Flat integer memo keys: (node, dst, flow) packed by exact
+    # mixed-radix arithmetic (dst < n_nodes, flow < n_flows), so the
+    # per-packet tuple allocation and tuple hash become one int hash.
+    n_nodes = len(sc.topology.nodes)
+    n_flows = len(sc.flows)
+    total = 0
+    for node, arrivals in work:
+        base = node * n_nodes
+        for t, prio, row in arrivals:
+            if memo_get is None:
+                salt = row[F_SEQ] if spray else None
+                target = iface_id_of(
+                    node, resolve(node, row[F_DST], row[F_FLOW], salt))
+            else:
+                key = (base + row[F_DST]) * n_flows + row[F_FLOW]
+                target = memo_get(key)
+                if target is None:
+                    target = memo[key] = iface_id_of(
+                        node, resolve(node, row[F_DST], row[F_FLOW]))
+            lst = staged_get(target)
+            if lst is None:
+                staged[target] = [(t, prio, row)]
+            else:
+                lst.append((t, prio, row))
+        n = len(arrivals)
+        total += n
+        node_events[node] = node_events.get(node, 0) + n
+    ctx.counts.forward += total
+
+
+def _route_memo(engine, spray: bool) -> Optional[Dict]:
+    """The engine's cross-window route cache (None when spraying)."""
+    if spray:
+        return None
+    memo = getattr(engine, "_fwd_memo", None)
+    if memo is None:
+        memo = engine._fwd_memo = {}
+    return memo
+
+
 def run_forward_system_np(engine, ctx: WindowContext) -> None:
     """Vectorized ForwardSystem: batched routing, grouped consolidation."""
     work = plan_forward(engine, ctx)
     if not work:
         return
     sc = engine.scenario
+    spray = sc.ecmp_mode == "packet"
+    memo = _route_memo(engine, spray)
     chunks = _chunked(work, engine.pool.workers)
     results = engine.pool.map(
         "forward",
         lambda chunk: forward_batch_kernel(
-            sc.fib, sc.topology.iface_id, sc.ecmp_mode == "packet", chunk),
+            sc.fib, sc.topology.iface_id, spray, chunk, memo),
         chunks,
         sizes=[sum(len(w[1]) for w in chunk) for chunk in chunks],
     )
@@ -363,7 +446,9 @@ def _replay_window_fifo(
     emissions: List,
     drops: List[Tuple[int, Row]],
     enq: Optional[List[Tuple[int, Row]]],
-) -> None:
+    consts: Optional[Tuple[int, int, int, int]] = None,
+    sink: Optional[Tuple] = None,
+) -> int:
     """:meth:`EgressPort.replay_window` specialized for FIFO ports.
 
     Same interleave, same state transitions, statement for statement —
@@ -378,22 +463,39 @@ def _replay_window_fifo(
     of the TransmitSystem's non-automaton cost.  Keep in lockstep with
     ``EgressPort.replay_window``/``arrive`` and ``Scheduler._pop``; the
     backend-equivalence suite diffs the backends byte for byte.
+
+    ``consts`` is the caller's pre-gathered
+    ``(rate, weight_shift, buffer_bytes, ecn_k)`` (threshold-AQM ports
+    only — it skips the per-call attribute walk).  ``sink`` is the
+    caller's ``(buckets, events, register_window, lookahead, floor,
+    peer_node, delay_ps)``; when given, dequeued packets are delivered
+    straight into the engine's event columns instead of filling
+    ``emissions``.  Returns the number of dequeues.
     """
     sched = port.sched
     queue = sched.queues[0]
     head = sched._heads[0]
     slen = sched._len
     stats = port.stats
-    rate = port.iface.rate_bps
-    iface_id = port.iface.iface_id
-    cfg = port.config
-    aqm = cfg.aqm
-    weight_shift = aqm.red_weight_shift
-    buffer_bytes = cfg.buffer_bytes
-    # DCTCP threshold marking (the default) inlines; other AQM kinds go
-    # through the shared decision function.
-    ecn_k = (aqm.ecn_threshold_bytes
-             if aqm.kind == AqmKind.ECN_THRESHOLD else None)
+    if consts is not None:
+        rate, weight_shift, buffer_bytes, ecn_k = consts
+        aqm = None
+        iface_id = -1  # should_mark is unreachable: ecn_k is not None
+    else:
+        rate = port.iface.rate_bps
+        iface_id = port.iface.iface_id
+        cfg = port.config
+        aqm = cfg.aqm
+        weight_shift = aqm.red_weight_shift
+        buffer_bytes = cfg.buffer_bytes
+        # DCTCP threshold marking (the default) inlines; other AQM
+        # kinds go through the shared decision function.
+        ecn_k = (aqm.ecn_threshold_bytes
+                 if aqm.kind == AqmKind.ECN_THRESHOLD else None)
+    if sink is not None:
+        buckets, events, reg, L, floor, peer, delay = sink
+        last_win = -1
+        b_nodes = b_payloads = None
     sample_queue = port.sample_queue
     queued = port.queued_bytes
     avg = port.avg_bytes
@@ -423,7 +525,23 @@ def _replay_window_fifo(
             tx += size
             end = start + (size * _PS8) // rate
             free_at = end
-            emissions.append((row, start, end))
+            if sink is None:
+                emissions.append((row, start, end))
+            else:
+                ta = end + delay
+                win = ta // L
+                if win < floor:
+                    win = floor
+                if win != last_win:
+                    bucket = buckets.get(win)
+                    if bucket is None:
+                        bucket = buckets[win] = events_mod._Bucket()
+                        reg(events, win)
+                    last_win = win
+                    b_nodes = bucket.nodes.append
+                    b_payloads = bucket.payloads.append
+                b_nodes(peer)
+                b_payloads((ENTRY_ARRIVAL, ta, PRIO_ARRIVAL, row))
             cursor = start
         elif next_arr is not None:
             t, _prio, row = arrivals[i]
@@ -465,6 +583,174 @@ def _replay_window_fifo(
     stats.marked += n_mark
     stats.tx_bytes += tx
     stats.max_queue_bytes = max_q
+    return n_deq
+
+
+def _replay_one_fifo(port, t: int, row, window_start: int, window_end: int,
+                     emissions: List, drops: List, rate: int, shift: int,
+                     buffer_bytes: int, ecn_k: Optional[int],
+                     sink: Optional[Tuple] = None) -> int:
+    """:func:`_replay_window_fifo` for exactly one arrival onto a busy
+    FIFO line with plain threshold (or no) AQM.
+
+    The interleave splits in two: dequeues whose service start lands at
+    or before ``t`` precede the arrival, then the arrival runs the
+    inlined AQM step, then the line keeps draining to ``window_end``.
+    The caller hands in the port's static constants (rate, EWMA shift,
+    buffer, threshold) from its per-port arrays, so the per-call
+    attribute walk of the general replay disappears.  Transitions match
+    the general loop statement for statement.  ``sink`` (same tuple as
+    :func:`_replay_window_fifo`) delivers dequeues straight to the event
+    columns; returns the number of dequeues.
+    """
+    sched = port.sched
+    queue = sched.queues[0]
+    head = sched._heads[0]
+    slen = sched._len
+    stats = port.stats
+    queued = port.queued_bytes
+    free_at = port.free_at
+    if sink is not None:
+        buckets, events, reg, L, floor, peer, delay = sink
+        last_win = -1
+        b_nodes = b_payloads = None
+    n_deq = tx = 0
+    phase_bound = t  # phase 1: service starts at or before the arrival
+    start = free_at if free_at > window_start else window_start
+    for _phase in (0, 1):
+        while slen > 0 and start < window_end and start <= phase_bound:
+            out = queue[head]            # Scheduler._pop, inlined
+            head += 1
+            if head > 64 and head * 2 >= len(queue):
+                del queue[:head]
+                head = 0
+            slen -= 1
+            size = out[F_SIZE]
+            queued -= size
+            n_deq += 1
+            tx += size
+            end = start + (size * _PS8) // rate
+            free_at = end
+            if sink is None:
+                emissions.append((out, start, end))
+            else:
+                ta = end + delay
+                win = ta // L
+                if win < floor:
+                    win = floor
+                if win != last_win:
+                    bucket = buckets.get(win)
+                    if bucket is None:
+                        bucket = buckets[win] = events_mod._Bucket()
+                        reg(events, win)
+                    last_win = win
+                    b_nodes = bucket.nodes.append
+                    b_payloads = bucket.payloads.append
+                b_nodes(peer)
+                b_payloads((ENTRY_ARRIVAL, ta, PRIO_ARRIVAL, out))
+            start = end
+        if _phase:
+            break
+        # the arrival (marking sees the occupancy before the packet)
+        size = row[F_SIZE]
+        avg = port.avg_bytes
+        port.avg_bytes = avg + ((queued - avg) >> shift)
+        if queued + size > buffer_bytes:
+            stats.dropped += 1
+            drops.append((t, row))
+        else:
+            if ecn_k is not None and queued >= ecn_k and not row[F_ISACK]:
+                row = with_ce(row)
+                stats.marked += 1
+            queue.append(row)
+            slen += 1
+            queued += size
+            stats.enqueued += 1
+            if queued > stats.max_queue_bytes:
+                stats.max_queue_bytes = queued
+            if port.sample_queue:
+                stats.queue_samples.append((t, queued))
+        # phase 2: drain freely to the window edge
+        phase_bound = window_end
+        start = free_at if free_at > t else t
+    sched._heads[0] = head
+    sched._len = slen
+    port.queued_bytes = queued
+    port.free_at = free_at
+    stats.dequeued += n_deq
+    stats.tx_bytes += tx
+    return n_deq
+
+
+def _drain_window_fifo(port, window_start: int, window_end: int,
+                       emissions: List,
+                       rate: Optional[int] = None,
+                       sink: Optional[Tuple] = None) -> int:
+    """:func:`_replay_window_fifo` for the no-arrival case.
+
+    An active port with nothing staged only *dequeues*: no AQM, no
+    EWMA, no drops, no queue growth.  The interleave collapses to
+    ``start_1 = max(free_at, window_start); start_{k+1} = end_k`` until
+    the line crosses ``window_end`` or the queue drains — so all the
+    arrival-side bindings of the full replay are skipped.  Identical
+    emissions and port state, by construction.  Callers holding the
+    per-port static arrays pass ``rate`` to skip the attribute walk.
+    ``sink`` (same tuple as :func:`_replay_window_fifo`) delivers
+    dequeues straight to the event columns; returns the dequeue count.
+    """
+    sched = port.sched
+    queue = sched.queues[0]
+    head = sched._heads[0]
+    slen = sched._len
+    stats = port.stats
+    if rate is None:
+        rate = port.iface.rate_bps
+    if sink is not None:
+        buckets, events, reg, L, floor, peer, delay = sink
+        last_win = -1
+        b_nodes = b_payloads = None
+    queued = port.queued_bytes
+    free_at = port.free_at
+    n_deq = tx = 0
+    start = free_at if free_at > window_start else window_start
+    while slen > 0 and start < window_end:
+        row = queue[head]                # Scheduler._pop, inlined
+        head += 1
+        if head > 64 and head * 2 >= len(queue):
+            del queue[:head]
+            head = 0
+        slen -= 1
+        size = row[F_SIZE]
+        queued -= size
+        n_deq += 1
+        tx += size
+        end = start + (size * _PS8) // rate
+        if sink is None:
+            emissions.append((row, start, end))
+        else:
+            ta = end + delay
+            win = ta // L
+            if win < floor:
+                win = floor
+            if win != last_win:
+                bucket = buckets.get(win)
+                if bucket is None:
+                    bucket = buckets[win] = events_mod._Bucket()
+                    reg(events, win)
+                last_win = win
+                b_nodes = bucket.nodes.append
+                b_payloads = bucket.payloads.append
+            b_nodes(peer)
+            b_payloads((ENTRY_ARRIVAL, ta, PRIO_ARRIVAL, row))
+        free_at = end
+        start = end
+    sched._heads[0] = head
+    sched._len = slen
+    port.queued_bytes = queued
+    port.free_at = free_at
+    stats.dequeued += n_deq
+    stats.tx_bytes += tx
+    return n_deq
 
 
 def transmit_batch_kernel(
@@ -484,6 +770,14 @@ def transmit_batch_kernel(
         port = ports[iface_id]
         arrivals = staged_get(iface_id)
         if arrivals is None:
+            if len(port.sched) > 0 and port.free_at >= window_end:
+                # Busy line, nothing fed, and the head packet outlasts
+                # the window: the replay is a guaranteed no-op (its
+                # first service start would land at or past window_end).
+                # Most active ports in a large fan-in hit this.
+                append((iface_id, (), (), [] if full_trace else None,
+                        True, 0))
+                continue
             arrivals = []
         elif len(arrivals) > 1:  # 0/1 arrivals: nothing to tie-break
             arrivals = sort(arrivals)
@@ -501,10 +795,258 @@ def transmit_batch_kernel(
     return out
 
 
+def _transmit_serial_np(engine, ctx: WindowContext,
+                        iface_ids: List[int],
+                        window_start: int, window_end: int) -> None:
+    """Replay *and* commit the port axis in one serial sweep.
+
+    Fuses :func:`transmit_batch_kernel` with ``commit_transmit`` for the
+    single-worker, trace-off case (the measured configuration): no
+    intermediate result tuples, scratch emission/drop lists reused
+    across ports, and each port's deliveries land through the engine's
+    bulk :meth:`~repro.core.engine.DodEngine.deliver_emissions` instead
+    of one call chain per packet.  Port order, per-port emission order,
+    stats and active-set updates are exactly the two-phase path's —
+    only the dispatch around them is collapsed.  Trace-on runs keep the
+    two-phase path so per-packet ENQ/DEQ/DROP events interleave exactly
+    as the Python backend emits them.
+    """
+    ports = engine.ports
+    static = getattr(engine, "_tx_static", None)
+    if static is None or len(static[0]) != len(ports):
+        # Topology-fixed per-port metadata, gathered once: scheduler
+        # kind, endpoint nodes, link delay/rate, and the inlined AQM
+        # constants (None where the port is not plain DCTCP-threshold).
+        # Dynamic state (sched contents, free_at, EWMA) stays on the
+        # port objects — migration moves those, never these.
+        static = engine._tx_static = (
+            [type(p.sched) is FifoScheduler for p in ports],
+            [p.iface.node for p in ports],
+            [p.iface.peer_node for p in ports],
+            [p.iface.delay_ps for p in ports],
+            [p.iface.rate_bps for p in ports],
+            [p.config.aqm.red_weight_shift for p in ports],
+            [p.config.buffer_bytes for p in ports],
+            [p.config.aqm.ecn_threshold_bytes
+             if p.config.aqm.kind == AqmKind.ECN_THRESHOLD else None
+             for p in ports],
+            [p.config.aqm.kind in (AqmKind.ECN_THRESHOLD, AqmKind.NONE)
+             for p in ports],
+        )
+    (fifo_of, node_of, peer_of, delay_of, rate_of, shift_of, buf_of,
+     ecn_of, simple_of) = static
+    staged_get = ctx.staged.get
+    bus = engine.bus
+    has_ops = bus.has_ops
+    active = engine.active_ports
+    node_events = engine.results.node_events
+    results = engine.results
+    sort = transmit_sort  # module attribute: the injectable tie-break
+    # Local deliveries append straight to the event columns; the
+    # cluster's AgentEngine keeps the bulk-method dispatch (its peers
+    # can live on another partition).
+    inline = engine.deliveries_local
+    if inline:
+        events = engine.events
+        buckets = events._buckets
+        reg = events_mod.register_window
+        L = engine.lookahead
+        floor = engine._running_window + 1
+        last_win = None
+        b_nodes = b_payloads = None
+    else:
+        deliver_emissions = engine.deliver_emissions
+    # With local delivery and no conformance bus the FIFO replay
+    # helpers take a delivery sink and append dequeues straight to the
+    # event columns — no intermediate emission tuples at all.
+    use_sink = inline and not has_ops
+    count = 0
+    emissions: List = []
+    drops: List[Tuple[int, Row]] = []
+    for iface_id in iface_ids:
+        port = ports[iface_id]
+        arrivals = staged_get(iface_id)
+        fifo = fifo_of[iface_id]
+        n_sunk = 0
+        if arrivals is None:
+            if port.sched._len > 0 if fifo else len(port.sched) > 0:
+                if port.free_at >= window_end:
+                    # Busy line, nothing fed, head packet outlasts the
+                    # window: guaranteed no-op (see
+                    # transmit_batch_kernel).  The port is already in
+                    # the active set — keep it there.
+                    continue
+            if fifo:
+                if use_sink:
+                    n_sunk = _drain_window_fifo(
+                        port, window_start, window_end, emissions,
+                        rate_of[iface_id],
+                        (buckets, events, reg, L, floor,
+                         peer_of[iface_id], delay_of[iface_id]))
+                else:
+                    _drain_window_fifo(port, window_start, window_end,
+                                       emissions, rate_of[iface_id])
+            else:
+                port.replay_window([], window_start, window_end,
+                                   emissions, drops, None)
+        elif (fifo and len(arrivals) == 1 and port.sched._len == 0
+                and simple_of[iface_id]
+                and not port.sample_queue and not has_ops):
+            # Single arrival, empty FIFO queue, threshold or no AQM:
+            # the replay collapses to "maybe mark, then emit when the
+            # line frees" — ~58% of replays on the reference workload
+            # (switch egresses and host NICs alike).  Same transitions
+            # as _replay_window_fifo with queued == 0, including the
+            # EWMA step and the enqueue-or-emit split.
+            t, _prio, row = arrivals[0]
+            size = row[F_SIZE]
+            stats = port.stats
+            avg = port.avg_bytes
+            port.avg_bytes = avg + ((0 - avg) >> shift_of[iface_id])
+            if size > buf_of[iface_id]:
+                stats.dropped += 1
+                results.drops += 1
+                active.discard(iface_id)
+                continue
+            ecn_k = ecn_of[iface_id]
+            if ecn_k is not None and 0 >= ecn_k and not row[F_ISACK]:
+                row = with_ce(row)
+                stats.marked += 1
+            stats.enqueued += 1
+            if size > stats.max_queue_bytes:
+                stats.max_queue_bytes = size
+            free_at = port.free_at
+            start = free_at if free_at > t else t
+            if start >= window_end:  # stays queued past the window
+                sched = port.sched
+                sched.queues[0].append(row)
+                sched._len += 1
+                port.queued_bytes = size
+                active.add(iface_id)
+                continue
+            end = start + (size * _PS8) // rate_of[iface_id]
+            port.free_at = end
+            stats.dequeued += 1
+            stats.tx_bytes += size
+            count += 1
+            node = node_of[iface_id]
+            node_events[node] = node_events.get(node, 0) + 1
+            if inline:
+                t = end + delay_of[iface_id]
+                win = t // L
+                if win < floor:
+                    win = floor
+                if win != last_win:
+                    bucket = buckets.get(win)
+                    if bucket is None:
+                        bucket = buckets[win] = events_mod._Bucket()
+                    reg(events, win)
+                    last_win = win
+                    b_nodes = bucket.nodes.append
+                    b_payloads = bucket.payloads.append
+                b_nodes(peer_of[iface_id])
+                b_payloads((ENTRY_ARRIVAL, t, PRIO_ARRIVAL, row))
+            else:
+                deliver_emissions(peer_of[iface_id], delay_of[iface_id],
+                                  [(row, start, end)])
+            active.discard(iface_id)
+            continue
+        elif fifo and len(arrivals) == 1 and simple_of[iface_id]:
+            # One arrival onto a busy line: two-phase drain around the
+            # inlined AQM step, constants from the per-port arrays.
+            t, _prio, row = arrivals[0]
+            if use_sink:
+                n_sunk = _replay_one_fifo(
+                    port, t, row, window_start, window_end,
+                    emissions, drops, rate_of[iface_id],
+                    shift_of[iface_id], buf_of[iface_id],
+                    ecn_of[iface_id],
+                    (buckets, events, reg, L, floor, peer_of[iface_id],
+                     delay_of[iface_id]))
+            else:
+                _replay_one_fifo(port, t, row, window_start, window_end,
+                                 emissions, drops, rate_of[iface_id],
+                                 shift_of[iface_id], buf_of[iface_id],
+                                 ecn_of[iface_id])
+        else:
+            if len(arrivals) > 1:  # 0/1 arrivals: nothing to tie-break
+                arrivals = sort(arrivals)
+            if fifo:
+                consts = ((rate_of[iface_id], shift_of[iface_id],
+                           buf_of[iface_id], ecn_of[iface_id])
+                          if ecn_of[iface_id] is not None else None)
+                if use_sink:
+                    n_sunk = _replay_window_fifo(
+                        port, arrivals, window_start, window_end,
+                        emissions, drops, None, consts,
+                        (buckets, events, reg, L, floor,
+                         peer_of[iface_id], delay_of[iface_id]))
+                else:
+                    _replay_window_fifo(port, arrivals, window_start,
+                                        window_end, emissions, drops,
+                                        None, consts)
+            else:
+                port.replay_window(arrivals, window_start, window_end,
+                                   emissions, drops, None)
+        if has_ops and emissions:
+            from ...protocols.packet import packet_uid
+            for row, _s, _e in emissions:
+                bus.op(2, iface_id, packet_uid(row))  # OP_SERVICE
+        if drops:
+            results.drops += len(drops)
+            drops.clear()
+        if n_sunk:
+            # Deliveries already landed in the event columns inside the
+            # replay helper; only the counters remain.
+            count += n_sunk
+            node = node_of[iface_id]
+            node_events[node] = node_events.get(node, 0) + n_sunk
+            if (port.sched._len if fifo else len(port.sched)) > 0:
+                active.add(iface_id)
+            else:
+                active.discard(iface_id)
+            continue
+        n = len(emissions)
+        if n:
+            count += n
+            node = node_of[iface_id]
+            node_events[node] = node_events.get(node, 0) + n
+            if inline:
+                peer = peer_of[iface_id]
+                delay = delay_of[iface_id]
+                for row, _start, end in emissions:
+                    t = end + delay
+                    win = t // L
+                    if win < floor:
+                        win = floor
+                    if win != last_win:
+                        bucket = buckets.get(win)
+                        if bucket is None:
+                            bucket = buckets[win] = events_mod._Bucket()
+                        reg(events, win)
+                        last_win = win
+                        b_nodes = bucket.nodes.append
+                        b_payloads = bucket.payloads.append
+                    b_nodes(peer)
+                    b_payloads((ENTRY_ARRIVAL, t, PRIO_ARRIVAL, row))
+            else:
+                deliver_emissions(peer_of[iface_id], delay_of[iface_id],
+                                  emissions)
+            emissions.clear()
+        if (port.sched._len if fifo else len(port.sched)) > 0:
+            active.add(iface_id)
+        else:
+            active.discard(iface_id)
+    ctx.counts.transmit += count
+
+
 def run_transmit_system_np(engine, ctx: WindowContext) -> None:
     """Vectorized TransmitSystem: masked plan, batched port replay."""
     iface_ids = plan_transmit_np(engine, ctx)
     if not iface_ids:
+        return
+    if engine.pool.workers <= 1 and not engine.bus.trace_level:
+        _transmit_serial_np(engine, ctx, iface_ids, ctx.start, ctx.end)
         return
     full_trace = engine.bus.trace_level >= 2
     chunks = _chunked(iface_ids, engine.pool.workers)
@@ -520,3 +1062,212 @@ def run_transmit_system_np(engine, ctx: WindowContext) -> None:
         commit_transmit(engine, ctx, results[0])
     else:
         commit_transmit(engine, ctx, [r for chunk in results for r in chunk])
+
+
+# --- Fused window pass ------------------------------------------------------
+
+
+def plan_window_np(engine, ctx: WindowContext):
+    """All four systems' plans in one traversal of the window columns.
+
+    The classic path groups the window's entries by node and then walks
+    the grouped dict four times (once per system's plan); this consumes
+    the raw insert-ordered ``ctx.columns`` in one pass, classifying
+    every entry into the ACK, Send and Forward work lists directly.
+    Output order is provably identical: grouping preserves insertion
+    order, so every per-node (and per-flow — a flow's ACKs all land on
+    its one source host) sequence comes out the same whether entries
+    are visited node-by-node or in global insert order, and the
+    order-sensitive outputs are sorted exactly where the classic plans
+    sort them (``plan_ack``/``plan_forward`` sort by node,
+    ``plan_send`` by flow id, ACK slices through the same
+    :func:`sort_contract`).
+    """
+    is_host = getattr(engine, "_is_host", None)
+    if is_host is None:
+        is_host = engine._is_host = [
+            n.is_host for n in engine.scenario.topology.nodes]
+    ack_data: Dict[int, List[Tuple[int, int, Row]]] = {}
+    acks_of: Dict[int, List[Tuple[int, Row]]] = {}
+    starts: Dict[int, int] = {}
+    visits: List[int] = []
+    deliver_trace: List[Tuple[int, int, Row]] = []
+    fwd: Dict[int, List[Tuple[int, int, Row]]] = {}
+    ack_get = ack_data.get
+    acks_get = acks_of.get
+    fwd_get = fwd.get
+    nodes_col, payloads = ctx.columns
+    for i, node in enumerate(nodes_col):
+        e = payloads[i]
+        tag = e[0]
+        if is_host[node]:
+            if tag == ENTRY_ARRIVAL:
+                row = e[3]
+                if row[F_ISACK]:
+                    lst = acks_get(row[F_FLOW])
+                    if lst is None:
+                        acks_of[row[F_FLOW]] = [(e[1], row)]
+                    else:
+                        lst.append((e[1], row))
+                    deliver_trace.append((e[1], node, row))
+                else:
+                    lst = ack_get(node)
+                    if lst is None:
+                        ack_data[node] = [(e[1], e[2], row)]
+                    else:
+                        lst.append((e[1], e[2], row))
+            elif tag == ENTRY_FLOW_START:
+                starts[e[2]] = e[1]
+            elif e[1] >= 0:  # TIMER / UDP; negative = bare wakeup
+                visits.append(e[1])
+        elif tag == ENTRY_ARRIVAL:
+            lst = fwd_get(node)
+            if lst is None:
+                fwd[node] = [(e[1], e[2], e[3])]
+            else:
+                lst.append((e[1], e[2], e[3]))
+    ack_work = [(node, sort_contract(data))
+                for node, data in sorted(ack_data.items())]
+    flow_ids = sorted(set(acks_of) | set(starts) | set(visits))
+    return (ack_work, (flow_ids, acks_of, starts, deliver_trace),
+            sorted(fwd.items()))
+
+
+def run_window_fused(engine, ctx: WindowContext):
+    """One fused pass over the window: plan once, then the four phases
+    in paper order over shared column handles.
+
+    Semantically identical to running
+    ``run_ack_system_np``/``run_send_system_np``/``run_forward_system_np``
+    /``run_transmit_system_np`` back to back — same kernels, same shared
+    commit helpers, same ordering contract — but the plan traversal
+    happens once, and single-worker runs dispatch kernels directly
+    instead of through the pool's task machinery.  Returns the five
+    ``perf_counter`` phase marks ``(t0..t4)`` so the engine's profiling
+    and telemetry spans stay per-system.
+    """
+    clock = perf_counter
+    pool = engine.pool
+    workers = pool.workers
+    bus = engine.bus
+    world = engine.world
+    sc = engine.scenario
+    t0 = clock()
+    if ctx.columns is not None:
+        ack_work, send_plan, forward_work = plan_window_np(engine, ctx)
+    else:
+        ack_work = ()
+        send_plan = None
+        forward_work = ()
+
+    if ack_work:
+        cols = AckCols(**world.receivers.resident(AckCols._fields))
+        receiver_of_flow = world.receiver_of_flow
+        if workers > 1 and len(ack_work) > 1:
+            chunks = _chunked(ack_work, workers)
+            results = pool.map(
+                "ack",
+                lambda chunk: ack_batch_kernel(cols, receiver_of_flow,
+                                               sc.flows, chunk),
+                chunks,
+                sizes=[sum(len(w[1]) for w in chunk) for chunk in chunks],
+            )
+            results = (results[0] if len(results) == 1
+                       else [r for chunk in results for r in chunk])
+        else:
+            results = ack_batch_kernel(cols, receiver_of_flow, sc.flows,
+                                       ack_work)
+        commit_ack(engine, ctx, results)
+    t1 = clock()
+
+    if send_plan is not None and send_plan[0]:
+        flow_ids, acks_of, starts, deliver_trace = send_plan
+        if bus.trace_level:
+            for t, node, row in sorted(
+                deliver_trace,
+                key=lambda d: (d[0], d[2][F_FLOW], d[2][F_ISACK],
+                               d[2][F_SEQ]),
+            ):
+                bus.deliver(t, node, row[F_FLOW], row[F_ISACK], row[F_SEQ])
+        cols = world.senders.resident(SENDER_COLS)
+        sender_of_flow = world.sender_of_flow
+        if workers > 1 and len(flow_ids) > 1:
+            chunks = _chunked(flow_ids, workers)
+            results = pool.map(
+                "send",
+                lambda chunk: send_batch_kernel(cols, sender_of_flow, sc,
+                                                acks_of, starts, ctx.end,
+                                                chunk),
+                chunks,
+                sizes=[sum(len(acks_of.get(f, ())) + 1 for f in chunk)
+                       for chunk in chunks],
+            )
+            results = (results[0] if len(results) == 1
+                       else [r for chunk in results for r in chunk])
+        else:
+            results = send_batch_kernel(cols, sender_of_flow, sc, acks_of,
+                                        starts, ctx.end, flow_ids)
+        commit_send(engine, ctx, results)
+    t2 = clock()
+
+    if forward_work:
+        spray = sc.ecmp_mode == "packet"
+        if workers <= 1 and not bus.has_ops:
+            # The serial sweep keeps its own flat-int-keyed memo (the
+            # buffered kernel's memo is tuple-keyed).
+            if spray:
+                memo = None
+            else:
+                memo = getattr(engine, "_fwd_memo_flat", None)
+                if memo is None:
+                    memo = engine._fwd_memo_flat = {}
+            _forward_serial_np(engine, ctx, forward_work, memo, spray)
+        elif workers > 1 and len(forward_work) > 1:
+            memo = _route_memo(engine, spray)
+            chunks = _chunked(forward_work, workers)
+            results = pool.map(
+                "forward",
+                lambda chunk: forward_batch_kernel(
+                    sc.fib, sc.topology.iface_id, spray, chunk, memo),
+                chunks,
+                sizes=[sum(len(w[1]) for w in chunk) for chunk in chunks],
+            )
+            results = (results[0] if len(results) == 1
+                       else [r for chunk in results for r in chunk])
+            commit_forward_np(engine, ctx, results)
+        else:
+            results = forward_batch_kernel(sc.fib, sc.topology.iface_id,
+                                           spray, forward_work,
+                                           _route_memo(engine, spray))
+            commit_forward_np(engine, ctx, results)
+    t3 = clock()
+
+    iface_ids = plan_transmit_np(engine, ctx)
+    if iface_ids:
+        if workers <= 1 and not bus.trace_level:
+            # Single worker, no trace stream: replay and commit fuse
+            # into one sweep with bulk per-port delivery.
+            _transmit_serial_np(engine, ctx, iface_ids, ctx.start, ctx.end)
+            t4 = clock()
+            return t0, t1, t2, t3, t4
+        full_trace = bus.trace_level >= 2
+        if workers > 1 and len(iface_ids) > 1:
+            chunks = _chunked(iface_ids, workers)
+            results = pool.map(
+                "transmit",
+                lambda chunk: transmit_batch_kernel(
+                    engine.ports, ctx.staged, ctx.start, ctx.end,
+                    full_trace, chunk),
+                chunks,
+                sizes=[sum(len(ctx.staged.get(i, ())) + 1 for i in chunk)
+                       for chunk in chunks],
+            )
+            results = (results[0] if len(results) == 1
+                       else [r for chunk in results for r in chunk])
+        else:
+            results = transmit_batch_kernel(engine.ports, ctx.staged,
+                                            ctx.start, ctx.end, full_trace,
+                                            iface_ids)
+        commit_transmit(engine, ctx, results)
+    t4 = clock()
+    return t0, t1, t2, t3, t4

@@ -10,7 +10,7 @@ staging area the systems fill for the TransmitSystem.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..metrics.results import EventCounts
 from ..protocols.packet import Row
@@ -36,8 +36,32 @@ class WindowContext:
     node_entries: Dict[int, List[Entry]]
     #: egress iface id -> arrivals staged by ACK/Send/Forward systems.
     staged: Dict[int, List[Staged]] = field(default_factory=dict)
+    #: raw ``(nodes, payloads)`` columns of this window — set instead of
+    #: ``node_entries`` on the fused vectorized path, whose single plan
+    #: traversal consumes the insert-ordered columns without grouping.
+    columns: Optional[Tuple[List[int], List[Entry]]] = None
     #: events processed per system in this window (Fig. 13 breakdown).
     counts: EventCounts = field(default_factory=EventCounts)
 
     def stage(self, iface_id: int, t: int, prio: int, row: Row) -> None:
         self.staged.setdefault(iface_id, []).append((t, prio, row))
+
+    def stage_batch(self, ifaces, ts, prios, rows) -> None:
+        """Bulk :meth:`stage`: parallel column slices, one staged arrival
+        per index.
+
+        Kernels hand back whole columns instead of issuing row-at-a-time
+        appends; entries are grouped per egress iface in column order,
+        so the result is exactly the equivalent sequence of ``stage``
+        calls.  ``ifaces``/``ts``/``prios``/``rows`` may be any
+        equal-length iterables (``prios`` is commonly
+        ``itertools.repeat(PRIO_ARRIVAL)``); iteration stops at the
+        shortest, matching ``zip``.
+        """
+        staged = self.staged
+        get = staged.get
+        for iface_id, t, prio, row in zip(ifaces, ts, prios, rows):
+            lst = get(iface_id)
+            if lst is None:
+                lst = staged[iface_id] = []
+            lst.append((t, prio, row))

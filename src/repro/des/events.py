@@ -1,5 +1,15 @@
 """Event heap of the OOD baseline, encoding the ordering contract.
 
+This heap is the *intentionally slow* half of the comparison: one
+global priority queue, one pop per event, exactly the per-event
+overhead §2.2 attributes to classical simulators.  Do not "optimize"
+it toward the columnar store — the DOD engine's
+:class:`~repro.core.events.EventColumns` is the fast path, and the
+performance gap between the two is a measured result
+(``tools/perf_smoke.py``), not an accident.  See DESIGN.md, "Backends
+(the columnar table's two implementations)" for where each store sits
+in the architecture.
+
 Heap entries are plain tuples ``(time, kind, k1, k2, k3, payload)``.
 ``kind`` is the trigger class of ``repro.protocols.packet``:
 

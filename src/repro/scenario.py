@@ -18,7 +18,7 @@ from .routing import Fib, build_fib
 from .schedulers import SchedulerKind
 from .protocols.dctcp import DctcpParams, RENO_ECN_PARAMS
 from .topology import Topology
-from .traffic import Flow, validate_flows
+from .traffic import Flow, Transport, validate_flows
 
 
 #: Hosts get a large FIFO NIC queue: the sender's own congestion control,
@@ -70,7 +70,6 @@ class Scenario:
 
     def cca_params(self, transport) -> DctcpParams:
         """Window-CCA constants for a flow's transport (DCTCP or RENO)."""
-        from .traffic import Transport
         return self.dctcp if transport == Transport.DCTCP else self.reno
 
     def classifier_table(self) -> List[int]:

@@ -13,7 +13,7 @@ from repro.conformance.generator import (
     ScenarioSpec, generate_spec, shrink, shrink_candidates,
 )
 from repro.conformance.inject import (
-    flipped_transmit_order, unstable_transmit_sort,
+    flipped_transmit_order, stale_window_index, unstable_transmit_sort,
 )
 from repro.conformance.invariants import check_invariants
 from repro.conformance.oracles import run_oracle
@@ -153,6 +153,26 @@ class TestFuzzLoop:
         # The artifact replays: still failing under the bug, clean after.
         assert result.artifact is not None and result.artifact.exists()
         with flipped_transmit_order():
+            assert not replay_file(result.artifact, FAST_ORACLES).ok
+        assert replay_file(result.artifact, FAST_ORACLES).ok
+
+    def test_planted_stale_window_index_is_caught_and_shrunk(self, tmp_path):
+        """The columnar-store drill: corrupt the window-occupancy index
+        so singleton buckets are invisible to the scheduler.  Both DOD
+        backends share the store, so the plain fast oracles must catch
+        the starved windows — and shrink the repro small."""
+        with stale_window_index():
+            result = fuzz(0, 25, FAST_ORACLES, do_shrink=True,
+                          artifact_dir=tmp_path)
+        assert not result.ok, "planted bug survived 25 fuzz runs"
+        assert result.shrunk is not None
+        assert result.shrunk.spec.num_nodes() <= 8
+        div = result.shrunk.divergences[0]
+        assert div.window is not None and div.system and div.entity
+
+        # The artifact replays: still failing under the bug, clean after.
+        assert result.artifact is not None and result.artifact.exists()
+        with stale_window_index():
             assert not replay_file(result.artifact, FAST_ORACLES).ok
         assert replay_file(result.artifact, FAST_ORACLES).ok
 

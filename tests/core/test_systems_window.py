@@ -48,7 +48,7 @@ class TestSendSystem:
         assert [row[F_SEQ] for _t, _p, row in staged] == list(range(10))
         assert ctx.counts.send == 10
         # RTO wakeup registered for the armed timer
-        assert engine.calendar, "no retransmission wakeup registered"
+        assert engine.events, "no retransmission wakeup registered"
 
     def test_ack_advances_window(self, engine):
         # start the flow first
@@ -133,7 +133,7 @@ class TestTransmitSystem:
         # (build-time flow starts legitimately sit in window 0)
         from repro.core.window import ENTRY_ARRIVAL as ARR
         arrival_windows = [
-            win for win, buckets in engine.calendar.items()
+            win for win, buckets in engine.events.items()
             for entries in buckets.values()
             for e in entries if e[0] == ARR
         ]

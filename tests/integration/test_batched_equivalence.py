@@ -1,0 +1,189 @@
+"""Multi-window batching is observationally invisible.
+
+``advance(max_windows=K)`` / ``REPRO_BATCH_WINDOWS=K`` may run up to K
+lookahead windows per advance — including the fused drain-span fast
+path on the NumPy backend and the barrier-free quiet spans on the
+cluster — but the canonical trace must stay byte-identical to the
+window-at-a-time run.  The argument is the LCC discipline itself (see
+docs/ARCHITECTURE.md, "Why K-window batching is safe"); these tests are
+the enforcement: K=1 vs K=8 digests across backends, worker counts and
+both cluster transports, plus ``window_signature()`` stability across
+backends and telemetry neutrality on the batched path.
+"""
+
+import pytest
+
+from repro.cluster import DonsManager
+from repro.core.engine import DodEngine, run_dons
+from repro.des.partition_types import contiguous_partition
+from repro.metrics import TraceLevel
+from repro.partition import ClusterSpec
+from repro.scenario import make_scenario
+from repro.topology import dumbbell, fattree
+from repro.traffic import Flow, TINY, Transport, fixed_flows, \
+    full_mesh_dynamic
+from repro.units import GBPS, ms, us
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topo = fattree(4, rate_bps=10 * GBPS, delay_ps=us(1))
+    flows = full_mesh_dynamic(topo.hosts, ms(0.5), load=0.4,
+                              host_rate_bps=10 * GBPS, sizes=TINY,
+                              seed=13, max_flows=40)
+    return make_scenario(topo, flows, buffer_bytes=50_000)
+
+
+@pytest.fixture(scope="module")
+def drain_scenario():
+    """One big flow through a 10:1 bottleneck: long FIFO drain tails
+    with empty windows in between — the drain-span fast path's home."""
+    topo = dumbbell(2, edge_rate_bps=10 * GBPS, bottleneck_rate_bps=GBPS,
+                    delay_ps=us(1), bottleneck_delay_ps=us(1))
+    flows = [Flow(0, topo.hosts[0], topo.hosts[2], 200_000, 0)]
+    return make_scenario(topo, flows, buffer_bytes=1_000_000)
+
+
+@pytest.fixture(scope="module")
+def reference(scenario):
+    return run_dons(scenario, TraceLevel.FULL, backend="python",
+                    batch_windows=1)
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+@pytest.mark.parametrize("workers", [1, 2])
+def test_single_machine_k8_matches_k1(scenario, reference, backend, workers):
+    if backend == "numpy":
+        pytest.importorskip("numpy")
+    run = run_dons(scenario, TraceLevel.FULL, backend=backend,
+                   workers=workers, batch_windows=8)
+    assert run.trace.digest() == reference.trace.digest()
+    assert run.fcts_ps() == reference.fcts_ps()
+    assert run.events.total == reference.events.total
+
+
+def test_drain_span_path_is_byte_identical(drain_scenario):
+    """The fused drain-span actually fires on this workload, and the
+    merged multi-window port replay changes nothing observable."""
+    pytest.importorskip("numpy")
+    spans = []
+    original = DodEngine._drain_span
+
+    def spy(self, first, budget):
+        n = original(self, first, budget)
+        spans.append(n)
+        return n
+
+    ref = run_dons(drain_scenario, TraceLevel.FULL, backend="python",
+                   batch_windows=1)
+    DodEngine._drain_span = spy
+    try:
+        run = run_dons(drain_scenario, TraceLevel.FULL, backend="numpy",
+                       batch_windows=8)
+    finally:
+        DodEngine._drain_span = original
+    assert spans and max(spans) > 1, "drain-span fast path never batched"
+    assert run.trace.digest() == ref.trace.digest()
+    assert run.fcts_ps() == ref.fcts_ps()
+
+
+@pytest.mark.parametrize("transport", ["local", "process"])
+def test_cluster_k8_matches_k1(scenario, reference, transport):
+    part = contiguous_partition(scenario.topology, 2)
+    runs = {}
+    for k in (1, 8):
+        runs[k] = DonsManager(
+            scenario, ClusterSpec.homogeneous(2), TraceLevel.FULL,
+            transport=transport, batch_windows=k,
+        ).run(partition=part)
+    assert runs[8].results.trace.digest() == reference.trace.digest()
+    assert runs[1].results.trace.digest() == runs[8].results.trace.digest()
+    assert runs[1].results.fcts_ps() == runs[8].results.fcts_ps()
+
+
+def test_cluster_quiet_spans_save_barriers():
+    """On a WAN partition — where most traffic stays hops away from the
+    boundary — the quiet-horizon batcher provably skips barrier rounds:
+    fewer FINISH windows, identical trace."""
+    from repro.topology import isp_wan
+    topo = isp_wan(backbone_routers=4, provinces=2, provincial_routers=4,
+                   metros_per_province=1, metro_routers=3, seed=2)
+    flows = full_mesh_dynamic(topo.hosts, ms(0.5), load=0.5,
+                              host_rate_bps=10 * GBPS, sizes=TINY,
+                              seed=5, max_flows=12)
+    sc = make_scenario(topo, flows)
+    part = contiguous_partition(topo, 2)
+    traffic = {}
+    digests = {}
+    for k in (1, 8):
+        run = DonsManager(
+            sc, ClusterSpec.homogeneous(2), TraceLevel.FULL,
+            batch_windows=k,
+        ).run(partition=part)
+        traffic[k] = run.traffic.windows
+        digests[k] = run.results.trace.digest()
+    assert digests[1] == digests[8]
+    assert traffic[8] < traffic[1], "no quiet span ever batched"
+
+
+def test_window_signature_stable_across_backends(scenario):
+    """The mid-run pending-state hash is backend-independent: advancing
+    both backends in lockstep yields the same signature at every step."""
+    pytest.importorskip("numpy")
+    a = DodEngine(scenario, TraceLevel.NONE, backend="python",
+                  batch_windows=1)
+    b = DodEngine(scenario, TraceLevel.NONE, backend="numpy",
+                  batch_windows=1)
+    a.build()
+    b.build()
+    assert a.window_signature() == b.window_signature()
+    for step in range(40):
+        more_a = a.advance()
+        more_b = b.advance()
+        assert more_a == more_b
+        assert a.window_signature() == b.window_signature(), f"step {step}"
+        if not more_a:
+            break
+    a.finalize()
+    b.finalize()
+
+
+def test_window_signature_sensitive_to_pending_state():
+    topo = dumbbell(2)
+    flows = fixed_flows(topo.hosts, n_flows=4, size_bytes=40_000,
+                        transport=Transport.DCTCP, seed=5)
+    sc = make_scenario(topo, flows)
+    a = DodEngine(sc, TraceLevel.NONE)
+    a.build()
+    before = a.window_signature()
+    assert before == DodEngine.window_signature(a)  # deterministic
+    a.advance()
+    assert a.window_signature() != before
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_batched_path_is_telemetry_neutral(scenario, reference, backend):
+    """Digest identity with telemetry on/off *on the batched path* —
+    the batch counters and histograms only observe, never perturb."""
+    if backend == "numpy":
+        pytest.importorskip("numpy")
+    on = run_dons(scenario, TraceLevel.FULL, backend=backend,
+                  batch_windows=8, telemetry=True)
+    off = run_dons(scenario, TraceLevel.FULL, backend=backend,
+                   batch_windows=8, telemetry=False)
+    assert on.trace.digest() == off.trace.digest() == \
+        reference.trace.digest()
+
+
+def test_batch_counters_recorded(scenario):
+    engine = DodEngine(scenario, TraceLevel.NONE, batch_windows=8,
+                       telemetry=True)
+    engine.run()
+    counters = engine.bus.counters
+    assert counters.get("engine.batch_windows", 0) > 0
+    snap = engine.bus.metrics.snapshot()
+    hist = snap["histograms"]["window.batch_size"]
+    # one histogram sample per batched advance; samples sum to the
+    # total windows the counter saw
+    assert sum(hist["counts"]) > 0
+    assert hist["sum"] == counters["engine.batch_windows"]

@@ -57,6 +57,10 @@ class TestLoadVectorProps:
     def test_scale_invariance(self, v, k):
         assume(sum(v) > 0)
         scaled = [k * x for x in v]
+        # Scaling a subnormal load by k < 1 can underflow the whole
+        # vector to zero mass, where the distance is 1 by definition —
+        # invariance only holds while the scaled mass stays positive.
+        assume(sum(scaled) > 0)
         assert load_vector_distance(v, scaled) == pytest.approx(0.0, abs=1e-9)
 
     @given(loads, loads)

@@ -5,10 +5,13 @@ Runs a fixed FatTree4 DCTCP scenario on both engines (the OOD baseline
 and the DOD engine, the latter on both the Python and NumPy backends),
 measures wall-clock and event counts, writes a JSON report, and asserts
 the DOD engine has not regressed more than ``--tolerance`` (default
-20%) against the recorded baseline.  The NumPy backend carries two
-standing gates of its own: its event counts must equal the Python
-backend's exactly, and ``ratio_numpy_over_python`` must stay below 1.0
-(the vectorized backend exists to be faster).
+20%) against the recorded baseline.  The NumPy backend carries standing
+gates of its own: its event counts must equal the Python backend's
+exactly, ``ratio_numpy_over_python`` must stay below ``NUMPY_GATE``
+(the vectorized backend exists to be faster), and the K=8
+multi-window-batched run (``dons_numpy_batched_s``) must reproduce the
+unbatched event counts exactly.  ``batch_scaling`` records the numpy
+wall-clock at K ∈ {1, 4, 8} windows per drain for the CI artifact.
 
 The telemetry layer carries its own standing gates: a fully
 instrumented run (``ratio_telemetry_over_plain``) must stay under
@@ -47,6 +50,15 @@ REPEATS = 3
 #: into every run), so it is held by the baseline-relative dons/ood
 #: ratio check instead.
 TELEMETRY_GATE = 1.15
+#: Standing gate on the vectorized backend: numpy/python wall-clock on
+#: the smoke scenario.  The columnar pipeline (raw-column plan pass,
+#: fused serial forward, three-tier FIFO replay with inline column
+#: delivery) measures 0.55–0.68 on the reference machine, best-of-3;
+#: the gate sits at 0.75 to absorb machine noise while still failing
+#: any change that costs the backend its structural advantage.  (The
+#: original target for this work was 0.5 — the measured best is ~0.55,
+#: so the gate encodes what the code actually achieves.)
+NUMPY_GATE = 0.75
 
 
 def smoke_scenario():
@@ -107,22 +119,33 @@ def measure() -> dict:
     fuzz_spec = fuzz_runner_spec()
     ood_s, dons_s, numpy_s, cluster_s, fuzz_s = [], [], [], [], []
     telem_s = []
+    batch_s = {1: [], 4: [], 8: []}
     ood_res = dons_res = numpy_res = cluster_run = fuzz_report = None
-    telem_res = None
+    telem_res = batched_res = None
     for _ in range(REPEATS):
         t0 = time.perf_counter()
         ood_res = run_baseline(scenario)
         ood_s.append(time.perf_counter() - t0)
+        # Measured entries pin batch_windows explicitly so a CI matrix
+        # job exporting REPRO_BATCH_WINDOWS cannot silently change what
+        # this harness times.
         t0 = time.perf_counter()
-        dons_res = run_dons(scenario, backend="python")
+        dons_res = run_dons(scenario, backend="python", batch_windows=1)
         dons_s.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
-        telem_res = run_dons(scenario, backend="python", telemetry=True)
+        telem_res = run_dons(scenario, backend="python", telemetry=True,
+                             batch_windows=1)
         telem_s.append(time.perf_counter() - t0)
         if have_numpy:
-            t0 = time.perf_counter()
-            numpy_res = run_dons(scenario, backend="numpy")
-            numpy_s.append(time.perf_counter() - t0)
+            for k in (1, 4, 8):
+                t0 = time.perf_counter()
+                res = run_dons(scenario, backend="numpy", batch_windows=k)
+                batch_s[k].append(time.perf_counter() - t0)
+                if k == 1:
+                    numpy_res = res
+                elif k == 8:
+                    batched_res = res
+            numpy_s = batch_s[1]
         t0 = time.perf_counter()
         cluster_run = DonsManager(scenario, ClusterSpec.homogeneous(2)).run(
             partition=partition)
@@ -138,6 +161,9 @@ def measure() -> dict:
         "dons_s": min(dons_s),
         "dons_telemetry_s": min(telem_s),
         "dons_numpy_s": min(numpy_s) if numpy_s else None,
+        "dons_numpy_batched_s": min(batch_s[8]) if batch_s[8] else None,
+        "batch_scaling": ({str(k): min(v) for k, v in batch_s.items()}
+                          if batch_s[1] else None),
         "cluster_s": min(cluster_s),
         "ratio_dons_over_ood": min(dons_s) / min(ood_s),
         "ratio_telemetry_over_plain": min(telem_s) / min(dons_s),
@@ -150,6 +176,8 @@ def measure() -> dict:
         "dons_events": _events(dons_res),
         "dons_telemetry_events": _events(telem_res),
         "dons_numpy_events": _events(numpy_res) if numpy_res else None,
+        "dons_numpy_batched_events": (_events(batched_res)
+                                      if batched_res else None),
         "cluster_events": _events(cluster_run.results),
         "cluster_windows": cluster_run.traffic.windows,
         "fuzz_ok": fuzz_report.ok,
@@ -179,6 +207,8 @@ def main(argv=None) -> int:
     if report["dons_numpy_s"] is not None:
         print(f"numpy    : {report['dons_numpy_s']:.3f}s  "
               f"({report['dons_numpy_events']['total']} events)")
+        print(f"numpy K=8: {report['dons_numpy_batched_s']:.3f}s  "
+              f"(scaling {report['batch_scaling']})")
     print(f"cluster2 : {report['cluster_s']:.3f}s  "
           f"({report['cluster_events']['total']} events, "
           f"{report['cluster_windows']} windows)")
@@ -214,17 +244,24 @@ def main(argv=None) -> int:
 
     # The vectorized backend's standing gates (not baseline-relative):
     # it must produce the exact event counts of the reference kernels,
-    # and it must actually be faster than them on the smoke scenario.
+    # it must beat them by the NUMPY_GATE margin on the smoke scenario,
+    # and K-window batching must not perturb the simulation.
     if report["dons_numpy_s"] is not None:
         if report["dons_numpy_events"] != report["dons_events"]:
             print(f"FAIL: numpy backend events "
                   f"{report['dons_numpy_events']} != python backend "
                   f"{report['dons_events']}", file=sys.stderr)
             return 1
-        if report["ratio_numpy_over_python"] >= 1.0:
+        if report["dons_numpy_batched_events"] != report["dons_events"]:
+            print(f"FAIL: K=8 batched numpy events "
+                  f"{report['dons_numpy_batched_events']} != "
+                  f"{report['dons_events']}", file=sys.stderr)
+            return 1
+        if report["ratio_numpy_over_python"] >= NUMPY_GATE:
             print(f"FAIL: numpy/python ratio "
-                  f"{report['ratio_numpy_over_python']:.3f} >= 1.0 — the "
-                  f"vectorized backend must beat the reference kernels",
+                  f"{report['ratio_numpy_over_python']:.3f} >= "
+                  f"{NUMPY_GATE} — the vectorized backend must beat the "
+                  f"reference kernels by the standing margin",
                   file=sys.stderr)
             return 1
 
@@ -241,7 +278,7 @@ def main(argv=None) -> int:
         base = json.load(fh)
     failures = []
     for key in ("ood_events", "dons_events", "dons_numpy_events",
-                "cluster_events"):
+                "dons_numpy_batched_events", "cluster_events"):
         if report[key] != base.get(key, report[key]):
             failures.append(f"{key} changed: {base[key]} -> {report[key]}")
     if report["cluster_windows"] != base.get("cluster_windows",
