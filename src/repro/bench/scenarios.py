@@ -19,8 +19,8 @@ from typing import Optional
 from ..metrics import SimResults
 from ..protocols.packet import HEADER_BYTES, MSS
 from ..scenario import Scenario, make_scenario
-from ..topology import abilene, fattree, fattree_counts, geant, isp_wan
-from ..traffic import TINY, full_mesh_dynamic
+from ..topology import abilene, dumbbell, fattree, fattree_counts, geant, isp_wan
+from ..traffic import TINY, Flow, Transport, full_mesh_dynamic
 from ..units import GBPS, ms, us
 
 #: Evaluation defaults (paper §6: 100 Gbps everywhere, DCTCP, full mesh).
@@ -132,6 +132,32 @@ def isp_scenario(
         host_weights=zipf_weights(len(hosts), alpha=1.2),
     )
     return topo, flows
+
+
+def steady_state_scenario(
+    n_pairs: int = 8,
+    flow_bytes: int = 3_000_000,
+    edge_rate_bps: int = 24 * GBPS,
+) -> Scenario:
+    """Heartbeat-style fixed-rate UDP traffic: the fast-forward regime.
+
+    One paced UDP flow per source host across an overprovisioned
+    dumbbell — periodic telemetry/heartbeat streams, the workload class
+    "Supercharging Packet-level Network Simulation" (PAPERS.md) shows is
+    dominated by *repeated* windows.  A 24 Gbps NIC serializes a 1500 B
+    frame in exactly 500 ns — an integer number of frames per lookahead
+    window at the 1 us link delay — so once the pipeline fills, every
+    window's execution signature repeats and the memo cache
+    (:mod:`repro.core.memo`) fast-forwards the run; the 400 Gbps
+    bottleneck keeps the run drop-free (a drop would perturb the
+    signature stream).  ``tools/perf_smoke.py`` holds the standing
+    ``ratio_ffwd_over_plain`` gate on this scenario.
+    """
+    topo = dumbbell(n_pairs, edge_rate_bps=edge_rate_bps,
+                    bottleneck_rate_bps=400 * GBPS, delay_ps=us(1))
+    flows = [Flow(i, i, n_pairs + i, flow_bytes, 0, Transport.UDP)
+             for i in range(n_pairs)]
+    return make_scenario(topo, flows, name=f"steady-udp-{n_pairs}")
 
 
 # --- full-scale extrapolation ------------------------------------------------

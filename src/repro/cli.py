@@ -264,7 +264,8 @@ def cmd_profile(args) -> int:
         from .core.engine import DodEngine
         from .core.runner import EngineRunner
         eng = DodEngine(scenario, workers=args.workers,
-                        backend=args.backend, telemetry=telemetry)
+                        backend=args.backend, telemetry=telemetry,
+                        ffwd=args.ffwd)
         progress = _progress_for(args, eng, scenario)
         try:
             results = EngineRunner(eng, on_step=progress).run()
@@ -280,6 +281,9 @@ def cmd_profile(args) -> int:
             backend=args.backend or os.environ.get("REPRO_BACKEND") or "python",
             transport=args.transport if args.cluster else None,
             cluster=args.cluster or None, workers=args.workers,
+            ffwd=(bool(args.ffwd if args.ffwd is not None
+                       else os.environ.get("REPRO_FFWD") == "1")
+                  and not args.cluster),
         ))
         print(f"timeline written to {args.timeline}", file=sys.stderr)
     rows = bus.profile_rows()
@@ -455,6 +459,13 @@ def make_parser() -> argparse.ArgumentParser:
     profile.add_argument("--timeline", metavar="FILE",
                          help="enable telemetry and export the run as "
                               "Chrome trace JSON (open in Perfetto)")
+    profile.add_argument("--ffwd", action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="window-signature memo fast-forwarding for "
+                              "steady-state traffic (default: $REPRO_FFWD, "
+                              "then off; ignored with --cluster, where the "
+                              "memo is per-agent and auto-disabled while "
+                              "cross-agent traffic is pending)")
     profile.add_argument("--progress", action="store_true",
                          help="stderr progress/ETA line (TTY only)")
     profile.set_defaults(fn=cmd_profile)

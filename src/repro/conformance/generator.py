@@ -39,7 +39,7 @@ from ..units import GBPS, us
 FORMAT = "repro-conformance-spec-v1"
 
 TOPOLOGY_FAMILIES = ("dumbbell", "fattree", "leafspine", "hetero")
-TRAFFIC_KINDS = ("fixed", "mesh", "incast", "permutation")
+TRAFFIC_KINDS = ("fixed", "mesh", "incast", "permutation", "steady")
 TRANSPORT_MIXES = ("dctcp", "reno", "udp", "mixed")
 SCHEDULERS = ("fifo", "sp", "rr", "drr")
 AQMS = ("ecn", "red", "none")
@@ -76,11 +76,20 @@ class ScenarioSpec:
         base = us(1) * self.delay_scale
         if self.topology == "dumbbell":
             bottleneck_delay = 3 * base if self.delay_profile == "hetero" else base
+            if self.traffic == "steady":
+                # Drop-free by construction: the bottleneck carries the
+                # whole permutation at line rate, so paced UDP windows
+                # become exactly periodic — the workload the
+                # memoization/fast-forward cache exists for.
+                bottleneck = 10 * GBPS * max(2, 2 * self.topo_arg)
+            elif self.traffic == "mesh":
+                bottleneck = 10 * GBPS
+            else:
+                bottleneck = 2 * GBPS
             return dumbbell(
                 max(1, self.topo_arg),
                 edge_rate_bps=10 * GBPS,
-                bottleneck_rate_bps=(2 * GBPS if self.traffic != "mesh"
-                                     else 10 * GBPS),
+                bottleneck_rate_bps=bottleneck,
                 delay_ps=base,
                 bottleneck_delay_ps=bottleneck_delay,
             )
@@ -142,6 +151,22 @@ class ScenarioSpec:
         elif self.traffic == "permutation":
             flows = permutation(hosts, size_bytes=size, transport=transport,
                                 seed=self.seed)
+        elif self.traffic == "steady":
+            # Steady-state: one paced UDP flow per source host (a
+            # permutation, so no two flows share a sender NIC) with
+            # staggered starts.  Combined with the boosted dumbbell
+            # bottleneck this is drop-free and exactly periodic — the
+            # regime where the window-signature cache gets hits, which
+            # makes the ``dons-numpy-ffwd`` oracle (and the
+            # ``stale_cache_delta`` drill) non-vacuous under fuzz.
+            base = permutation(hosts, size_bytes=max(size, 120_000),
+                               transport=Transport.UDP, seed=self.seed)
+            flows = [
+                Flow(flow_id=f.flow_id, src=f.src, dst=f.dst,
+                     size_bytes=f.size_bytes, start_ps=us(2) * i,
+                     transport=Transport.UDP)
+                for i, f in enumerate(base)
+            ]
         else:
             raise ConfigError(f"unknown traffic kind {self.traffic!r}")
         return self._mix(flows)
@@ -217,22 +242,38 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
     scheduler = pick(SCHEDULERS)
     num_classes = int(rng.integers(2, 4)) if scheduler != "fifo" else 1
     transport = pick(TRANSPORT_MIXES)
-    if transport == "udp" and traffic != "incast":
+    if traffic == "steady":
+        # Steady-state exists to exercise the fast-forward cache: pure
+        # UDP (the only memo-eligible transport) on a dumbbell whose
+        # bottleneck is provisioned for the whole permutation, so the
+        # run is drop-free and window signatures actually repeat.
+        topology = "dumbbell"
+        topo_arg = min(topo_arg, 6)
+        transport = "udp"
+    elif transport == "udp" and traffic != "incast":
         # pure-UDP meshes finish instantly and test nothing; keep UDP in
         # the mixes and in incast (where pacing vs drops matters).
         transport = "mixed"
     duration_us = int(rng.integers(40, 200)) if rng.integers(0, 4) == 0 else None
+    n_flows = int(rng.integers(4, 25))
+    flow_kb = int(pick((20, 40, 60, 100, 150)))
+    aqm = pick(AQMS)
+    if traffic == "steady" and aqm == "red":
+        # RED statically disables the window-memo cache (its EWMA state
+        # is unobservable to the signature); steady scenarios exist to
+        # exercise that cache, so swap in the other marking AQM.
+        aqm = "ecn"
     return ScenarioSpec(
         seed=seed * 1_000_003 + index,
         topology=topology,
         topo_arg=topo_arg,
         traffic=traffic,
-        n_flows=int(rng.integers(4, 25)),
-        flow_kb=int(pick((20, 40, 60, 100, 150))),
+        n_flows=n_flows,
+        flow_kb=flow_kb,
         transport=transport,
         scheduler=scheduler,
         num_classes=num_classes,
-        aqm=pick(AQMS),
+        aqm=aqm,
         buffer_kb=int(pick((15, 30, 60, 120))),
         delay_profile=pick(("uniform", "hetero")),
         delay_scale=int(pick((1, 1, 2, 5))),

@@ -6,7 +6,7 @@ partition/order-dependent divergence — and the test suite asserts the
 fuzz loop catches it within a bounded number of runs and shrinks it to
 a small repro.
 
-Three bug classes are plantable:
+Four bug classes are plantable:
 
 * :func:`flipped_transmit_order` flips the deterministic tie-break
   inside the transmit merge-sort: packets staged at the same
@@ -27,6 +27,16 @@ Three bug classes are plantable:
   scheduler.  Entries starve — the engine skips or never runs their
   window — which is exactly the failure mode of letting a derived index
   drift from the data it summarizes.
+* :func:`stale_cache_delta` corrupts the window-signature memoization
+  cache (:mod:`repro.core.memo`): the delta recorded on a cache miss has
+  one scatter-write perturbed (the sequence number of the first staged
+  cross-window arrival is off by one), so every cache *hit* replays a
+  subtly wrong write-set.  The executed windows — including the very
+  window the delta was captured from — are all correct; only the
+  fast-forwarded replays diverge.  This is the stale/corrupt-cache-entry
+  failure mode the memo's replay-based validation exists for, and
+  catching it requires an oracle set that actually runs the
+  fast-forward engine (e.g. ``("ood", "dons-numpy-ffwd")``).
 
 Both bugs mirror real failure modes (iterating a hash map / racing
 commit order / unstable sorting instead of the ordering-contract key):
@@ -40,9 +50,11 @@ differential oracle can see it.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import replace as _dc_replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core import events as events_mod
+from ..core import memo as memo_mod
 from ..core.systems import transmit as transmit_mod
 from ..core.systems import vectorized as vectorized_mod
 from ..core.window import Staged
@@ -150,6 +162,68 @@ def stale_window_index() -> Iterator[None]:
         yield
     finally:
         events_mod.register_window = original
+
+
+def _corrupt_delta(delta: "memo_mod.WindowDelta") -> "memo_mod.WindowDelta":
+    """Perturb exactly one scatter-write of a freshly captured delta.
+
+    Preferred target: the first staged cross-window *arrival* — its
+    packet row's sequence number is bumped by one, so a cache hit
+    forwards a packet that was never sent.  Windows without staged
+    arrivals fall back to a queued packet row inside a port
+    post-encoding, then to receiver reassembly bookkeeping; a delta with
+    none of the three is left intact (nothing in it can diverge).
+    """
+    staged = list(delta.staged)
+    for i, (off, node, enc) in enumerate(staged):
+        if enc[0] == "a":
+            row = list(enc[3])
+            row[F_SEQ] += 1
+            staged[i] = (off, node, ("a", enc[1], enc[2], tuple(row)))
+            return _dc_replace(delta, staged=tuple(staged))
+    ports = list(delta.ports)
+    for i, (iface, post, incr) in enumerate(ports):
+        classes = post[6]  # per-class tuples of queued row encodings
+        for cls, rows in enumerate(classes):
+            if not rows:
+                continue
+            row = list(rows[0])
+            row[F_SEQ] += 1
+            new_cls = ((tuple(row),) + rows[1:],)
+            new_classes = classes[:cls] + new_cls + classes[cls + 1:]
+            ports[i] = (iface, post[:6] + (new_classes,), incr)
+            return _dc_replace(delta, ports=tuple(ports))
+    recvs = list(delta.receivers)
+    if recvs:
+        fid, expected, unique, ooo, comp = recvs[0]
+        recvs[0] = (fid, expected + 1, unique, ooo, comp)
+        return _dc_replace(delta, receivers=tuple(recvs))
+    return delta
+
+
+@contextmanager
+def stale_cache_delta() -> Iterator[None]:
+    """Plant a corrupt-cache-entry bug in the window-signature memo.
+
+    Patches the module-level ``capture_filter`` hook that
+    :meth:`~repro.core.memo.WindowMemoCache.run_window` resolves at call
+    time just before storing a miss's captured delta, so every engine
+    with fast-forwarding enabled records poisoned cache entries while
+    the patch is live.  Executed windows stay byte-correct — only cache
+    *hits* replay the corruption — so catching it requires an oracle set
+    that runs the fast-forward engine on a workload with repeating
+    window signatures (the generator's ``steady`` traffic kind exists
+    for exactly this).  The memo's own replay-based validation detects
+    the poisoned entry on the Nth hit and evicts it, but the hits
+    already applied have diverged the trace — which the differential
+    oracle then reports.
+    """
+    original = memo_mod.capture_filter
+    memo_mod.capture_filter = _corrupt_delta
+    try:
+        yield
+    finally:
+        memo_mod.capture_filter = original
 
 
 @contextmanager

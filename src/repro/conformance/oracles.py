@@ -19,6 +19,9 @@ users actually run:
   engine (serial, 2-worker, and as 2 local-transport cluster agents) on
   the vectorized NumPy ECS backend; byte-identity against ``ood`` is the
   backend's conformance gate.
+* ``dons-numpy-ffwd`` — the NumPy engine with window-signature
+  memoization + fast-forwarding forced on (``core/memo.py``); its
+  byte-identity against the rest is the fast-forward conformance gate.
 * ``cluster-local-N`` / ``cluster-process-N`` — the cluster runtime over
   N agents (N in 2/3/4) on the in-process or multiprocessing transport,
   contiguous partition.
@@ -78,9 +81,10 @@ def run_ood(scenario: Scenario) -> OracleRun:
 
 
 def run_dod(scenario: Scenario, workers: int = 1, name: str = "dons",
-            backend: Optional[str] = None) -> OracleRun:
+            backend: Optional[str] = None,
+            ffwd: Optional[bool] = None) -> OracleRun:
     engine = DodEngine(scenario, TraceLevel.FULL, workers=workers,
-                       backend=backend)
+                       backend=backend, ffwd=ffwd)
     results = engine.run()
     return _finish(name, scenario, results, engine.bus.counters)
 
@@ -152,6 +156,11 @@ ORACLES: Dict[str, Callable[[Scenario], OracleRun]] = {
     "dons-numpy-mt2": lambda sc: run_dod(sc, workers=2,
                                          name="dons-numpy-mt2",
                                          backend="numpy"),
+    # The memoization/fast-forward gate: same engine with the window
+    # cache forced on.  Trace byte-identity against every other oracle
+    # is what certifies fast-forwarded windows (see core/memo.py).
+    "dons-numpy-ffwd": lambda sc: run_dod(sc, name="dons-numpy-ffwd",
+                                          backend="numpy", ffwd=True),
     "cluster-numpy-2": lambda sc: run_cluster(sc, "local", 2,
                                               "cluster-numpy-2",
                                               backend="numpy"),
@@ -168,8 +177,8 @@ for _n in (2, 3, 4):
 #: The acceptance set: every stack the fidelity claim covers.  The first
 #: entry is the reference every other trace is diffed against.
 DEFAULT_ORACLES: Tuple[str, ...] = (
-    "ood", "dons", "dons-numpy", "cluster-local-2", "cluster-local-3",
-    "cluster-process-2", "checkpoint", "fault-recovery",
+    "ood", "dons", "dons-numpy", "dons-numpy-ffwd", "cluster-local-2",
+    "cluster-local-3", "cluster-process-2", "checkpoint", "fault-recovery",
 )
 
 

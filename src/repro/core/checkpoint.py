@@ -108,6 +108,12 @@ def restore_checkpoint(engine: DodEngine, checkpoint: Checkpoint) -> int:
     if bus_state is not None:
         engine.bus.adopt_state(bus_state)
         engine._tx_prev = state.get("tx_prev", {})
+    # The memoization cache is never serialized (its deltas are cheap to
+    # re-capture); invalidate instead so a restored engine can't apply a
+    # delta captured on the pre-restore state timeline.
+    memo = getattr(engine, "_memo", None)
+    if memo is not None:
+        memo.clear()
     return state["current_window"]
 
 

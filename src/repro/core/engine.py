@@ -77,6 +77,7 @@ class DodEngine:
         backend: Optional[str] = None,
         telemetry: Optional[bool] = None,
         batch_windows: Optional[int] = None,
+        ffwd: Optional[bool] = None,
     ) -> None:
         """``lookahead_override`` shrinks the batch below the minimum
         link delay (correct but slower — the ablation of the §3.3 design
@@ -104,6 +105,15 @@ class DodEngine:
         windows per advance; the trace stays byte-identical because
         each window's inputs were complete before the batch started
         (the LCC discipline).
+
+        ``ffwd`` enables the window-signature memoization +
+        fast-forwarding cache (``None`` resolves ``REPRO_FFWD``,
+        defaulting to off).  The cache only ever activates under the
+        static gates checked by :meth:`_maybe_init_memo` — paper system
+        order, local deliveries, no RED / packet spraying / queue
+        sampling, at least one UDP flow — and the ``dons-numpy-ffwd``
+        conformance oracle holds the trace digest byte-identical with
+        it on or off.  See docs/MEMOIZATION.md.
         """
         self.scenario = scenario
         if backend is None:
@@ -129,6 +139,11 @@ class DodEngine:
         self._carried_staged: Dict[int, list] = {}
         self._running_window = -1
         self.sample_queues = sample_queues
+        if ffwd is None:
+            ffwd = os.environ.get("REPRO_FFWD", "") not in (
+                "", "0", "false", "off")
+        self.ffwd = ffwd
+        self._memo = None
 
         self.lookahead = scenario.lookahead_ps
         if lookahead_override is not None:
@@ -225,6 +240,38 @@ class DodEngine:
                 self._insert(flow.start_ps, flow.src,
                              (ENTRY_FLOW_START, flow.start_ps, flow.flow_id))
         self._built = True
+        self._maybe_init_memo()
+
+    def _maybe_init_memo(self) -> None:
+        """Attach a :class:`~repro.core.memo.WindowMemoCache` when the
+        static eligibility gates hold.
+
+        The gates keep fast-forwarding inside the closed world the
+        signature can encode (see docs/MEMOIZATION.md): the paper
+        system order (the naive ablation carries staged packets across
+        windows), local deliveries only (cluster agents clear
+        ``deliveries_local`` — a window with cross-agent traffic must
+        run for real so its outbox fills), no queue sampling (samples
+        are absolute-time pairs), no RED and no packet-mode ECMP (both
+        hash raw sequence numbers, which the per-flow rebase erases),
+        and at least one UDP flow (the per-window probe only ever
+        memoizes pure-UDP windows, so without UDP flows the cache could
+        never hit).
+        """
+        if not self.ffwd or self._memo is not None:
+            return
+        sc = self.scenario
+        from ..protocols.aqm import AqmKind
+        if (self.system_order != "paper"
+                or not self.deliveries_local
+                or self.sample_queues
+                or sc.host_egress.aqm.kind == AqmKind.RED
+                or sc.switch_egress.aqm.kind == AqmKind.RED
+                or sc.ecmp_mode == "packet"
+                or not any(f.transport == Transport.UDP for f in sc.flows)):
+            return
+        from .memo import WindowMemoCache
+        self._memo = WindowMemoCache(self)
 
     # --- calendar -------------------------------------------------------------
 
@@ -475,7 +522,9 @@ class DodEngine:
                 ran = self._drain_span(nxt, budget)
             else:
                 self._cursor = nxt
-                self.process_window(nxt)
+                memo = self._memo
+                if memo is None or not memo.run_window(nxt):
+                    self.process_window(nxt)
                 ran = 1
             self._windows_run += ran
             progressed += ran
@@ -554,9 +603,17 @@ class DodEngine:
                 delivery = (end + port.iface.delay_ps) // L
                 if delivery < bound:
                     bound = delivery
+                if bound <= first + 1:
+                    # Already degenerate — no later port can raise the
+                    # bound back up, so the rest of the scan is wasted
+                    # work (the K=8 batch regression: wide active-port
+                    # sets paid a full scan per failed span attempt).
+                    break
         if bound <= first + 1:
             self._cursor = first
-            self.process_window(first)
+            memo = self._memo
+            if memo is None or not memo.run_window(first):
+                self.process_window(first)
             return 1
         # Merged replay over [first, bound): per-window bookkeeping
         # (window_begin, breakdown rows, event counts, deliveries) is
@@ -656,8 +713,9 @@ def run_dons(
     backend: Optional[str] = None,
     telemetry: Optional[bool] = None,
     batch_windows: Optional[int] = None,
+    ffwd: Optional[bool] = None,
 ) -> SimResults:
     """Convenience one-shot run of the DOD engine."""
     return DodEngine(scenario, trace_level, workers, backend=backend,
                      telemetry=telemetry,
-                     batch_windows=batch_windows).run()
+                     batch_windows=batch_windows, ffwd=ffwd).run()

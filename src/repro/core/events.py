@@ -240,6 +240,44 @@ class EventColumns:
         bucket = self._buckets.get(win)
         return self._grouped(bucket) if bucket is not None else {}
 
+    # --- delta stage/apply (memoization support) ---------------------------
+
+    def window_entries(
+        self, win: int,
+    ) -> Optional[Tuple[List[int], List[Entry]]]:
+        """Non-consuming raw ``(nodes, payloads)`` columns of one window.
+
+        The memoization probe (:mod:`repro.core.memo`) walks the columns
+        to build the window's execution signature *before* deciding
+        whether to run or fast-forward, so unlike
+        :meth:`pop_window_columns` the bucket stays in place.
+        """
+        bucket = self._buckets.get(win)
+        if bucket is None:
+            return None
+        return bucket.nodes, bucket.payloads
+
+    def bucket_sizes(self) -> Dict[int, int]:
+        """``{window: entry count}`` over every pending bucket — the
+        capture diff's before/after snapshot of staged future events."""
+        return {win: len(b) for win, b in self._buckets.items()}
+
+    def window_slice(
+        self, win: int, start: int,
+    ) -> Optional[Tuple[List[int], List[Entry]]]:
+        """Columns of ``win`` from position ``start`` on (the entries a
+        captured window appended to a pre-existing bucket)."""
+        bucket = self._buckets.get(win)
+        if bucket is None:
+            return None
+        return bucket.nodes[start:], bucket.payloads[start:]
+
+    def discard_window(self, win: int) -> None:
+        """Drop one window's bucket without grouping it (fast-forward:
+        the delta replaces execution, so the entries are never run; the
+        occupancy-index entry was already consumed by ``next_window``)."""
+        self._buckets.pop(win, None)
+
     def items(self) -> Iterator[Tuple[int, Dict[int, List[Entry]]]]:
         """Iterate ``(window, grouped entries)`` over pending windows."""
         for win in sorted(self._buckets):

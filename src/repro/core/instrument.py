@@ -225,6 +225,15 @@ class InstrumentationBus:
                                int(getattr(recorder, "level", 0)))
         return recorder
 
+    def unsubscribe_trace(self, old: Any) -> None:
+        """Remove one trace subscriber and recompute the trace level
+        (memoization teardown; inverse of :meth:`subscribe_trace`)."""
+        self._trace_subs = [s for s in self._trace_subs if s is not old]
+        self.trace_level = max(
+            (int(getattr(s, "level", 0)) for s in self._trace_subs),
+            default=0,
+        )
+
     def replace_trace(self, old: Any, new: Any) -> Any:
         """Swap one trace subscriber for another (checkpoint restore)."""
         self._trace_subs = [s for s in self._trace_subs if s is not old]

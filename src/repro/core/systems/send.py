@@ -118,6 +118,32 @@ def store_dctcp(table, idx: int, state: DctcpState) -> None:
     store_dctcp_cols(table.columns(SENDER_COLS), idx, state)
 
 
+def udp_emission_schedule(
+    sched: UdpSchedule, seq: int, window_end: int,
+) -> Tuple[List[Tuple[int, int, int]], int, Optional[int]]:
+    """One UDP flow's window write-set as data.
+
+    Returns ``(emissions, next_seq, wakeup)`` where ``emissions`` is the
+    ``(enqueue time, seq, payload bytes)`` list of segments the flow
+    emits before ``window_end``, ``next_seq`` the advanced pacing
+    cursor, and ``wakeup`` the next enqueue time past the window (or
+    ``None`` when the schedule is exhausted).  Both the send kernel and
+    the memoization probe (:mod:`repro.core.memo`) evaluate the UDP
+    branch through this one function, so a cached window's predicted
+    emissions are the executed ones by construction.
+    """
+    out: List[Tuple[int, int, int]] = []
+    total = sched.total_segs
+    while seq < total:
+        t = sched.enqueue_time(seq)
+        if t >= window_end:
+            break
+        out.append((t, seq, sched.payload(seq)))
+        seq += 1
+    wakeup = sched.enqueue_time(seq) if seq < total else None
+    return out, seq, wakeup
+
+
 #: Per-flow events inside a window: (time, kind, row-or-None).
 FlowEvent = Tuple[int, int, Optional[Row]]
 
@@ -178,24 +204,17 @@ def send_kernel(
     events = 0
 
     if flow.transport == Transport.UDP:
-        size = flow.size_bytes
-        sched = UdpSchedule(flow_id, size, flow.start_ps,
+        sched = UdpSchedule(flow_id, flow.size_bytes, flow.start_ps,
                             topo.host_iface(flow.src).rate_bps)
         udp_col = cols["udp_next_seq"]
-        seq = udp_col[sidx]
-        total = sched.total_segs
-        while seq < total:
-            t = sched.enqueue_time(seq)
-            if t >= window_end:
-                break
-            row = data_row(flow_id, seq, sched.payload(seq), t,
-                           flow.src, flow.dst)
-            out.append((t, PRIO_FLOW_START, row))
-            events += 1
-            seq += 1
+        ems, seq, udp_wakeup = udp_emission_schedule(
+            sched, udp_col[sidx], window_end)
+        for t, s, payload in ems:
+            out.append((t, PRIO_FLOW_START,
+                        data_row(flow_id, s, payload, t,
+                                 flow.src, flow.dst)))
         udp_col[sidx] = seq
-        udp_wakeup = sched.enqueue_time(seq) if seq < total else None
-        return flow_id, out, rtts, None, udp_wakeup, events
+        return flow_id, out, rtts, None, udp_wakeup, len(ems)
 
     # --- window CCA (DCTCP / RENO): per-flow chronological replay ---
     state = load_dctcp_cols(cols, sidx, scenario.cca_params(flow.transport))

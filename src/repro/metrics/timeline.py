@@ -44,7 +44,10 @@ __all__ = [
 ]
 
 #: Version stamp shared by every telemetry artifact this layer writes.
-TELEMETRY_SCHEMA_VERSION = 1
+#: v2: perf-smoke reports grew the fast-forward entries (dons_steady_s,
+#: dons_ffwd_s, ratio_ffwd_over_plain, ffwd_hits, batch_best_k) and the
+#: counter set gained the memo.* family with the memo.apply_ms histogram.
+TELEMETRY_SCHEMA_VERSION = 2
 TIMELINE_FORMAT = "chrome-trace-events"
 MANIFEST_FORMAT = "repro-run-manifest-v1"
 

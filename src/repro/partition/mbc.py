@@ -77,7 +77,12 @@ def _grow_seed(
     for n in nodes:
         if n not in visited:
             order.append(n)
-    for u in order:
+    # Never swallow the whole graph: when the weight is concentrated on
+    # the tail of the BFS order (e.g. all-zero weights up to the last
+    # node), the greedy fill would otherwise take every node before the
+    # half-weight test could stop it.  Leaving the final node on side B
+    # keeps the seed a true bisection; the KL passes rebalance it.
+    for u in order[:-1]:
         if weight >= total / 2.0:
             break
         side.add(u)

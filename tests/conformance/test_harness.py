@@ -13,7 +13,8 @@ from repro.conformance.generator import (
     ScenarioSpec, generate_spec, shrink, shrink_candidates,
 )
 from repro.conformance.inject import (
-    flipped_transmit_order, stale_window_index, unstable_transmit_sort,
+    flipped_transmit_order, stale_cache_delta, stale_window_index,
+    unstable_transmit_sort,
 )
 from repro.conformance.invariants import check_invariants
 from repro.conformance.oracles import run_oracle
@@ -26,6 +27,10 @@ FAST_ORACLES = ("ood", "dons")
 #: The vectorized-backend drill needs an oracle that actually runs the
 #: NumPy engine, whatever REPRO_BACKEND says.
 NUMPY_ORACLES = ("ood", "dons-numpy")
+#: The memo-cache drill needs the fast-forward engine; corruption is
+#: only observable on cache *hits*, so the fuzz stream must contain
+#: steady-traffic specs that actually hit (seed 100 does, early).
+FFWD_ORACLES = ("ood", "dons-numpy-ffwd")
 
 SMALL = ScenarioSpec(seed=7, topology="dumbbell", topo_arg=2,
                      traffic="fixed", n_flows=4, flow_kb=30)
@@ -200,6 +205,37 @@ class TestFuzzLoop:
         with unstable_transmit_sort():
             assert not replay_file(result.artifact, NUMPY_ORACLES).ok
         assert replay_file(result.artifact, NUMPY_ORACLES).ok
+
+    def test_planted_stale_cache_delta_is_caught_and_shrunk(
+            self, tmp_path, monkeypatch):
+        """The memoization drill: poison each captured window delta so
+        cache hits replay a wrong write-set.  Executed windows stay
+        byte-correct — only fast-forwarded replays diverge — so the bug
+        is invisible to every oracle except ``dons-numpy-ffwd`` on a
+        workload whose window signatures repeat."""
+        # The drill's contrast depends on exactly one oracle running the
+        # memo; a CI matrix row exporting REPRO_FFWD=1 would otherwise
+        # fast-forward the "clean" oracles into the poisoned cache too.
+        monkeypatch.delenv("REPRO_FFWD", raising=False)
+        with stale_cache_delta():
+            result = fuzz(100, 25, FFWD_ORACLES, do_shrink=True,
+                          artifact_dir=tmp_path)
+        assert not result.ok, "planted bug survived 25 fuzz runs"
+        assert result.shrunk is not None
+        assert result.shrunk.spec.num_nodes() <= 8
+        div = result.shrunk.divergences[0]
+        assert div.window is not None and div.system and div.entity
+
+        # Engines without the fast-forward cache never read a poisoned
+        # delta: the same fuzz stream stays clean without the oracle.
+        with stale_cache_delta():
+            assert fuzz(100, 4, NUMPY_ORACLES).ok
+
+        # The artifact replays: still failing under the bug, clean after.
+        assert result.artifact is not None and result.artifact.exists()
+        with stale_cache_delta():
+            assert not replay_file(result.artifact, FFWD_ORACLES).ok
+        assert replay_file(result.artifact, FFWD_ORACLES).ok
 
     def test_artifact_round_trip(self, tmp_path):
         report = check_spec(SMALL, FAST_ORACLES)

@@ -124,12 +124,36 @@ class TestTelemetryCommands:
         events = validate_timeline_file(str(out))
         assert {e["pid"] for e in events} == {0, 1, 2}
 
+    def test_profile_ffwd_flag(self, capsys):
+        import json
+        udp = ["--topology", "dumbbell:2",
+               "--flows", "fixed:n=2,size=60000,transport=udp"]
+        rc = main(["profile", *udp, "--ffwd", "--json"])
+        assert rc == 0
+        counters = json.loads(capsys.readouterr().out)["counters"]
+        assert any(k.startswith("memo.") for k in counters)
+        rc = main(["profile", *udp, "--no-ffwd", "--json"])
+        assert rc == 0
+        counters = json.loads(capsys.readouterr().out)["counters"]
+        assert not any(k.startswith("memo.") for k in counters)
+
+    def test_profile_ffwd_env_default(self, capsys, monkeypatch):
+        import json
+        monkeypatch.setenv("REPRO_FFWD", "1")
+        udp = ["--topology", "dumbbell:2",
+               "--flows", "fixed:n=2,size=60000,transport=udp"]
+        rc = main(["profile", *udp, "--json"])
+        assert rc == 0
+        counters = json.loads(capsys.readouterr().out)["counters"]
+        assert any(k.startswith("memo.") for k in counters)
+
     def test_stats_json_stdout(self, capsys):
         import json
         rc = main(["stats", *self.ARGS])
         assert rc == 0
         report = json.loads(capsys.readouterr().out)
-        assert report["schema_version"] == 1
+        from repro.metrics.timeline import TELEMETRY_SCHEMA_VERSION
+        assert report["schema_version"] == TELEMETRY_SCHEMA_VERSION
         assert "flow.completion_time_us" in report["metrics"]["histograms"]
 
     def test_stats_csv_to_file_with_manifest(self, tmp_path, capsys):

@@ -18,6 +18,12 @@ instrumented run (``ratio_telemetry_over_plain``) must stay under
 ``TELEMETRY_GATE`` and must reproduce the plain run's event counts
 exactly.
 
+The window-signature memo (``repro.core.memo``) is gated on a separate
+steady-state UDP scenario where its hit rate is near 100%: the
+fast-forwarded run must reproduce the plain run's event counts exactly,
+record a nonzero hit count, and keep ``ratio_ffwd_over_plain`` under
+``FFWD_GATE``.
+
 Wall-clock is machine-dependent, so the regression check is *relative*:
 the dons/ood time ratio of this run is compared against the baseline's
 ratio — the OOD engine acts as the per-machine speed calibration, the
@@ -59,6 +65,13 @@ TELEMETRY_GATE = 1.15
 #: original target for this work was 0.5 — the measured best is ~0.55,
 #: so the gate encodes what the code actually achieves.)
 NUMPY_GATE = 0.75
+#: Standing gate on the window-signature memo (repro.core.memo): the
+#: fast-forwarded steady-state run over the plain run of the same
+#: scenario on the reference backend, paired per repeat.  Measured
+#: 0.34–0.40 on the reference machine (>99% hit rate, validation every
+#: 32nd hit); the gate sits at the 2x-speedup mark the memo exists to
+#: clear.
+FFWD_GATE = 0.5
 
 
 def smoke_scenario():
@@ -99,9 +112,10 @@ def measure() -> dict:
     conformance ``check_spec`` on a fixed spec (the fuzz-runner entry:
     FULL-trace oracle runs + diff + invariants, so harness overhead is
     tracked like any other hot path)."""
+    from repro.bench.scenarios import steady_state_scenario
     from repro.cluster import DonsManager
     from repro.conformance.runner import check_spec
-    from repro.core.engine import run_dons
+    from repro.core.engine import DodEngine, run_dons
     from repro.des import run_baseline
     from repro.des.partition_types import contiguous_partition
     from repro.partition import ClusterSpec
@@ -115,13 +129,16 @@ def measure() -> dict:
     from repro.metrics.timeline import TELEMETRY_SCHEMA_VERSION
 
     scenario = smoke_scenario()
+    steady = steady_state_scenario()
     partition = contiguous_partition(scenario.topology, 2)
     fuzz_spec = fuzz_runner_spec()
     ood_s, dons_s, numpy_s, cluster_s, fuzz_s = [], [], [], [], []
     telem_s = []
+    steady_s, ffwd_s = [], []
     batch_s = {1: [], 4: [], 8: []}
     ood_res = dons_res = numpy_res = cluster_run = fuzz_report = None
-    telem_res = batched_res = None
+    telem_res = batched_res = steady_res = ffwd_res = None
+    ffwd_hits = 0
     for _ in range(REPEATS):
         t0 = time.perf_counter()
         ood_res = run_baseline(scenario)
@@ -146,6 +163,20 @@ def measure() -> dict:
                 elif k == 8:
                     batched_res = res
             numpy_s = batch_s[1]
+        # The fast-forward entries run the steady-state UDP scenario on
+        # the reference backend, plain vs memoized, pinned like the
+        # others so a CI matrix exporting REPRO_FFWD cannot change what
+        # is timed.
+        t0 = time.perf_counter()
+        steady_res = run_dons(steady, backend="python", batch_windows=1,
+                              ffwd=False)
+        steady_s.append(time.perf_counter() - t0)
+        eng = DodEngine(steady, backend="python", batch_windows=1,
+                        ffwd=True)
+        t0 = time.perf_counter()
+        ffwd_res = eng.run()
+        ffwd_s.append(time.perf_counter() - t0)
+        ffwd_hits = eng.bus.counters.get("memo.hit", 0)
         t0 = time.perf_counter()
         cluster_run = DonsManager(scenario, ClusterSpec.homogeneous(2)).run(
             partition=partition)
@@ -164,12 +195,21 @@ def measure() -> dict:
         "dons_numpy_batched_s": min(batch_s[8]) if batch_s[8] else None,
         "batch_scaling": ({str(k): min(v) for k, v in batch_s.items()}
                           if batch_s[1] else None),
+        "batch_best_k": (min(batch_s, key=lambda k: min(batch_s[k]))
+                         if batch_s[1] else None),
+        "dons_steady_s": min(steady_s),
+        "dons_ffwd_s": min(ffwd_s),
         "cluster_s": min(cluster_s),
         "ratio_dons_over_ood": min(dons_s) / min(ood_s),
         "ratio_telemetry_over_plain": min(telem_s) / min(dons_s),
         "ratio_numpy_over_python": (min(numpy_s) / min(dons_s)
                                     if numpy_s else None),
         "ratio_cluster_over_dons": min(cluster_s) / min(dons_s),
+        # Paired per-repeat ratio: each ffwd run is divided by the plain
+        # run measured beside it in the same iteration, so machine-load
+        # drift across repeats cannot pair a fast plain with a slow ffwd
+        # (or vice versa) the way min()/min() would.
+        "ratio_ffwd_over_plain": min(f / p for f, p in zip(ffwd_s, steady_s)),
         "fuzz_s": min(fuzz_s),
         "ratio_fuzz_over_ood": min(fuzz_s) / min(ood_s),
         "ood_events": _events(ood_res),
@@ -180,6 +220,9 @@ def measure() -> dict:
                                       if batched_res else None),
         "cluster_events": _events(cluster_run.results),
         "cluster_windows": cluster_run.traffic.windows,
+        "dons_steady_events": _events(steady_res),
+        "dons_ffwd_events": _events(ffwd_res),
+        "ffwd_hits": ffwd_hits,
         "fuzz_ok": fuzz_report.ok,
         "fuzz_entries": fuzz_report.entry_counts.get("dons", 0),
     }
@@ -208,7 +251,13 @@ def main(argv=None) -> int:
         print(f"numpy    : {report['dons_numpy_s']:.3f}s  "
               f"({report['dons_numpy_events']['total']} events)")
         print(f"numpy K=8: {report['dons_numpy_batched_s']:.3f}s  "
-              f"(scaling {report['batch_scaling']})")
+              f"(scaling {report['batch_scaling']}, "
+              f"best K={report['batch_best_k']})")
+    print(f"steady   : {report['dons_steady_s']:.3f}s  "
+          f"({report['dons_steady_events']['total']} events)")
+    print(f"ffwd     : {report['dons_ffwd_s']:.3f}s  "
+          f"(ratio {report['ratio_ffwd_over_plain']:.3f}, "
+          f"gate {FFWD_GATE:.2f}, {report['ffwd_hits']} hits)")
     print(f"cluster2 : {report['cluster_s']:.3f}s  "
           f"({report['cluster_events']['total']} events, "
           f"{report['cluster_windows']} windows)")
@@ -265,6 +314,27 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 1
 
+    # The memo engine's standing gates (not baseline-relative): the
+    # fast-forwarded steady-state run must reproduce the plain run's
+    # event counts exactly, must actually hit the cache, and must beat
+    # the plain run by the FFWD_GATE margin.
+    if report["dons_ffwd_events"] != report["dons_steady_events"]:
+        print(f"FAIL: fast-forward changed the simulation: "
+              f"{report['dons_ffwd_events']} != "
+              f"{report['dons_steady_events']}", file=sys.stderr)
+        return 1
+    if report["ffwd_hits"] == 0:
+        print("FAIL: fast-forward run recorded zero memo hits — the "
+              "steady-state scenario no longer exercises the cache",
+              file=sys.stderr)
+        return 1
+    if report["ratio_ffwd_over_plain"] >= FFWD_GATE:
+        print(f"FAIL: ffwd/plain ratio "
+              f"{report['ratio_ffwd_over_plain']:.3f} >= {FFWD_GATE} — "
+              f"the memo engine must fast-forward steady-state traffic "
+              f"by the standing margin", file=sys.stderr)
+        return 1
+
     if args.record or not os.path.exists(BASELINE):
         with open(BASELINE, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -278,7 +348,8 @@ def main(argv=None) -> int:
         base = json.load(fh)
     failures = []
     for key in ("ood_events", "dons_events", "dons_numpy_events",
-                "dons_numpy_batched_events", "cluster_events"):
+                "dons_numpy_batched_events", "cluster_events",
+                "dons_steady_events", "dons_ffwd_events"):
         if report[key] != base.get(key, report[key]):
             failures.append(f"{key} changed: {base[key]} -> {report[key]}")
     if report["cluster_windows"] != base.get("cluster_windows",
