@@ -453,7 +453,7 @@ def make_parser() -> argparse.ArgumentParser:
     profile.add_argument("--cluster", type=int, default=0, metavar="N",
                          help="distribute over N agents; rows come from "
                               "the merged cluster bus tagged a<id>:system")
-    profile.add_argument("--transport", choices=["local", "process"],
+    profile.add_argument("--transport", choices=["local", "process", "shm"],
                          default="local",
                          help="how cluster agents are hosted (with --cluster)")
     profile.add_argument("--timeline", metavar="FILE",
@@ -475,7 +475,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="run with telemetry and dump counters / gauges / histograms")
     stats.add_argument("--cluster", type=int, default=0, metavar="N",
                        help="distribute over N agents")
-    stats.add_argument("--transport", choices=["local", "process"],
+    stats.add_argument("--transport", choices=["local", "process", "shm"],
                        default="local",
                        help="how cluster agents are hosted (with --cluster)")
     stats.add_argument("--out", metavar="FILE",

@@ -42,6 +42,11 @@ class AgentSpec:
     #: Span recording + metric sampling on the agent's bus; the spans
     #: come back in the AgentReport and merge into the cluster timeline.
     telemetry: bool = False
+    #: PARSIR-style placement: pin the hosting worker process to this
+    #: CPU at startup (``None`` = leave scheduling to the OS).  Set by
+    #: the ProcessTransport when pinning is enabled; purely an execution
+    #: hint, never part of simulation state.
+    pin_cpu: Optional[int] = None
 
     def make(self) -> "AgentEngine":
         return AgentEngine(self.agent_id, self.scenario, self.partition,

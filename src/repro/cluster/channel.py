@@ -37,6 +37,10 @@ class RpcChannel:
     bytes_sent: int = 0
     #: in-flight batch: (arrival_time_ps, node, row) records
     pending: List[Tuple[int, int, Row]] = field(default_factory=list)
+    #: sequence number stamped on the next drained batch — strictly
+    #: increasing, so the receiver's ChannelSequencer can reject a
+    #: reordered or replayed flush no matter how the transport pipelines.
+    next_seq: int = 1
 
     def send_batch(self, records: List[Tuple[int, int, Row]]) -> None:
         """One RPC carrying a window's worth of packets (§4.2: "it sends
@@ -52,6 +56,12 @@ class RpcChannel:
         out = self.pending
         self.pending = []
         return out
+
+    def drain_with_seq(self) -> Tuple[List[Tuple[int, int, Row]], int]:
+        """Drain plus this batch's channel sequence number."""
+        seq = self.next_seq
+        self.next_seq += 1
+        return self.drain(), seq
 
 
 class ChannelMap:

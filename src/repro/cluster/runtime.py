@@ -230,7 +230,8 @@ class ClusterEngine:
             self.fault.fired = True
             transport.kill(self.fault.agent)
 
-        outboxes = transport.run_window_all(window)
+        outboxes = transport.run_window_all(
+            window, self._active_mask(peeks, window))
         for agent_id, out in enumerate(outboxes):
             if isinstance(out, AgentFailure):
                 outboxes[agent_id] = self._recover(agent_id, window)
@@ -258,6 +259,28 @@ class ClusterEngine:
                     and len(self._windows_since_snap) >= self.checkpoint_every):
                 self._take_snapshots(window)
         return True
+
+    def _active_mask(self, peeks: List[Optional[int]],
+                     window: int) -> Optional[List[bool]]:
+        """Which agents actually have work this window.
+
+        An agent whose peek is beyond the agreed window has nothing
+        scheduled — no pending entries, no busy ports — so running the
+        window there is a provable no-op and the transport skips the
+        command round-trip.  A dead agent must still be dispatched (the
+        failure is what triggers recovery), and a pending migration
+        rewrites agent state behind the peeks' back, so no skipping
+        while one is scheduled.  ``None`` means everyone runs.
+        """
+        if self.schedule:
+            return None
+        transport = self.transport
+        mask = [
+            (peek is not None and peek <= window)
+            or not transport.alive(agent_id)
+            for agent_id, peek in enumerate(peeks)
+        ]
+        return None if all(mask) else mask
 
     def _advance_span(self, window: int, horizon: int, _w0: float) -> bool:
         """Barrier-free batched span: every agent runs its scheduled

@@ -1,0 +1,471 @@
+"""Zero-copy shared-memory framing for the process transport (PR 8).
+
+The :class:`~repro.cluster.transport.ProcessTransport` used to move
+every window batch, snapshot and restore payload through its command
+pipe pickled.  This module gives it a second lane: named
+``multiprocessing.shared_memory`` segments the coordinator creates at
+launch, into which batches are written as raw ``int64`` column slices
+with a compact struct-packed framing — the pipe then carries only a
+``("shm", seq)`` reference.  Pickle remains the fallback for payloads
+that do not fit a slot (or when shared memory is off), so correctness
+never depends on the fast path.
+
+Layout of one *ring* (one direction of one coordinator<->worker pair)::
+
+    [0:8)   slot_bytes          geometry, written once at create
+    [8:16)  n_slots
+    then n_slots slots, each:
+      [0:8)   commit word: the frame's sequence number, written LAST —
+              a reader that finds anything but the seq it was told to
+              read caught a torn (half-written) frame
+      [8:32)  frame header <qqq>: kind, count, payload length
+      [32:..) payload
+
+A writer may reuse slot ``seq % n_slots`` only once it knows the reader
+consumed ``seq - n_slots`` (ack-by-sequence, inferred from the command
+protocol's reply ordering); when no slot is free — or the payload is
+too large — the caller falls back to the pipe instead of blocking, so
+the ring can never deadlock the window protocol.
+
+Record framing: one delivery ``(arrival_ps, node, row)`` is exactly
+``2 + len(ROW_FIELDS)`` little-endian int64 words.  Cross-agent accept
+batches are framed as per-channel *sections* ``(src, chan_seq,
+records)``; every channel's ``chan_seq`` is strictly monotone, which is
+what lets the worker-side :class:`ChannelSequencer` reject reordered or
+replayed batches no matter how flushes and acks interleave.
+
+``unpack_records`` is deliberately a module-level hook: the conformance
+suite's planted bug ``inject.torn_shm_read`` swaps it for one that
+truncates multi-record frames — what a reader racing the writer past
+the commit word would observe — and the fuzz loop must catch the loss.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import struct
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ClusterError
+from ..protocols.packet import ROW_FIELDS, Row
+
+#: Every segment this package creates starts with this prefix — the
+#: conftest reaper and :func:`reap_orphans` key on it.
+SEGMENT_PREFIX = "dons-shm-"
+
+#: Frame kinds.
+KIND_OUTBOX = 1    #: worker -> coordinator: one window's outbox
+KIND_SECTIONS = 2  #: coordinator -> worker: per-channel accept sections
+KIND_BYTES = 3     #: opaque blob (checkpoint payloads)
+KIND_PICKLE = 4    #: pickled object (non-columnar fallback payload)
+
+#: One record = (arrival_ps, node, *row) as little-endian int64 words.
+WORDS_PER_RECORD = 2 + len(ROW_FIELDS)
+RECORD_BYTES = 8 * WORDS_PER_RECORD
+
+_GEOMETRY = struct.Struct("<qq")     # slot_bytes, n_slots
+_COMMIT = struct.Struct("<q")        # sequence number, written last
+_HEADER = struct.Struct("<qqq")      # kind, count, payload_len
+_SLOT_OVERHEAD = _COMMIT.size + _HEADER.size
+
+DEFAULT_SLOT_BYTES = 1 << 20
+DEFAULT_SLOTS = 4
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
+
+
+def default_slot_bytes() -> int:
+    return max(4096, _env_int("REPRO_SHM_SLOT_BYTES", DEFAULT_SLOT_BYTES))
+
+
+def default_slots() -> int:
+    return max(2, _env_int("REPRO_SHM_SLOTS", DEFAULT_SLOTS))
+
+
+class TornFrameError(ClusterError):
+    """A reader observed a slot whose commit word is not the frame it
+    was told to read — the write was torn or the protocol desynced."""
+
+
+class SequenceError(ClusterError):
+    """A channel delivered a batch out of sequence (reordered/replayed)."""
+
+
+class RingFull(ClusterError):
+    """No free slot — the caller must take the pipe fallback."""
+
+
+# --- record / batch framing -------------------------------------------------
+
+def pack_records(records: Sequence[Tuple[int, int, Row]]) -> bytes:
+    """Flatten delivery records into little-endian int64 words."""
+    flat: List[int] = []
+    for t, node, row in records:
+        flat.append(t)
+        flat.append(node)
+        flat.extend(row)
+    return struct.pack(f"<{len(flat)}q", *flat)
+
+
+def unpack_records(view, count: int) -> List[Tuple[int, int, Row]]:
+    """Rebuild delivery records from a packed frame payload.
+
+    Module-level on purpose: ``inject.torn_shm_read`` patches this to
+    model a reader that raced the writer (see module doc).
+    """
+    flat = struct.unpack_from(f"<{count * WORDS_PER_RECORD}q", view, 0)
+    out: List[Tuple[int, int, Row]] = []
+    k = 0
+    for _ in range(count):
+        out.append((flat[k], flat[k + 1],
+                    tuple(flat[k + 2:k + WORDS_PER_RECORD])))
+        k += WORDS_PER_RECORD
+    return out
+
+
+def records_fit(count: int, capacity: int, extra_words: int = 0) -> bool:
+    return count * RECORD_BYTES + 8 * extra_words <= capacity
+
+
+def pack_outbox(outbox: Dict[int, List[Tuple[int, int, Row]]]) -> bytes:
+    """``{dst: records}`` as ``n_dsts, (dst, count, records)*``."""
+    parts = [struct.pack("<q", len(outbox))]
+    for dst in sorted(outbox):
+        records = outbox[dst]
+        parts.append(struct.pack("<qq", dst, len(records)))
+        parts.append(pack_records(records))
+    return b"".join(parts)
+
+
+def outbox_record_count(outbox: Dict[int, List[Tuple[int, int, Row]]]) -> int:
+    return sum(len(records) for records in outbox.values())
+
+
+def unpack_outbox(view) -> Dict[int, List[Tuple[int, int, Row]]]:
+    (n_dsts,) = struct.unpack_from("<q", view, 0)
+    off = 8
+    out: Dict[int, List[Tuple[int, int, Row]]] = {}
+    for _ in range(n_dsts):
+        dst, count = struct.unpack_from("<qq", view, off)
+        off += 16
+        out[dst] = unpack_records(memoryview(view)[off:], count)
+        off += count * RECORD_BYTES
+    return out
+
+
+#: One accept section: (src agent, per-channel batch seq, records).
+Section = Tuple[int, int, List[Tuple[int, int, Row]]]
+
+
+def pack_sections(sections: Sequence[Section]) -> bytes:
+    """Per-channel accept sections, concatenated in ``src`` order."""
+    parts = [struct.pack("<q", len(sections))]
+    for src, chan_seq, records in sections:
+        parts.append(struct.pack("<qqq", src, chan_seq, len(records)))
+        parts.append(pack_records(records))
+    return b"".join(parts)
+
+
+def sections_record_count(sections: Sequence[Section]) -> int:
+    return sum(len(records) for _, _, records in sections)
+
+
+def unpack_sections(view) -> List[Section]:
+    (n_sections,) = struct.unpack_from("<q", view, 0)
+    off = 8
+    out: List[Section] = []
+    for _ in range(n_sections):
+        src, chan_seq, count = struct.unpack_from("<qqq", view, off)
+        off += 24
+        out.append((src, chan_seq,
+                    unpack_records(memoryview(view)[off:], count)))
+        off += count * RECORD_BYTES
+    return out
+
+
+class ChannelSequencer:
+    """Receiver-side monotonicity guard for per-channel batch sequences.
+
+    Every directed channel stamps its drained batches with a strictly
+    increasing sequence number (:meth:`RpcChannel.drain_with_seq`); the
+    receiving agent feeds each section through :meth:`observe`, which
+    raises :class:`SequenceError` on any regression or replay.  A fresh
+    sequencer (a restored agent) accepts any first value per channel —
+    recovery replays arrive as administrative batches (``src == -1``)
+    that bypass the guard.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[int, int] = {}
+
+    def observe(self, src: int, chan_seq: int) -> None:
+        if src < 0:
+            return  # administrative replay, outside channel sequencing
+        last = self._last.get(src)
+        if last is not None and chan_seq <= last:
+            raise SequenceError(
+                f"channel {src}: batch seq {chan_seq} after {last} "
+                "(reordered or replayed)"
+            )
+        self._last[src] = chan_seq
+
+
+# --- shared-memory ring -----------------------------------------------------
+
+def _spawn_world() -> bool:
+    """True when worker processes get their *own* resource tracker.
+
+    Under the fork start method (what the transport prefers) every
+    process inherits the parent's tracker: its name set dedupes the
+    attach-time re-registration, so the built-in accounting is already
+    exactly-once and an explicit unregister would double-remove (the
+    tracker prints a KeyError).  Under spawn each process tracks
+    independently, and an attacher *must* unregister or its tracker
+    will unlink — and warn about — a segment it never owned.
+    """
+    import multiprocessing
+    return "fork" not in multiprocessing.get_all_start_methods()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach without adopting unlink duty.
+
+    Python 3.11's ``SharedMemory`` registers the name with the attaching
+    process's resource tracker too; creators own the unlink, so spawned
+    attachers unregister (see :func:`_spawn_world` for why forked ones
+    must not).
+    """
+    seg = shared_memory.SharedMemory(name=name)
+    if _spawn_world():  # pragma: no cover - non-fork platforms
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+    return seg
+
+
+def _disown_segment(seg: shared_memory.SharedMemory) -> None:
+    """Hand a created segment's unlink duty to the peer process."""
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker not running
+        pass
+
+
+def _fresh_name(tag: str) -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{tag}-{secrets.token_hex(4)}"
+
+
+class ShmRing:
+    """One direction of framed slots inside one shared segment.
+
+    The creating side (the coordinator) may act as writer or reader —
+    each process uses only one role per ring.  ``next_seq`` starts at 1;
+    slot for seq ``s`` is ``(s - 1) % n_slots``.
+    """
+
+    def __init__(self, seg: shared_memory.SharedMemory, slot_bytes: int,
+                 n_slots: int, created: bool) -> None:
+        self._seg = seg
+        self.name = seg.name
+        self.slot_bytes = slot_bytes
+        self.n_slots = n_slots
+        self._created = created
+        self.unlinked = False
+        self._closed = False
+        # writer state
+        self.next_seq = 1
+        self.consumed_floor = 0   # highest seq known consumed by reader
+        # reader state
+        self.last_read = 0
+
+    # -- lifecycle --
+
+    @classmethod
+    def create(cls, tag: str, slot_bytes: Optional[int] = None,
+               n_slots: Optional[int] = None) -> "ShmRing":
+        slot_bytes = slot_bytes or default_slot_bytes()
+        n_slots = n_slots or default_slots()
+        size = _GEOMETRY.size + n_slots * (_COMMIT.size + slot_bytes)
+        seg = shared_memory.SharedMemory(
+            create=True, size=size, name=_fresh_name(tag))
+        _GEOMETRY.pack_into(seg.buf, 0, slot_bytes, n_slots)
+        # Zero every commit word so a reader can never mistake leftover
+        # kernel page contents for a committed frame.
+        for k in range(n_slots):
+            _COMMIT.pack_into(seg.buf, cls._slot_off(slot_bytes, k), 0)
+        return cls(seg, slot_bytes, n_slots, created=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        seg = _attach_segment(name)
+        slot_bytes, n_slots = _GEOMETRY.unpack_from(seg.buf, 0)
+        return cls(seg, slot_bytes, n_slots, created=False)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._seg.close()
+        except BufferError:  # pragma: no cover - a view outlived us
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name; exactly-once (idempotent re-calls)."""
+        if self.unlinked or not self._created:
+            return
+        self.unlinked = True
+        try:
+            self._seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - reaped externally
+            pass
+
+    # -- geometry --
+
+    @staticmethod
+    def _slot_off(slot_bytes: int, k: int) -> int:
+        return _GEOMETRY.size + k * (_COMMIT.size + slot_bytes)
+
+    @property
+    def frame_capacity(self) -> int:
+        """Max payload bytes one frame can carry."""
+        return self.slot_bytes - _HEADER.size
+
+    # -- writer role --
+
+    def can_write(self) -> bool:
+        return (self.next_seq - 1) - self.consumed_floor < self.n_slots
+
+    def mark_consumed(self, seq: int) -> None:
+        if seq > self.consumed_floor:
+            self.consumed_floor = seq
+
+    def write_frame(self, kind: int, count: int,
+                    parts: Iterable) -> int:
+        """Publish one frame; payload is the concatenation of ``parts``
+        (bytes-like, copied straight into the slot).  Returns the frame's
+        sequence number; raises :class:`RingFull` when no slot is free —
+        the caller then takes the pipe fallback."""
+        if not self.can_write():
+            raise RingFull(
+                f"ring {self.name}: {self.n_slots} slots in flight")
+        seq = self.next_seq
+        base = self._slot_off(self.slot_bytes, (seq - 1) % self.n_slots)
+        buf = self._seg.buf
+        _COMMIT.pack_into(buf, base, 0)  # invalidate before overwriting
+        off = base + _COMMIT.size + _HEADER.size
+        total = 0
+        for part in parts:
+            mv = memoryview(part).cast("B")
+            n = mv.nbytes
+            if total + n > self.frame_capacity:
+                raise ClusterError(
+                    f"frame overflows slot ({total + n} > "
+                    f"{self.frame_capacity}); callers must size-check")
+            buf[off:off + n] = mv
+            off += n
+            total += n
+        _HEADER.pack_into(buf, base + _COMMIT.size, kind, count, total)
+        _COMMIT.pack_into(buf, base, seq)  # commit: published last
+        self.next_seq = seq + 1
+        return seq
+
+    # -- reader role --
+
+    def read_frame(self, seq: int):
+        """The frame published as ``seq``: ``(kind, count, payload_view)``.
+
+        The returned view aliases the slot — decode before the writer
+        can reuse it (the command protocol guarantees the writer waits
+        for our side's next message).
+        """
+        base = self._slot_off(self.slot_bytes, (seq - 1) % self.n_slots)
+        buf = self._seg.buf
+        (commit,) = _COMMIT.unpack_from(buf, base)
+        if commit != seq:
+            raise TornFrameError(
+                f"ring {self.name}: slot holds frame {commit}, "
+                f"expected {seq} (torn write or protocol desync)")
+        kind, count, length = _HEADER.unpack_from(buf, base + _COMMIT.size)
+        start = base + _COMMIT.size + _HEADER.size
+        self.last_read = max(self.last_read, seq)
+        return kind, count, memoryview(buf)[start:start + length]
+
+
+# --- one-off blob segments (checkpoint payloads) ----------------------------
+
+def write_blob(tag: str, parts: Sequence) -> Tuple[str, int]:
+    """Copy ``parts`` into a fresh named segment for the peer to read.
+
+    The *reader* unlinks (attach -> copy -> unlink), so the creating
+    process disowns the name from its resource tracker; a crash before
+    the read leaves an orphan for :func:`reap_orphans`.
+    """
+    views = [memoryview(p).cast("B") for p in parts]
+    total = sum(v.nbytes for v in views)
+    seg = shared_memory.SharedMemory(
+        create=True, size=max(1, total), name=_fresh_name(tag))
+    off = 0
+    for view in views:
+        seg.buf[off:off + view.nbytes] = view
+        off += view.nbytes
+    _disown_segment(seg)
+    seg.close()
+    return seg.name, total
+
+
+def read_blob(name: str, nbytes: int) -> bytes:
+    """Consume a blob segment: copy out, unlink, close."""
+    seg = _attach_segment(name)
+    try:
+        payload = bytes(seg.buf[:nbytes])
+    finally:
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        seg.close()
+    return payload
+
+
+# --- orphan reaping ---------------------------------------------------------
+
+def list_orphans() -> List[str]:
+    """Names of this package's segments still present in ``/dev/shm``."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX host
+        return []
+    return sorted(
+        entry for entry in os.listdir(shm_dir)
+        if entry.startswith(SEGMENT_PREFIX)
+    )
+
+
+def reap_orphans() -> List[str]:
+    """Unlink every leftover segment; returns the reaped names.
+
+    The conftest worker-reaper calls this after each test so a failing
+    test cannot strand segments for the rest of the session.
+    """
+    reaped = []
+    for name in list_orphans():
+        try:
+            seg = _attach_segment(name)
+        except FileNotFoundError:  # pragma: no cover - raced another reaper
+            continue
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        seg.close()
+        reaped.append(name)
+    return reaped

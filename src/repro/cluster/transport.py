@@ -12,34 +12,70 @@ batched RPCs between them.  Two implementations:
 * :class:`ProcessTransport` — every agent runs in its own
   ``multiprocessing`` worker; window commands fan out to all workers
   before any reply is collected, so agents execute their lookahead
-  batches concurrently without sharing a GIL.  Window batches, snapshots
-  and results cross the pipe pickled.
+  batches concurrently without sharing a GIL.
 
-Both route every batch through a lazily-created
+The ProcessTransport window protocol is *pipelined* (PR 8):
+
+* **Async accepts.**  Cross-agent batches are fire-and-forget commands —
+  the pipe's FIFO ordering guarantees a worker installs ``accept`` for
+  window N before it sees the ``window N+1`` command, so the coordinator
+  never blocks on a delivery round-trip.  Worker-side errors are
+  deferred to the next replying command.
+* **Peek piggybacking.**  Every ``window`` reply carries the agent's
+  next ``peek_next_window``; the coordinator caches it and updates the
+  cache itself when it forwards deliveries (arrival window ``t // L``,
+  exact under the lookahead discipline), so the per-window peek round
+  disappears in steady state.
+* **Shared-memory framing** (``shm=True`` / ``REPRO_TRANSPORT_SHM=1``).
+  Outboxes and accept batches move as struct-packed int64 column slices
+  through per-worker double-buffered :class:`~repro.cluster.shm.ShmRing`
+  segments — the pipe carries only ``("shm", seq)`` references, with
+  ack-by-sequence slot reuse inferred from the command protocol.
+  Checkpoint payloads travel as one-off blob segments holding a
+  pickle-protocol-5 out-of-band container (raw column buffers, no
+  pickling of array data).  Anything that does not fit a slot falls back
+  to the pickled pipe path, counted as ``transport.shm_fallbacks``.
+* **CPU pinning** (``pin_cpus=True`` / ``REPRO_PIN_CPUS=1``).  Each
+  worker pins itself to core ``agent_id % cpu_count`` at startup
+  (PARSIR-style contention-free placement); a no-op where
+  ``sched_setaffinity`` is unavailable.
+
+Both transports route every batch through a lazily-created
 :class:`~repro.cluster.channel.RpcChannel` (one per directed pair that
 actually communicates), so the traffic accounting — records, bytes,
-FINISH signals — is identical whichever transport runs the agents.
+FINISH signals — is identical whichever transport runs the agents, and
+every drained batch carries the channel's monotone sequence number that
+the receiving worker's :class:`~repro.cluster.shm.ChannelSequencer`
+verifies.
 
 The transport is also the fault boundary: :meth:`Transport.kill` is the
 fault-injection hook (worker process terminated / in-process engine
 discarded), failures surface as :class:`AgentFailure`, and
 :meth:`Transport.restore` rebuilds a dead agent from a checkpoint
-payload — the runtime layers replay and catch-up on top.
+payload — the runtime layers replay and catch-up on top.  A respawned
+worker gets *fresh* shared segments (the old ones are unlinked), so a
+half-written frame from the killed incarnation can never be replayed.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
-from dataclasses import dataclass
+import os
+import struct
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .agent import AgentEngine, AgentSpec, spec_of
 from .channel import ChannelMap, ClusterTrafficStats
+from .shm import (
+    KIND_OUTBOX, KIND_SECTIONS, RECORD_BYTES, ChannelSequencer, RingFull,
+    Section, ShmRing, outbox_record_count, pack_records, read_blob,
+    unpack_outbox, unpack_sections, write_blob,
+)
 from ..core.checkpoint import (
-    FORMAT as ENGINE_FORMAT,
-    Checkpoint,
-    restore_checkpoint,
-    take_checkpoint,
+    restore_snapshot, state_oob_parts, take_checkpoint,
 )
 from ..core.instrument import SystemProfile, WindowProfile
 from ..errors import ClusterError
@@ -48,6 +84,10 @@ from ..protocols.packet import Row
 
 #: One remote delivery: (arrival_time_ps, node, row).
 Record = Tuple[int, int, Row]
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0", "false", "off")
 
 
 class AgentFailure(ClusterError):
@@ -102,6 +142,10 @@ class Transport:
     def _telemetry(self) -> bool:
         return self.bus is not None and self.bus.telemetry
 
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.bus is not None:
+            self.bus.count(name, n)
+
     # --- batched RPCs -----------------------------------------------------
 
     @property
@@ -119,23 +163,38 @@ class Transport:
                 self.channels[src, dst].send_batch(records)
 
     def deliver_pending(self) -> Dict[int, List[Record]]:
-        """Drain every channel into its destination agent, in ``(src,
-        dst)`` order; returns what each destination received (the
-        runtime's replay log feeds on this)."""
-        delivered: Dict[int, List[Record]] = {}
-        for (_src, dst), channel in self.channels.sorted_items():
-            records = channel.drain()
+        """Drain every channel into its destination agent; returns what
+        each destination received (the runtime's replay log feeds on
+        this).
+
+        Channels drain in ``(src, dst)`` order and each destination gets
+        *one* hand-off per window — its per-channel batches concatenated
+        in source order as sequenced sections — so a ProcessTransport
+        pays one command per destination instead of one per channel,
+        and the per-destination record order is the deterministic one
+        the equivalence tests pin down.
+        """
+        staged: Dict[int, List[Section]] = {}
+        for (src, dst), channel in self.channels.sorted_items():
+            records, seq = channel.drain_with_seq()
             if records:
-                if self._telemetry():
-                    # The serialize + hand-off of one batch: in-process
-                    # it is a mailbox append, across a ProcessTransport
-                    # pipe it is the pickle + write.
-                    with self.bus.span("serialize", "transport", dst=dst,
-                                       records=len(records)):
-                        self.accept(dst, records)
-                else:
-                    self.accept(dst, records)
-                delivered.setdefault(dst, []).extend(records)
+                staged.setdefault(dst, []).append((src, seq, records))
+        delivered: Dict[int, List[Record]] = {}
+        for dst in sorted(staged):
+            sections = staged[dst]
+            records = [record for _src, _seq, recs in sections
+                       for record in recs]
+            if self._telemetry():
+                # The serialize + hand-off of one destination's batches:
+                # in-process it is a mailbox append; across a
+                # ProcessTransport it is the shm frame write (or the
+                # pickled-pipe fallback).
+                with self.bus.span("serialize", "transport", dst=dst,
+                                   records=len(records)):
+                    self.accept_sections(dst, sections, records)
+            else:
+                self.accept_sections(dst, sections, records)
+            delivered[dst] = records
         return delivered
 
     def barrier(self) -> None:
@@ -171,8 +230,11 @@ class Transport:
         raise NotImplementedError
 
     def run_window_all(
-        self, window: int
+        self, window: int, active: Optional[Sequence[bool]] = None
     ) -> List[Union[Dict[int, List[Record]], AgentFailure]]:
+        """Run the window on every agent.  ``active[i] is False`` marks
+        an agent the coordinator's peeks prove has nothing scheduled —
+        it is skipped (empty outbox) without a command round-trip."""
         raise NotImplementedError
 
     def quiet_all(self, current: int, limit: int) -> List[int]:
@@ -187,6 +249,12 @@ class Transport:
         """Batched span: every agent runs its scheduled windows in
         ``(current, end_window)`` without intermediate barriers."""
         raise NotImplementedError
+
+    def accept_sections(self, agent_id: int, sections: List[Section],
+                        records: List[Record]) -> None:
+        """Deliver one destination's drained batches (``records`` is the
+        concatenation of the sections' record lists, in section order)."""
+        self.accept(agent_id, records)
 
     def accept(self, agent_id: int, records: List[Record]) -> None:
         raise NotImplementedError
@@ -269,12 +337,18 @@ class LocalTransport(Transport):
     def run_window(self, agent_id: int, window: int) -> Dict[int, List[Record]]:
         return self._engine(agent_id, window).run_window(window)
 
-    def run_window_all(self, window: int):
+    def run_window_all(self, window: int,
+                       active: Optional[Sequence[bool]] = None):
         out: List[Union[Dict[int, List[Record]], AgentFailure]] = []
         telemetry = self._telemetry()
         if telemetry:
             self.window_times = []
         for agent_id in range(len(self.engines)):
+            if active is not None and not active[agent_id]:
+                out.append({})
+                if telemetry:
+                    self.window_times.append(0.0)
+                continue
             t0 = self.bus.now() if telemetry else 0.0
             try:
                 out.append(self.run_window(agent_id, window))
@@ -322,9 +396,7 @@ class LocalTransport(Transport):
         spec = self.specs[agent_id]
         engine = spec.make()
         engine.build()
-        restore_checkpoint(engine, Checkpoint(
-            ENGINE_FORMAT, spec.scenario.name, window, payload,
-        ))
+        restore_snapshot(engine, payload, window, spec.scenario.name)
         self.engines[agent_id] = engine
         self._dead.discard(agent_id)
 
@@ -342,17 +414,95 @@ class LocalTransport(Transport):
 
 # --- process transport ----------------------------------------------------
 
-def _agent_worker(conn, spec: AgentSpec) -> None:
-    """Command loop of one worker process hosting one agent engine."""
+def _sections_size(sections: Sequence[Section], n_records: int) -> int:
+    return 8 + 24 * len(sections) + n_records * RECORD_BYTES
+
+
+def _outbox_size(outbox: Dict[int, List[Record]], n_records: int) -> int:
+    return 8 + 16 * len(outbox) + n_records * RECORD_BYTES
+
+
+def _decode_sections(ref, ring_in: Optional[ShmRing]) -> List[Section]:
+    if ref[0] == "shm":
+        _kind, _count, view = ring_in.read_frame(ref[1])
+        return unpack_sections(view)
+    return ref[1]
+
+
+def _encode_outbox(outbox: Dict[int, List[Record]],
+                   ring_out: Optional[ShmRing], bus) -> Tuple[Any, int]:
+    """Frame one window's outbox for the reply; returns ``(ref, seq)``
+    where ``seq`` is the shm frame published (0 for pipe fallback)."""
+    if not outbox:
+        return None, 0
+    if ring_out is not None:
+        count = outbox_record_count(outbox)
+        if (_outbox_size(outbox, count) <= ring_out.frame_capacity
+                and ring_out.can_write()):
+            parts = [struct.pack("<q", len(outbox))]
+            for dst in sorted(outbox):
+                records = outbox[dst]
+                parts.append(struct.pack("<qq", dst, len(records)))
+                parts.append(pack_records(records))
+            seq = ring_out.write_frame(KIND_OUTBOX, count, parts)
+            bus.count("transport.shm_frames")
+            return ("shm", seq), seq
+        bus.count("transport.shm_fallbacks")
+    return ("raw", outbox), 0
+
+
+def _agent_worker(conn, spec: AgentSpec,
+                  shm_names: Optional[Tuple[str, str]] = None) -> None:
+    """Command loop of one worker process hosting one agent engine.
+
+    ``accept`` commands carry no reply (the pipe's FIFO order is the
+    happens-before edge the next ``window`` command needs); an error in
+    one is deferred and reported on the next replying command.  Frames
+    this worker wrote into its outbound ring are considered consumed as
+    soon as the next command arrives — the coordinator always decodes a
+    reply's frame before sending anything else to this worker.
+    """
     import traceback
+    if spec.pin_cpu is not None and hasattr(os, "sched_setaffinity"):
+        try:
+            os.sched_setaffinity(0, {spec.pin_cpu})
+        except OSError:  # pragma: no cover - cpu offline / not permitted
+            pass
+    ring_in = ring_out = None
+    if shm_names is not None:
+        ring_in = ShmRing.attach(shm_names[0])
+        ring_out = ShmRing.attach(shm_names[1])
     engine = spec.make()
+    sequencer = ChannelSequencer()
+    replied_seq = 0   # newest outbound frame referenced in a sent reply
+    deferred_err: Optional[str] = None
     try:
         while True:
             message = conn.recv()
+            if ring_out is not None and replied_seq:
+                ring_out.mark_consumed(replied_seq)
             command = message[0]
             if command == "exit":
                 conn.send(("ok", None))
                 break
+            if command == "accept":
+                # Fire-and-forget: decode, verify per-channel sequence
+                # monotonicity, install.  No reply.
+                try:
+                    sections = _decode_sections(message[1], ring_in)
+                    records: List[Record] = []
+                    for src, chan_seq, recs in sections:
+                        sequencer.observe(src, chan_seq)
+                        records.extend(recs)
+                    engine.accept_remote(records)
+                    engine.bus.count("transport.records_in", len(records))
+                except Exception:
+                    deferred_err = traceback.format_exc()
+                continue
+            if deferred_err is not None:
+                conn.send(("err", deferred_err))
+                deferred_err = None
+                continue
             try:
                 if command == "build":
                     if not engine.built:
@@ -361,23 +511,44 @@ def _agent_worker(conn, spec: AgentSpec) -> None:
                 elif command == "peek":
                     reply = engine.peek_next_window(message[1])
                 elif command == "window":
-                    reply = engine.run_window(message[1])
+                    out = engine.run_window(message[1])
+                    ref, seq = _encode_outbox(out, ring_out, engine.bus)
+                    if seq:
+                        replied_seq = seq
+                    reply = (ref, engine.peek_next_window(message[1]))
                 elif command == "quiet":
                     reply = engine.remote_quiet_horizon(message[1], message[2])
                 elif command == "windows":
-                    reply = engine.run_windows(message[1], message[2])
-                elif command == "accept":
-                    engine.accept_remote(message[1])
-                    reply = None
+                    last, out = engine.run_windows(message[1], message[2])
+                    ref, seq = _encode_outbox(out, ring_out, engine.bus)
+                    if seq:
+                        replied_seq = seq
+                    # The coordinator resumes peeking from the span end.
+                    reply = (last, ref,
+                             engine.peek_next_window(message[2] - 1))
                 elif command == "snapshot":
-                    reply = take_checkpoint(engine, message[1]).payload
+                    if ring_out is not None:
+                        # Zero-copy checkpoint: protocol-5 out-of-band
+                        # container in a one-off blob segment — column
+                        # data is memcpy'd, never pickled.
+                        parts = state_oob_parts(engine, message[1])
+                        name, nbytes = write_blob(
+                            f"{spec.agent_id}-snap", parts)
+                        reply = ("seg", name, nbytes)
+                    else:
+                        reply = ("raw",
+                                 take_checkpoint(engine, message[1]).payload)
                 elif command == "restore":
                     if not engine.built:
                         engine.build()
-                    restore_checkpoint(engine, Checkpoint(
-                        ENGINE_FORMAT, spec.scenario.name,
-                        message[2], message[1],
-                    ))
+                    ref, window = message[1], message[2]
+                    if ref[0] == "seg":
+                        payload = read_blob(ref[1], ref[2])
+                    else:
+                        payload = ref[1]
+                    restore_snapshot(engine, payload, window,
+                                     spec.scenario.name)
+                    sequencer = ChannelSequencer()
                     reply = None
                 elif command == "finish":
                     engine.finish()
@@ -391,6 +562,9 @@ def _agent_worker(conn, spec: AgentSpec) -> None:
     except (EOFError, OSError, KeyboardInterrupt):
         pass
     finally:
+        for ring in (ring_in, ring_out):
+            if ring is not None:
+                ring.close()
         conn.close()
 
 
@@ -401,6 +575,14 @@ class _Worker:
     process: Any
     conn: Any
     alive: bool = True
+    #: worker -> coordinator ring (we read outbox frames from it).
+    ring_in: Optional[ShmRing] = None
+    #: coordinator -> worker ring (we write accept frames into it).
+    ring_out: Optional[ShmRing] = None
+    #: For each replying command in flight: the newest ``ring_out`` seq
+    #: written before it was sent.  Its reply proves (pipe FIFO) the
+    #: worker consumed every accept frame up to that seq.
+    inflight: deque = field(default_factory=deque)
 
 
 def _fork_or_spawn() -> multiprocessing.context.BaseContext:
@@ -412,36 +594,78 @@ def _fork_or_spawn() -> multiprocessing.context.BaseContext:
 class ProcessTransport(Transport):
     """One worker process per agent: real parallelism across cores.
 
-    Commands that apply to every agent (`build`, `peek`, `window`,
-    `snapshot`) are *fanned out* — all sends first, then all receives —
+    Commands that apply to every agent (``build``, ``window``,
+    ``snapshot``) are *fanned out* — all sends first, then all receives —
     so the workers overlap their lookahead batches; the reply collection
-    is the implicit per-window barrier.  A worker that dies (killed by
-    fault injection or crashed) surfaces as :class:`AgentFailure`;
-    :meth:`restore` respawns it and loads the checkpoint payload.
+    is the implicit per-window barrier.  See the module doc for the
+    pipelined protocol (async accepts, peek piggybacking, shared-memory
+    framing, CPU pinning).  A worker that dies (killed by fault
+    injection or crashed) surfaces as :class:`AgentFailure`;
+    :meth:`restore` respawns it — with fresh shared segments — and loads
+    the checkpoint payload.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, shm: Optional[bool] = None,
+                 pin_cpus: Optional[bool] = None,
+                 slot_bytes: Optional[int] = None,
+                 slots: Optional[int] = None) -> None:
         super().__init__()
         self._ctx = _fork_or_spawn()
         self._workers: List[_Worker] = []
+        self.shm = _env_flag("REPRO_TRANSPORT_SHM") if shm is None else bool(shm)
+        self.pin_cpus = (_env_flag("REPRO_PIN_CPUS") if pin_cpus is None
+                         else bool(pin_cpus))
+        self._slot_bytes = slot_bytes
+        self._slots = slots
+        self._lookahead = 0
+        #: Piggybacked peek cache: ``_peek_ok[i]`` marks ``_peeks[i]`` as
+        #: exact (refreshed by window replies, lowered by deliveries).
+        self._peeks: List[Optional[int]] = []
+        self._peek_ok: List[bool] = []
 
     def launch(self, specs: Sequence[AgentSpec]) -> None:
         self.specs = list(specs)
+        if self.pin_cpus:
+            ncpu = os.cpu_count() or 1
+            self.specs = [
+                dataclasses.replace(spec, pin_cpu=spec.agent_id % ncpu)
+                for spec in self.specs
+            ]
+        self._lookahead = self.specs[0].scenario.lookahead_ps
         self._workers = [self._spawn(spec) for spec in self.specs]
+        self._peeks = [None] * len(self.specs)
+        self._peek_ok = [False] * len(self.specs)
 
     def _spawn(self, spec: AgentSpec) -> _Worker:
+        ring_out = ring_in = None
+        names = None
+        if self.shm:
+            ring_out = ShmRing.create(f"{spec.agent_id}-c2w",
+                                      self._slot_bytes, self._slots)
+            ring_in = ShmRing.create(f"{spec.agent_id}-w2c",
+                                     self._slot_bytes, self._slots)
+            names = (ring_out.name, ring_in.name)
         parent, child = self._ctx.Pipe()
         process = self._ctx.Process(
-            target=_agent_worker, args=(child, spec), daemon=True,
+            target=_agent_worker, args=(child, spec, names), daemon=True,
             name=f"dons-agent-{spec.agent_id}",
         )
         process.start()
         child.close()
-        return _Worker(process, parent)
+        return _Worker(process, parent, ring_in=ring_in, ring_out=ring_out)
+
+    @staticmethod
+    def _teardown_rings(worker: _Worker) -> None:
+        for ring in (worker.ring_in, worker.ring_out):
+            if ring is not None:
+                ring.unlink()
+                ring.close()
+        worker.ring_in = worker.ring_out = None
 
     # --- plumbing ---------------------------------------------------------
 
-    def _send(self, agent_id: int, message: tuple, window: int = -1) -> None:
+    def _send(self, agent_id: int, message: tuple, window: int = -1,
+              expects_reply: bool = True) -> None:
         worker = self._workers[agent_id]
         if not worker.alive:
             raise AgentFailure(agent_id, window)
@@ -450,6 +674,8 @@ class ProcessTransport(Transport):
         except (OSError, BrokenPipeError):
             worker.alive = False
             raise AgentFailure(agent_id, window)
+        if expects_reply and worker.ring_out is not None:
+            worker.inflight.append(worker.ring_out.next_seq - 1)
 
     def _recv(self, agent_id: int, window: int = -1) -> Any:
         worker = self._workers[agent_id]
@@ -460,6 +686,10 @@ class ProcessTransport(Transport):
         except (EOFError, OSError):
             worker.alive = False
             raise AgentFailure(agent_id, window)
+        if worker.ring_out is not None and worker.inflight:
+            # Ack-by-sequence: this reply proves the worker processed
+            # every accept frame written before its command went out.
+            worker.ring_out.mark_consumed(worker.inflight.popleft())
         if status == "err":
             raise ClusterError(f"agent {agent_id} worker error:\n{value}")
         return value
@@ -476,23 +706,68 @@ class ProcessTransport(Transport):
         return [self._recv(agent_id, window)
                 for agent_id in range(len(self._workers))]
 
+    def _decode_outbox(self, agent_id: int, ref) -> Dict[int, List[Record]]:
+        if ref is None:
+            return {}
+        if ref[0] == "shm":
+            ring = self._workers[agent_id].ring_in
+            if self._telemetry():
+                with self.bus.span("unpack", "transport", src=agent_id):
+                    _kind, count, view = ring.read_frame(ref[1])
+                    out = unpack_outbox(view)
+            else:
+                _kind, count, view = ring.read_frame(ref[1])
+                out = unpack_outbox(view)
+            self._count("transport.shm_frames")
+            self._count("transport.shm_bytes", count * RECORD_BYTES)
+            return out
+        return ref[1]
+
+    def _note_window_reply(self, agent_id: int, peek: Optional[int]) -> None:
+        self._peeks[agent_id] = peek
+        self._peek_ok[agent_id] = True
+
+    def _note_delivery(self, agent_id: int, records: List[Record]) -> None:
+        """Keep the peek cache exact: a delivered record lands in window
+        ``t // L`` (the lookahead discipline guarantees that is in the
+        agent's future, so the engine-side clamp never fires)."""
+        if not records or not self._peek_ok[agent_id]:
+            return
+        arrival = min(t for t, _node, _row in records) // self._lookahead
+        peek = self._peeks[agent_id]
+        if peek is None or arrival < peek:
+            self._peeks[agent_id] = arrival
+
     # --- hosting API ------------------------------------------------------
 
     def build_all(self) -> None:
         self._fan_out(("build",))
+        self._peek_ok = [False] * len(self._workers)
 
     def peek_all(self, current: int) -> List[Optional[int]]:
-        return self._fan_out(("peek", current))
+        missing = [a for a in range(len(self._workers))
+                   if not self._peek_ok[a]]
+        for agent_id in missing:
+            self._send(agent_id, ("peek", current), current)
+        for agent_id in missing:
+            self._note_window_reply(agent_id, self._recv(agent_id, current))
+        return list(self._peeks)
 
     def run_window(self, agent_id: int, window: int) -> Dict[int, List[Record]]:
-        return self._call(agent_id, ("window", window), window)
+        ref, peek = self._call(agent_id, ("window", window), window)
+        self._note_window_reply(agent_id, peek)
+        return self._decode_outbox(agent_id, ref)
 
-    def run_window_all(self, window: int):
+    def run_window_all(self, window: int,
+                       active: Optional[Sequence[bool]] = None):
         results: List[Union[Dict[int, List[Record]], AgentFailure]] = []
-        sent: List[bool] = []
+        sent: List[Optional[bool]] = []
         telemetry = self._telemetry()
         t_sent = 0.0
         for agent_id in range(len(self._workers)):
+            if active is not None and not active[agent_id]:
+                sent.append(None)   # provably idle: skip the round-trip
+                continue
             try:
                 self._send(agent_id, ("window", window), window)
                 sent.append(True)
@@ -502,13 +777,20 @@ class ProcessTransport(Transport):
             t_sent = self.bus.now()
             self.window_times = []
         for agent_id in range(len(self._workers)):
+            if sent[agent_id] is None:
+                results.append({})
+                if telemetry:
+                    self.window_times.append(0.0)
+                continue
             if not sent[agent_id]:
                 results.append(AgentFailure(agent_id, window))
                 if telemetry:
                     self.window_times.append(0.0)
                 continue
             try:
-                results.append(self._recv(agent_id, window))
+                ref, peek = self._recv(agent_id, window)
+                self._note_window_reply(agent_id, peek)
+                results.append(self._decode_outbox(agent_id, ref))
             except AgentFailure as failure:
                 results.append(failure)
             if telemetry:
@@ -532,19 +814,67 @@ class ProcessTransport(Transport):
             self.window_times = []
         out: List[Tuple[int, Dict[int, List[Record]]]] = []
         for agent_id in range(len(self._workers)):
-            out.append(self._recv(agent_id, current))
+            last, ref, peek = self._recv(agent_id, current)
+            self._note_window_reply(agent_id, peek)
+            out.append((last, self._decode_outbox(agent_id, ref)))
             if telemetry:
                 self.window_times.append(self.bus.now() - t_sent)
         return out
 
+    def accept_sections(self, agent_id: int, sections: List[Section],
+                        records: List[Record]) -> None:
+        worker = self._workers[agent_id]
+        ref = None
+        if worker.ring_out is not None:
+            size = _sections_size(sections, len(records))
+            if (size <= worker.ring_out.frame_capacity
+                    and worker.ring_out.can_write()):
+                parts = [struct.pack("<q", len(sections))]
+                for src, chan_seq, recs in sections:
+                    parts.append(struct.pack(
+                        "<qqq", src, chan_seq, len(recs)))
+                    parts.append(pack_records(recs))
+                try:
+                    seq = worker.ring_out.write_frame(
+                        KIND_SECTIONS, len(records), parts)
+                except RingFull:  # pragma: no cover - raced can_write
+                    seq = None
+                if seq is not None:
+                    ref = ("shm", seq)
+                    self._count("transport.shm_frames")
+                    self._count("transport.shm_bytes",
+                                len(records) * RECORD_BYTES)
+            if ref is None:
+                self._count("transport.shm_fallbacks")
+        if ref is None:
+            ref = ("raw", sections)
+        # Fire-and-forget: the pipe's FIFO order sequences this before
+        # the next window command, so no reply round-trip is needed.
+        self._send(agent_id, ("accept", ref), expects_reply=False)
+        self._note_delivery(agent_id, records)
+
     def accept(self, agent_id: int, records: List[Record]) -> None:
-        self._call(agent_id, ("accept", records))
+        # Administrative delivery (recovery replay): src -1 bypasses the
+        # per-channel sequence guard — the original batches were already
+        # sequenced when first delivered.
+        self.accept_sections(agent_id, [(-1, 0, records)], records)
 
     def snapshot_all(self, window: int) -> List[bytes]:
-        return self._fan_out(("snapshot", window))
+        refs = self._fan_out(("snapshot", window), window)
+        payloads = []
+        for ref in refs:
+            if ref[0] == "seg":
+                payload = read_blob(ref[1], ref[2])
+                self._count("transport.shm_bytes", len(payload))
+            else:
+                payload = ref[1]
+            payloads.append(payload)
+        return payloads
 
     def kill(self, agent_id: int) -> None:
-        """Fault injection: terminate the worker process outright."""
+        """Fault injection: terminate the worker process outright.  Its
+        rings are kept until :meth:`restore` replaces them — a restored
+        incarnation never reads a possibly half-written old frame."""
         worker = self._workers[agent_id]
         if worker.process.is_alive():
             worker.process.terminate()
@@ -561,9 +891,16 @@ class ProcessTransport(Transport):
     def restore(self, agent_id: int, payload: bytes, window: int) -> None:
         worker = self._workers[agent_id]
         if not worker.alive:
+            self._teardown_rings(worker)
             self._workers[agent_id] = self._spawn(self.specs[agent_id])
             self._call(agent_id, ("build",))
-        self._call(agent_id, ("restore", payload, window))
+        if self.shm:
+            name, nbytes = write_blob(f"{agent_id}-restore", [payload])
+            ref = ("seg", name, nbytes)
+        else:
+            ref = ("raw", payload)
+        self._call(agent_id, ("restore", ref, window))
+        self._peek_ok[agent_id] = False
 
     def finish_all(self) -> List[AgentReport]:
         return self._fan_out(("finish",))
@@ -582,6 +919,7 @@ class ProcessTransport(Transport):
             worker.process.join(timeout=10)
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()
+            self._teardown_rings(worker)
             worker.alive = False
 
 
@@ -595,4 +933,6 @@ def make_transport(kind: Union[str, Transport, None]) -> Transport:
         return LocalTransport()
     if kind == "process":
         return ProcessTransport()
+    if kind == "shm":
+        return ProcessTransport(shm=True)
     raise ClusterError(f"unknown transport {kind!r}")

@@ -6,7 +6,7 @@ partition/order-dependent divergence — and the test suite asserts the
 fuzz loop catches it within a bounded number of runs and shrinks it to
 a small repro.
 
-Four bug classes are plantable:
+Five bug classes are plantable:
 
 * :func:`flipped_transmit_order` flips the deterministic tie-break
   inside the transmit merge-sort: packets staged at the same
@@ -27,6 +27,14 @@ Four bug classes are plantable:
   scheduler.  Entries starve — the engine skips or never runs their
   window — which is exactly the failure mode of letting a derived index
   drift from the data it summarizes.
+* :func:`torn_shm_read` models a torn shared-memory frame read in the
+  zero-copy transport (:mod:`repro.cluster.shm`): the record decoder
+  loses the last record of any multi-record frame — exactly what a
+  reader racing the writer past the commit word would observe.  Only
+  the shm framing path is infected (the pickled pipe fallback and the
+  LocalTransport never decode frames), so catching it requires a fuzz
+  oracle set that runs the shared-memory transport
+  (e.g. ``("ood", "cluster-shm-2")``).
 * :func:`stale_cache_delta` corrupts the window-signature memoization
   cache (:mod:`repro.core.memo`): the delta recorded on a cache miss has
   one scatter-write perturbed (the sequence number of the first staged
@@ -53,6 +61,7 @@ from contextlib import contextmanager
 from dataclasses import replace as _dc_replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..cluster import shm as shm_mod
 from ..core import events as events_mod
 from ..core import memo as memo_mod
 from ..core.systems import transmit as transmit_mod
@@ -224,6 +233,37 @@ def stale_cache_delta() -> Iterator[None]:
         yield
     finally:
         memo_mod.capture_filter = original
+
+
+@contextmanager
+def torn_shm_read() -> Iterator[None]:
+    """Plant a torn-frame read in the shared-memory batch decoder.
+
+    Patches the module-level ``unpack_records`` hook every shm frame
+    decode resolves at call time (coordinator-side outbox unpacking and
+    worker-side accept-section unpacking both route through it): any
+    multi-record frame silently loses its final record, which is what a
+    reader that raced the writer past the commit word would see — the
+    header's count published before the payload's tail landed.  Fork-
+    started worker processes inherit the live patch, so the whole
+    cluster is infected.  The LocalTransport and the pickled fallback
+    never decode frames and stay truthful references; the lost packet
+    surfaces as a trace divergence (and conservation violations)
+    wherever the reference delivered it.
+    """
+    original = shm_mod.unpack_records
+
+    def torn(view, count):
+        records = original(view, count)
+        if len(records) > 1:
+            del records[-1]
+        return records
+
+    shm_mod.unpack_records = torn
+    try:
+        yield
+    finally:
+        shm_mod.unpack_records = original
 
 
 @contextmanager

@@ -173,12 +173,19 @@ for _n in (2, 3, 4):
     ORACLES[f"cluster-process-{_n}"] = (
         lambda sc, n=_n: run_cluster(sc, "process", n,
                                      f"cluster-process-{n}"))
+    # The zero-copy transport: process workers exchanging batches as
+    # struct-packed frames in shared-memory rings (pickle fallback for
+    # oversize).  Byte-identity against the pickled transports is the
+    # {pickle, shm} x {local, process} acceptance matrix of PR 8.
+    ORACLES[f"cluster-shm-{_n}"] = (
+        lambda sc, n=_n: run_cluster(sc, "shm", n, f"cluster-shm-{n}"))
 
 #: The acceptance set: every stack the fidelity claim covers.  The first
 #: entry is the reference every other trace is diffed against.
 DEFAULT_ORACLES: Tuple[str, ...] = (
     "ood", "dons", "dons-numpy", "dons-numpy-ffwd", "cluster-local-2",
-    "cluster-local-3", "cluster-process-2", "checkpoint", "fault-recovery",
+    "cluster-local-3", "cluster-process-2", "cluster-shm-2",
+    "checkpoint", "fault-recovery",
 )
 
 

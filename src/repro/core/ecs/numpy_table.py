@@ -309,6 +309,24 @@ class NumpyTable:
 
     # --- pickling (checkpoints / process-transport agents) ------------------
 
+    def __reduce_ex__(self, protocol: int):
+        if protocol >= 5:
+            # Zero-copy export: hand the pickler trimmed *views* of the
+            # typed columns instead of __getstate__'s defensive copies.
+            # In-band (no buffer_callback) the view serializes into the
+            # stream immediately; out-of-band (the shm checkpoint
+            # container) each column becomes a raw PickleBuffer whose
+            # only copy is the memcpy into the shared segment.  Object
+            # columns cannot export raw and pickle in-band either way.
+            self._sync()
+            state = self.__dict__.copy()
+            state["_arrays"] = {
+                name: arr[: self._n] for name, arr in self._arrays.items()
+            }
+            state["_cap"] = max(self._n, _INITIAL_CAPACITY)
+            return (_rebuild_table, (state,))
+        return super().__reduce_ex__(protocol)
+
     def __getstate__(self) -> dict:
         self._sync()  # the arrays must be current before they persist
         state = self.__dict__.copy()
@@ -323,7 +341,13 @@ class NumpyTable:
         self.__dict__.update(state)
         cap = self._cap
         for name, arr in list(self._arrays.items()):
-            if len(arr) < cap:
+            if len(arr) < cap or not arr.flags.writeable:
                 bigger = np.empty(cap, dtype=arr.dtype)
-                bigger[: self._n] = arr
+                bigger[: self._n] = arr[: self._n]
                 self._arrays[name] = bigger
+
+
+def _rebuild_table(state: dict) -> "NumpyTable":
+    table = NumpyTable.__new__(NumpyTable)
+    table.__setstate__(state)
+    return table

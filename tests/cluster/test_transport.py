@@ -107,6 +107,8 @@ class TestMakeTransport:
         assert isinstance(make_transport(None), LocalTransport)
         assert isinstance(make_transport("local"), LocalTransport)
         assert isinstance(make_transport("process"), ProcessTransport)
+        shm = make_transport("shm")
+        assert isinstance(shm, ProcessTransport) and shm.shm
         inst = LocalTransport()
         assert make_transport(inst) is inst
         with pytest.raises(ClusterError):

@@ -14,7 +14,7 @@ from repro.conformance.generator import (
 )
 from repro.conformance.inject import (
     flipped_transmit_order, stale_cache_delta, stale_window_index,
-    unstable_transmit_sort,
+    torn_shm_read, unstable_transmit_sort,
 )
 from repro.conformance.invariants import check_invariants
 from repro.conformance.oracles import run_oracle
@@ -31,6 +31,9 @@ NUMPY_ORACLES = ("ood", "dons-numpy")
 #: only observable on cache *hits*, so the fuzz stream must contain
 #: steady-traffic specs that actually hit (seed 100 does, early).
 FFWD_ORACLES = ("ood", "dons-numpy-ffwd")
+#: The torn-frame drill needs an oracle that decodes shared-memory
+#: frames; the pickled transports never touch the framing code.
+SHM_ORACLES = ("ood", "cluster-shm-2")
 
 SMALL = ScenarioSpec(seed=7, topology="dumbbell", topo_arg=2,
                      traffic="fixed", n_flows=4, flow_kb=30)
@@ -236,6 +239,33 @@ class TestFuzzLoop:
         with stale_cache_delta():
             assert not replay_file(result.artifact, FFWD_ORACLES).ok
         assert replay_file(result.artifact, FFWD_ORACLES).ok
+
+    def test_planted_torn_shm_read_is_caught_and_shrunk(self, tmp_path):
+        """The zero-copy-transport drill: tear the shared-memory frame
+        decoder so every multi-record frame loses its last record — the
+        signature of a reader racing the writer past the commit word.
+        Only the shm framing path is infected, so the fuzz loop must
+        catch the lost packets through the ``cluster-shm-2`` oracle —
+        and shrink the repro small."""
+        with torn_shm_read():
+            result = fuzz(0, 25, SHM_ORACLES, do_shrink=True,
+                          artifact_dir=tmp_path)
+        assert not result.ok, "planted bug survived 25 fuzz runs"
+        assert result.shrunk is not None
+        assert result.shrunk.spec.num_nodes() <= 8
+        div = result.shrunk.divergences[0]
+        assert div.window is not None and div.system and div.entity
+
+        # The pickled transports never decode frames: the same fuzz
+        # stream stays clean when the shm transport is not asked for.
+        with torn_shm_read():
+            assert fuzz(0, 3, ("ood", "cluster-process-2")).ok
+
+        # The artifact replays: still failing under the bug, clean after.
+        assert result.artifact is not None and result.artifact.exists()
+        with torn_shm_read():
+            assert not replay_file(result.artifact, SHM_ORACLES).ok
+        assert replay_file(result.artifact, SHM_ORACLES).ok
 
     def test_artifact_round_trip(self, tmp_path):
         report = check_spec(SMALL, FAST_ORACLES)

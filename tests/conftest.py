@@ -18,23 +18,25 @@ _REAP_TIMEOUT_S = 5.0
 
 @pytest.fixture(autouse=True)
 def reap_leaked_agent_workers():
-    """Fail fast — and clean up — if a test leaks ProcessTransport workers.
+    """Fail fast — and clean up — if a test leaks ProcessTransport workers
+    or shared-memory segments.
 
     Every cluster worker process is named ``dons-agent-<id>`` by the
-    transport.  A test that aborts mid-run (assertion failure, raised
-    exception, fault-injection path gone wrong) can strand them parked
-    on their command queues; later tests then hang or inherit the
-    orphans.  This fixture terminates and joins any survivors after each
-    test, then fails the test that leaked them so the leak is fixed at
-    the source rather than masked.
+    transport, and every shared segment the shm transport creates starts
+    with :data:`repro.cluster.shm.SEGMENT_PREFIX`.  A test that aborts
+    mid-run (assertion failure, raised exception, fault-injection path
+    gone wrong) can strand both: workers parked on their command queues,
+    segments pinned in ``/dev/shm``.  This fixture terminates and joins
+    surviving workers and unlinks leftover segments after each test,
+    then fails the test that leaked them so the leak is fixed at the
+    source rather than masked.
     """
     yield
+    from repro.cluster import shm as shm_mod
     leaked = [
         p for p in multiprocessing.active_children()
         if p.name.startswith("dons-agent-")
     ]
-    if not leaked:
-        return
     names = [p.name for p in leaked]
     for proc in leaked:
         proc.terminate()
@@ -44,10 +46,19 @@ def reap_leaked_agent_workers():
         if proc.is_alive():
             proc.kill()
             proc.join(timeout=deadline)
-    pytest.fail(
-        f"test leaked cluster worker processes: {', '.join(sorted(names))} "
-        f"(terminated by the reaper fixture)"
-    )
+    # Workers must be dead before reaping segments, else a live worker
+    # could recreate what we just unlinked.
+    reaped = shm_mod.reap_orphans()
+    if not leaked and not reaped:
+        return
+    problems = []
+    if names:
+        problems.append(
+            f"worker processes: {', '.join(sorted(names))} (terminated)")
+    if reaped:
+        problems.append(
+            f"shared-memory segments: {', '.join(reaped)} (unlinked)")
+    pytest.fail("test leaked " + "; ".join(problems))
 
 
 @pytest.fixture
