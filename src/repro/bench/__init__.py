@@ -7,12 +7,16 @@ from .scenarios import (
     measure_cmr, run_dons_probed, scaled_l3_config, wan_scenario,
     windows_at_paper_scale,
 )
+from .workloads import (
+    storage_scenario, wan_twin_scenario, wan_twin_smoke,
+)
 
 __all__ = [
     "emit", "format_table", "out_dir", "ratio_str",
     "EventRatios", "LOOKAHEAD_S", "PAPER_DURATION_S", "PAPER_LOAD",
     "PAPER_RATE", "dcn_scenario", "fattree_full_events",
     "full_mesh_packets", "isp_scenario", "measure_cmr",
-    "run_dons_probed", "scaled_l3_config", "wan_scenario",
+    "run_dons_probed", "scaled_l3_config", "storage_scenario",
+    "wan_scenario", "wan_twin_scenario", "wan_twin_smoke",
     "windows_at_paper_scale",
 ]

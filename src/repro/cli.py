@@ -11,8 +11,11 @@
 
 Topology specs: ``fattree:K``, ``dumbbell:PAIRS``, ``abilene``, ``geant``,
 ``isp[:SEED]``.  Flow specs: ``mesh:key=value,...`` (load, seed, max,
-duration_ms, sizes in {web,fb,tiny}) or ``fixed:n=..,size=..[,transport=
-dctcp|reno|udp]``.
+duration_ms, sizes in {web,fb,tiny}), ``fixed:n=..,size=..[,transport=
+dctcp|reno|udp]``, ``wan_twin:max=..,classes=..,arrival=onoff|poisson|
+empirical`` (pair with ``--classes N --scheduler sp|drr``), or
+``storage:blocks=..,block_kb=..,arrival=poisson|onoff|periodic``
+(hosts[0] is the namenode; pair with ``--classes 2 --scheduler sp``).
 """
 
 from __future__ import annotations
@@ -97,6 +100,25 @@ def build_flows(spec: str, topo: Topology) -> List[Flow]:
             size_bytes=int(kv.get("size", 100_000)),
             transport=transport,
             seed=int(kv.get("seed", 1)),
+        )
+    if name == "wan_twin":
+        from .bench.workloads import wan_twin_flow_columns
+        return wan_twin_flow_columns(
+            hosts, int(kv.get("seed", 1)),
+            horizon_ps=ms(float(kv.get("duration_ms", 0.5))),
+            n_flows=int(kv["max"]) if "max" in kv else 500,
+            classes=int(kv.get("classes", 3)),
+            load=float(kv.get("load", 0.3)),
+            arrival=kv.get("arrival", "onoff"),
+        )
+    if name == "storage":
+        from .bench.workloads import storage_flow_columns
+        return storage_flow_columns(
+            hosts, int(kv.get("seed", 1)),
+            horizon_ps=ms(float(kv.get("duration_ms", 0.5))),
+            blocks=int(kv.get("blocks", 64)),
+            block_bytes=int(kv.get("block_kb", 256)) * 1024,
+            arrival=kv.get("arrival", "poisson"),
         )
     raise ConfigError(f"unknown flow generator {name!r}")
 
@@ -416,7 +438,8 @@ def make_parser() -> argparse.ArgumentParser:
     common.add_argument("--topology", default="dumbbell:4",
                         help="fattree:K | dumbbell:N | abilene | geant | isp")
     common.add_argument("--flows", default="fixed:n=8,size=100000",
-                        help="mesh:... | fixed:...")
+                        help="mesh:... | fixed:... | wan_twin:... | "
+                             "storage:...")
     common.add_argument("--scheduler", default="fifo",
                         choices=[k.value for k in SchedulerKind])
     common.add_argument("--classes", type=int, default=3)

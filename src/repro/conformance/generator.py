@@ -39,7 +39,11 @@ from ..units import GBPS, us
 FORMAT = "repro-conformance-spec-v1"
 
 TOPOLOGY_FAMILIES = ("dumbbell", "fattree", "leafspine", "hetero")
-TRAFFIC_KINDS = ("fixed", "mesh", "incast", "permutation", "steady")
+TRAFFIC_KINDS = ("fixed", "mesh", "incast", "permutation", "steady",
+                 "wan_twin", "storage")
+#: Arrival-process kinds the columnar traffic kinds draw from (the
+#: ``arrival`` spec dimension; ignored by the per-flow kinds).
+ARRIVALS = ("poisson", "onoff", "periodic", "empirical")
 TRANSPORT_MIXES = ("dctcp", "reno", "udp", "mixed")
 SCHEDULERS = ("fifo", "sp", "rr", "drr")
 AQMS = ("ecn", "red", "none")
@@ -69,6 +73,7 @@ class ScenarioSpec:
     delay_scale: int = 1            # base delay multiplier (sets lookahead)
     duration_us: Optional[int] = None
     load_pct: int = 40              # mesh offered load (percent)
+    arrival: str = "poisson"        # columnar kinds only, see ARRIVALS
 
     # --- construction -----------------------------------------------------
 
@@ -82,7 +87,7 @@ class ScenarioSpec:
                 # become exactly periodic — the workload the
                 # memoization/fast-forward cache exists for.
                 bottleneck = 10 * GBPS * max(2, 2 * self.topo_arg)
-            elif self.traffic == "mesh":
+            elif self.traffic in ("mesh", "wan_twin", "storage"):
                 bottleneck = 10 * GBPS
             else:
                 bottleneck = 2 * GBPS
@@ -123,10 +128,16 @@ class ScenarioSpec:
             topo.add_link(host, sw, 10 * GBPS, base * jitter)
         return topo.freeze()
 
-    def build_flows(self, topo: Topology) -> List[Flow]:
+    def build_flows(self, topo: Topology):
+        """The spec's traffic: a ``List[Flow]``, or a
+        :class:`~repro.traffic.FlowColumns` for the columnar kinds
+        (``wan_twin`` / ``storage``, which exercise the arrival-engine
+        batch path the per-flow kinds never touch)."""
         hosts = topo.hosts
         size = self.flow_kb * 1000
         transport = _TRANSPORTS.get(self.transport, Transport.DCTCP)
+        if self.traffic in ("wan_twin", "storage"):
+            return self._columnar_flows(hosts, size)
         if self.traffic == "fixed":
             flows = fixed_flows(hosts, n_flows=self.n_flows, size_bytes=size,
                                 transport=transport, stagger_ps=us(2),
@@ -170,6 +181,40 @@ class ScenarioSpec:
         else:
             raise ConfigError(f"unknown traffic kind {self.traffic!r}")
         return self._mix(flows)
+
+    #: Scaled-down WAN class table for conformance runs: the bench
+    #: table's fb-cache BE flows are megabytes, which a fuzz scenario
+    #: cannot afford; ``tiny`` keeps the DSCP structure at fuzz scale.
+    _CONF_WAN_TABLE = (
+        ("EF", Transport.UDP, "", 512, 0.15),
+        ("AF", Transport.DCTCP, "tiny", 0, 0.35),
+        ("BE", Transport.DCTCP, "tiny", 0, 0.50),
+    )
+
+    def _columnar_flows(self, hosts, size: int):
+        """Arrival-engine traffic (wan_twin / storage) for this spec."""
+        from ..bench.workloads import (
+            storage_flow_columns, wan_twin_flow_columns,
+        )
+        if self.traffic == "wan_twin":
+            arrival = self.arrival if self.arrival in (
+                "onoff", "poisson", "empirical") else "poisson"
+            return wan_twin_flow_columns(
+                hosts, self.seed, horizon_ps=us(300),
+                n_flows=max(2, self.n_flows),
+                classes=min(max(1, self.num_classes), 3),
+                load=self.load_pct / 100.0, arrival=arrival,
+                table=self._CONF_WAN_TABLE,
+            )
+        arrival = self.arrival if self.arrival in (
+            "poisson", "onoff", "periodic") else "poisson"
+        return storage_flow_columns(
+            hosts, self.seed, horizon_ps=us(300),
+            blocks=max(1, self.n_flows // 3), block_bytes=size,
+            arrival=arrival, pipeline_delay_ps=us(5),
+            heartbeat_period_ps=us(60), report_period_ps=us(150),
+            report_bytes=4096,
+        )
 
     def _mix(self, flows: List[Flow]) -> List[Flow]:
         """Apply the transport mix and traffic-class assignment."""
@@ -258,6 +303,15 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
     n_flows = int(rng.integers(4, 25))
     flow_kb = int(pick((20, 40, 60, 100, 150)))
     aqm = pick(AQMS)
+    arrival = pick(ARRIVALS)
+    if traffic == "wan_twin":
+        if arrival == "periodic":  # wan twin paces EF itself
+            arrival = "poisson"
+        if scheduler == "fifo":    # give the DSCP mix a classful port
+            scheduler, num_classes = "sp", 3
+        num_classes = min(num_classes, 3)
+    elif traffic == "storage" and arrival == "empirical":
+        arrival = "periodic"
     if traffic == "steady" and aqm == "red":
         # RED statically disables the window-memo cache (its EWMA state
         # is unobservable to the signature); steady scenarios exist to
@@ -279,6 +333,7 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
         delay_scale=int(pick((1, 1, 2, 5))),
         duration_us=duration_us,
         load_pct=int(rng.integers(20, 70)),
+        arrival=arrival,
     )
 
 
@@ -296,8 +351,14 @@ def shrink_candidates(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
     if spec.n_flows > 2:
         yield replace(spec, n_flows=max(2, spec.n_flows // 2))
         yield replace(spec, n_flows=spec.n_flows - 1)
+    if spec.traffic == "storage":
+        # Gentler first step: stay columnar (a columnar-path bug must
+        # keep reproducing) but drop the replica-chain expansion.
+        yield replace(spec, traffic="wan_twin")
     if spec.traffic != "fixed":
         yield replace(spec, traffic="fixed")
+    if spec.arrival != "poisson":
+        yield replace(spec, arrival="poisson")
     # Protocol set / configuration: one knob at a time.
     if spec.transport != "dctcp":
         yield replace(spec, transport="dctcp")

@@ -6,7 +6,7 @@ partition/order-dependent divergence — and the test suite asserts the
 fuzz loop catches it within a bounded number of runs and shrinks it to
 a small repro.
 
-Five bug classes are plantable:
+Six bug classes are plantable:
 
 * :func:`flipped_transmit_order` flips the deterministic tie-break
   inside the transmit merge-sort: packets staged at the same
@@ -35,6 +35,14 @@ Five bug classes are plantable:
   LocalTransport never decode frames), so catching it requires a fuzz
   oracle set that runs the shared-memory transport
   (e.g. ``("ood", "cluster-shm-2")``).
+* :func:`skewed_arrival_stream` corrupts the columnar arrival engine's
+  first traffic batch: the batch's start times are rebuilt from their
+  inter-arrival gaps with the first gap inflated by 7 us — a
+  unit-conversion off-by-a-factor in the rate math.  Only consumers of
+  the *batch* iterator are infected (the DOD builder's columnar path);
+  the OOD baseline iterates flows scalar-wise and stays a truthful
+  reference, so catching it requires fuzz specs whose traffic kind is
+  columnar (``wan_twin`` / ``storage``).
 * :func:`stale_cache_delta` corrupts the window-signature memoization
   cache (:mod:`repro.core.memo`): the delta recorded on a cache miss has
   one scatter-write perturbed (the sequence number of the first staged
@@ -66,6 +74,8 @@ from ..core import events as events_mod
 from ..core import memo as memo_mod
 from ..core.systems import transmit as transmit_mod
 from ..core.systems import vectorized as vectorized_mod
+from ..traffic import arrivals as arrivals_mod
+from ..units import us
 from ..core.window import Staged
 from ..protocols.egress import Emission, EgressPort
 from ..protocols.packet import F_FLOW, F_ISACK, F_SEQ, Row
@@ -264,6 +274,50 @@ def torn_shm_read() -> Iterator[None]:
         yield
     finally:
         shm_mod.unpack_records = original
+
+
+def _skewed_batch(start: int, cols: Dict) -> Dict:
+    """Corrupt the first arrival batch's inter-arrival structure.
+
+    Rebuilds the batch's start times from their consecutive gaps with
+    the first gap inflated by 7 us — the classic off-by-a-unit in a
+    rate/interval conversion (seconds vs the scheduler's picoseconds,
+    or a duty-cycle factor applied twice).  Every row after the first
+    shifts later by the same skew; the times stay sorted and
+    non-negative, so nothing crashes — only the byte trace moves.
+    """
+    if start != 0 or len(cols["start_ps"]) < 2:
+        return cols
+    starts = cols["start_ps"].copy()
+    starts[1:] += us(7)
+    out = dict(cols)
+    out["start_ps"] = starts
+    return out
+
+
+@contextmanager
+def skewed_arrival_stream() -> Iterator[None]:
+    """Plant a skewed-interarrival bug in the columnar arrival engine.
+
+    Patches the module-level ``batch_filter`` hook that
+    :meth:`~repro.traffic.FlowColumns.iter_batches` resolves at call
+    time, so every engine that consumes traffic *columnarly* — the DOD
+    builder's batch path on either backend, and therefore checkpoint
+    and cluster oracles too — sees the first batch's arrivals displaced
+    by a 7 us inter-arrival skew.  The OOD baseline materializes flows
+    through scalar iteration, which never touches the batch hook, so it
+    stays a truthful reference.  Catching the bug requires a fuzz spec
+    whose traffic is columnar (the generator's ``wan_twin`` / ``storage``
+    kinds); per-flow traffic kinds are immune by construction, which is
+    exactly the point — a harness that only ever fuzzes ``Flow`` lists
+    would ship this bug.
+    """
+    original = arrivals_mod.batch_filter
+    arrivals_mod.batch_filter = _skewed_batch
+    try:
+        yield
+    finally:
+        arrivals_mod.batch_filter = original
 
 
 @contextmanager

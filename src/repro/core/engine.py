@@ -213,34 +213,125 @@ class DodEngine:
             self.world.egress_of_iface[iface.iface_id] = eidx
             self.world.ingress.add(iface_id=iface.iface_id, node=iface.peer_node)
 
-        for flow in sc.flows:
-            total = segment_count(flow.size_bytes)
-            cca = sc.cca_params(flow.transport)
-            sidx = self.world.senders.add(
-                flow_id=flow.flow_id, src=flow.src, dst=flow.dst,
-                transport=int(flow.transport), size_bytes=flow.size_bytes,
-                total_segs=total, start_ps=flow.start_ps,
-                cwnd=cca.init_cwnd, rto_ps=cca.init_rto_ps,
-            )
-            self.world.sender_of_flow[flow.flow_id] = sidx
-            ridx = self.world.receivers.add(
-                flow_id=flow.flow_id, host=flow.dst, total_segs=total,
-                needs_ack=int(flow.transport != Transport.UDP),
-                out_of_order=set(),
-            )
-            self.world.receiver_of_flow[flow.flow_id] = ridx
-            self.results.flows[flow.flow_id] = FlowResult(
-                flow.flow_id, flow.start_ps, None, flow.size_bytes
-            )
-            if flow.transport == Transport.UDP:
-                # UDP pacing is driven by wakeup visits.
-                self._insert(flow.start_ps, flow.src,
-                             (ENTRY_UDP, flow.flow_id))
-            else:
-                self._insert(flow.start_ps, flow.src,
-                             (ENTRY_FLOW_START, flow.start_ps, flow.flow_id))
+        if hasattr(sc.flows, "iter_batches"):
+            self._build_flows_columnar(sc)
+        else:
+            for flow in sc.flows:
+                total = segment_count(flow.size_bytes)
+                cca = sc.cca_params(flow.transport)
+                sidx = self.world.senders.add(
+                    flow_id=flow.flow_id, src=flow.src, dst=flow.dst,
+                    transport=int(flow.transport), size_bytes=flow.size_bytes,
+                    total_segs=total, start_ps=flow.start_ps,
+                    cwnd=cca.init_cwnd, rto_ps=cca.init_rto_ps,
+                )
+                self.world.sender_of_flow[flow.flow_id] = sidx
+                ridx = self.world.receivers.add(
+                    flow_id=flow.flow_id, host=flow.dst, total_segs=total,
+                    needs_ack=int(flow.transport != Transport.UDP),
+                    out_of_order=set(),
+                )
+                self.world.receiver_of_flow[flow.flow_id] = ridx
+                self.results.flows[flow.flow_id] = FlowResult(
+                    flow.flow_id, flow.start_ps, None, flow.size_bytes
+                )
+                if flow.transport == Transport.UDP:
+                    # UDP pacing is driven by wakeup visits.
+                    self._insert(flow.start_ps, flow.src,
+                                 (ENTRY_UDP, flow.flow_id))
+                else:
+                    self._insert(flow.start_ps, flow.src,
+                                 (ENTRY_FLOW_START, flow.start_ps,
+                                  flow.flow_id))
         self._built = True
         self._maybe_init_memo()
+
+    @staticmethod
+    def _assign_column(table, name: str, lo: int, hi: int, values) -> None:
+        """Write one batch into a component column, backend-agnostic.
+
+        List columns (Python backend) take plain-int lists — the scalar
+        boundary that keeps traces byte-identical; ndarray columns take
+        the arrays directly.
+        """
+        col = table.column(name)
+        if isinstance(col, list):
+            col[lo:hi] = values.tolist()
+        else:
+            col[lo:hi] = values
+
+    def _build_flows_columnar(self, sc: Scenario) -> None:
+        """Bulk sender/receiver construction from columnar traffic.
+
+        Consumes :meth:`~repro.traffic.FlowColumns.iter_batches` — per
+        batch, every per-flow quantity (segment totals, CCA initial
+        windows, ACK requirements) is computed vectorized and written
+        with one slice assignment per component column.  No Flow object
+        is ever materialized; the semantics match the scalar loop in
+        :meth:`build` row for row.
+        """
+        import numpy as np
+        from ..protocols.packet import MSS
+        flows = sc.flows
+        world = self.world
+        n = len(flows)
+        s_base = world.senders.add_many(n).start
+        r_base = world.receivers.add_many(n).start
+        dctcp, reno = sc.dctcp, sc.reno
+        results_flows = self.results.flows
+        insert = self._insert
+        oo_col = world.receivers.column("out_of_order")
+        udp = int(Transport.UDP)
+        dctcp_code = int(Transport.DCTCP)
+        for first, cols in flows.iter_batches():
+            src = cols["src"]
+            dst = cols["dst"]
+            size = cols["size_bytes"]
+            start = cols["start_ps"]
+            transport = cols["transport"]
+            k = len(src)
+            lo_s, hi_s = s_base + first, s_base + first + k
+            lo_r, hi_r = r_base + first, r_base + first + k
+            fid = np.arange(first, first + k, dtype=np.int64)
+            total = (size + MSS - 1) // MSS
+            is_dctcp = transport == dctcp_code
+            cwnd = np.where(is_dctcp, float(dctcp.init_cwnd),
+                            float(reno.init_cwnd))
+            rto = np.where(is_dctcp, dctcp.init_rto_ps, reno.init_rto_ps)
+            assign = self._assign_column
+            senders, receivers = world.senders, world.receivers
+            assign(senders, "flow_id", lo_s, hi_s, fid)
+            assign(senders, "src", lo_s, hi_s, src)
+            assign(senders, "dst", lo_s, hi_s, dst)
+            assign(senders, "transport", lo_s, hi_s, transport)
+            assign(senders, "size_bytes", lo_s, hi_s, size)
+            assign(senders, "total_segs", lo_s, hi_s, total)
+            assign(senders, "start_ps", lo_s, hi_s, start)
+            assign(senders, "cwnd", lo_s, hi_s, cwnd)
+            assign(senders, "rto_ps", lo_s, hi_s, rto)
+            assign(receivers, "flow_id", lo_r, hi_r, fid)
+            assign(receivers, "host", lo_r, hi_r, dst)
+            assign(receivers, "total_segs", lo_r, hi_r, total)
+            assign(receivers, "needs_ack", lo_r, hi_r,
+                   (transport != udp).astype(np.int64))
+            for i in range(lo_r, hi_r):
+                oo_col[i] = set()
+            src_l = src.tolist()
+            size_l = size.tolist()
+            start_l = start.tolist()
+            transport_l = transport.tolist()
+            fid_l = fid.tolist()
+            for f, s_node, st, sz, tr in zip(fid_l, src_l, start_l,
+                                             size_l, transport_l):
+                results_flows[f] = FlowResult(f, st, None, sz)
+                if tr == udp:
+                    insert(st, s_node, (ENTRY_UDP, f))
+                else:
+                    insert(st, s_node, (ENTRY_FLOW_START, st, f))
+        world.sender_of_flow.update(
+            zip(range(n), range(s_base, s_base + n)))
+        world.receiver_of_flow.update(
+            zip(range(n), range(r_base, r_base + n)))
 
     def _maybe_init_memo(self) -> None:
         """Attach a :class:`~repro.core.memo.WindowMemoCache` when the
@@ -262,13 +353,16 @@ class DodEngine:
             return
         sc = self.scenario
         from ..protocols.aqm import AqmKind
+        has_udp = getattr(sc.flows, "has_udp", None)
+        if has_udp is None:
+            has_udp = any(f.transport == Transport.UDP for f in sc.flows)
         if (self.system_order != "paper"
                 or not self.deliveries_local
                 or self.sample_queues
                 or sc.host_egress.aqm.kind == AqmKind.RED
                 or sc.switch_egress.aqm.kind == AqmKind.RED
                 or sc.ecmp_mode == "packet"
-                or not any(f.transport == Transport.UDP for f in sc.flows)):
+                or not has_udp):
             return
         from .memo import WindowMemoCache
         self._memo = WindowMemoCache(self)

@@ -222,9 +222,14 @@ class WindowMemoCache:
         engine.bus.subscribe_trace(self._tap)
         scenario = engine.scenario
         from ..traffic import Transport
-        self._udp_flows = frozenset(
-            f.flow_id for f in scenario.flows
-            if f.transport == Transport.UDP)
+        udp_ids = getattr(scenario.flows, "udp_flow_ids", None)
+        if udp_ids is not None:
+            # Columnar traffic: read the transport column directly.
+            self._udp_flows = frozenset(udp_ids())
+        else:
+            self._udp_flows = frozenset(
+                f.flow_id for f in scenario.flows
+                if f.transport == Transport.UDP)
         self._scheds: Dict[int, UdpSchedule] = {}
         self._nics: Dict[int, int] = {}
         self._routes: Dict[Tuple[int, int, int], int] = {}

@@ -271,8 +271,15 @@ def commit_send(engine, ctx: WindowContext, results) -> None:
     flows = engine.scenario.flows
     nic_of = getattr(engine, "_flow_nic", None)
     if nic_of is None:
-        nic_of = engine._flow_nic = [
-            topo.host_iface(f.src).iface_id for f in flows]
+        src_list = getattr(flows, "src_list", None)
+        host_iface = topo.host_iface
+        if src_list is not None:
+            # Columnar traffic: map sources without Flow facades.
+            nic_of = engine._flow_nic = [
+                host_iface(s).iface_id for s in src_list()]
+        else:
+            nic_of = engine._flow_nic = [
+                host_iface(f.src).iface_id for f in flows]
     staged = ctx.staged
     counts = ctx.counts
     node_events = engine.results.node_events

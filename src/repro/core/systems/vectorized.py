@@ -175,8 +175,13 @@ def send_batch_kernel(cols, sender_of_flow, scenario, acks_of, starts,
                       window_end, flow_ids: List[int]):
     """One worker's slice of the sender sweep, flow by flow in order."""
     out = []
+    flows = scenario.flows
+    tr_at = getattr(flows, "transport_at", None)
+    udp = int(Transport.UDP)
     for flow_id in flow_ids:
-        if scenario.flows[flow_id].transport == Transport.UDP:
+        is_udp = (tr_at(flow_id) == udp if tr_at is not None
+                  else flows[flow_id].transport == Transport.UDP)
+        if is_udp:
             out.append(_udp_send_kernel(cols, scenario, window_end,
                                         flow_id, sender_of_flow[flow_id]))
         else:

@@ -18,7 +18,7 @@ from .routing import Fib, build_fib
 from .schedulers import SchedulerKind
 from .protocols.dctcp import DctcpParams, RENO_ECN_PARAMS
 from .topology import Topology
-from .traffic import Flow, Transport, validate_flows
+from .traffic import Flow, FlowColumns, Transport, validate_flows
 
 
 #: Hosts get a large FIFO NIC queue: the sender's own congestion control,
@@ -43,7 +43,9 @@ class Scenario:
 
     name: str
     topology: Topology
-    flows: List[Flow]
+    #: Validated flows: a ``List[Flow]`` or a columnar
+    #: :class:`~repro.traffic.FlowColumns` (same Sequence surface).
+    flows: Sequence[Flow]
     fib: Fib
     switch_egress: EgressConfig
     host_egress: EgressConfig
@@ -66,7 +68,10 @@ class Scenario:
         return self.topology.min_link_delay_ps()
 
     def flow_priority(self, flow_id: int) -> int:
-        return self.flows[flow_id].priority
+        flows = self.flows
+        if isinstance(flows, FlowColumns):
+            return flows.priority_at(flow_id)
+        return flows[flow_id].priority
 
     def cca_params(self, transport) -> DctcpParams:
         """Window-CCA constants for a flow's transport (DCTCP or RENO)."""
@@ -74,7 +79,10 @@ class Scenario:
 
     def classifier_table(self) -> List[int]:
         """flow_id -> traffic class, used by egress-port classifiers."""
-        return [f.priority for f in self.flows]
+        flows = self.flows
+        if isinstance(flows, FlowColumns):
+            return flows.priority_list()
+        return [f.priority for f in flows]
 
 
 def make_scenario(
@@ -103,7 +111,11 @@ def make_scenario(
         duration_ps: Optional hard stop.
         fib: Pre-built FIB (else built here with ``fib_workers`` threads).
     """
-    flows = validate_flows(flows, topology.hosts)
+    if isinstance(flows, FlowColumns):
+        # Columnar traffic: vectorized validation, no Flow materialization.
+        flows.validate_against(topology.hosts)
+    else:
+        flows = validate_flows(flows, topology.hosts)
     if fib is None:
         fib = build_fib(topology, workers=fib_workers)
     if aqm is None:
@@ -123,7 +135,7 @@ def make_scenario(
     return Scenario(
         name=name or f"{topology.name}/{len(flows)}flows",
         topology=topology,
-        flows=list(flows),
+        flows=flows if isinstance(flows, FlowColumns) else list(flows),
         fib=fib,
         switch_egress=switch_egress,
         host_egress=host_egress,

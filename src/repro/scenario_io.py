@@ -20,9 +20,14 @@ from .protocols.dctcp import DctcpParams
 from .scenario import Scenario
 from .schedulers import SchedulerKind
 from .topology import NodeKind, Topology
-from .traffic import Flow, Transport
+from .traffic import Flow, FlowColumns, Transport
 
-FORMAT = "repro-scenario-v1"
+#: v2 adds columnar traffic: scenarios whose flows are a
+#: :class:`~repro.traffic.FlowColumns` serialize as parallel columns
+#: under ``flow_columns`` instead of one dict per flow.  v1 documents
+#: (per-flow dicts only) still load.
+FORMAT = "repro-scenario-v2"
+_READABLE_FORMATS = ("repro-scenario-v1", FORMAT)
 
 
 def _topology_to_dict(topo: Topology) -> Dict[str, Any]:
@@ -130,7 +135,6 @@ def scenario_to_json(scenario: Scenario, out: Optional[TextIO] = None,
         "format": FORMAT,
         "name": scenario.name,
         "topology": _topology_to_dict(scenario.topology),
-        "flows": [_flow_to_dict(f) for f in scenario.flows],
         "switch_egress": _egress_to_dict(scenario.switch_egress),
         "host_egress": _egress_to_dict(scenario.host_egress),
         "dctcp": _dctcp_to_dict(scenario.dctcp),
@@ -138,6 +142,10 @@ def scenario_to_json(scenario: Scenario, out: Optional[TextIO] = None,
         "duration_ps": scenario.duration_ps,
         "ecmp_mode": scenario.ecmp_mode,
     }
+    if isinstance(scenario.flows, FlowColumns):
+        doc["flow_columns"] = scenario.flows.to_dict()
+    else:
+        doc["flows"] = [_flow_to_dict(f) for f in scenario.flows]
     text = json.dumps(doc, indent=indent)
     if out is not None:
         out.write(text)
@@ -150,10 +158,13 @@ def scenario_from_json(source: Union[str, TextIO]) -> Scenario:
         doc = json.load(source)
     else:
         doc = json.loads(source)
-    if doc.get("format") != FORMAT:
+    if doc.get("format") not in _READABLE_FORMATS:
         raise ConfigError(f"unknown scenario format {doc.get('format')!r}")
     topo = _topology_from_dict(doc["topology"])
-    flows = [_flow_from_dict(f) for f in doc["flows"]]
+    if "flow_columns" in doc:
+        flows = FlowColumns.from_dict(doc["flow_columns"])
+    else:
+        flows = [_flow_from_dict(f) for f in doc["flows"]]
     from .routing import build_fib
     return Scenario(
         name=doc["name"],

@@ -1,13 +1,19 @@
-"""Traffic: flows, empirical size distributions, workload generators."""
+"""Traffic: flows, size distributions, generators, arrival processes."""
 
 from .flow import Flow, Transport, validate_flows
 from .distributions import (
     DISTRIBUTIONS, EmpiricalSize, FB_CACHE, TINY, WEB_SEARCH,
 )
 from .generators import fixed_flows, full_mesh_dynamic, incast, permutation
+from .arrivals import (
+    ARRIVAL_KINDS, ArrivalProcess, FlowColumns, INTERARRIVAL_CDFS,
+    synthesize,
+)
 
 __all__ = [
     "Flow", "Transport", "validate_flows",
     "DISTRIBUTIONS", "EmpiricalSize", "FB_CACHE", "TINY", "WEB_SEARCH",
     "fixed_flows", "full_mesh_dynamic", "incast", "permutation",
+    "ARRIVAL_KINDS", "ArrivalProcess", "FlowColumns", "INTERARRIVAL_CDFS",
+    "synthesize",
 ]

@@ -60,7 +60,15 @@ def full_mesh_dynamic(
         max_flows: Optional hard cap (for scaled-down runs; the cap is
             recorded by the caller in EXPERIMENTS.md).
         host_weights: Optional endpoint popularity (defaults to uniform);
-            see :func:`zipf_weights` for skewed WAN traffic.
+            see :func:`zipf_weights` for skewed WAN traffic.  Paired
+            positionally with ``hosts`` *as given*, then canonicalized
+            together.
+
+    The output depends only on the host set (and each host's weight),
+    never on the container's iteration order: hosts are canonicalized to
+    ascending id — with weights re-paired — before any draw, so a
+    ``set``, a reversed list, and a sorted list of the same hosts all
+    yield the same flows.
     """
     if not 0 < load:
         raise ConfigError("load must be positive")
@@ -74,12 +82,16 @@ def full_mesh_dynamic(
     flows: List[Flow] = []
     t = 0.0
     flow_id = 0
-    host_arr = np.asarray(list(hosts))
+    host_arr = np.fromiter((int(h) for h in hosts), dtype=np.int64)
     weights = None
     if host_weights is not None:
         weights = np.asarray(host_weights, dtype=np.float64)
         if weights.shape[0] != host_arr.shape[0]:
             raise ConfigError("host_weights length must match hosts")
+    order = np.argsort(host_arr, kind="stable")
+    host_arr = host_arr[order]
+    if weights is not None:
+        weights = weights[order]
         weights = weights / weights.sum()
     while True:
         t += rng.exponential(1.0 / lam_per_ps)
@@ -177,7 +189,13 @@ def incast(
     start_ps: int = 0,
     stagger_ps: int = 0,
 ) -> List[Flow]:
-    """Many-to-one incast toward ``target`` (partition/aggregate pattern)."""
+    """Many-to-one incast toward ``target`` (partition/aggregate pattern).
+
+    Senders are canonicalized to ascending id, so the flow-id -> sender
+    assignment (and with it the stagger schedule) depends only on the
+    sender *set*, not on the container's iteration order.
+    """
+    senders = sorted(int(s) for s in senders)
     if target in senders:
         raise ConfigError("target must not be among the senders")
     return [

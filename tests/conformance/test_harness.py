@@ -13,8 +13,8 @@ from repro.conformance.generator import (
     ScenarioSpec, generate_spec, shrink, shrink_candidates,
 )
 from repro.conformance.inject import (
-    flipped_transmit_order, stale_cache_delta, stale_window_index,
-    torn_shm_read, unstable_transmit_sort,
+    flipped_transmit_order, skewed_arrival_stream, stale_cache_delta,
+    stale_window_index, torn_shm_read, unstable_transmit_sort,
 )
 from repro.conformance.invariants import check_invariants
 from repro.conformance.oracles import run_oracle
@@ -266,6 +266,35 @@ class TestFuzzLoop:
         with torn_shm_read():
             assert not replay_file(result.artifact, SHM_ORACLES).ok
         assert replay_file(result.artifact, SHM_ORACLES).ok
+
+    def test_planted_skewed_arrivals_are_caught_and_shrunk(self, tmp_path):
+        """The columnar-traffic drill: skew the first arrival batch's
+        inter-arrival gaps by 7 us inside the ``batch_filter`` hook.
+        Only consumers of the batch iterator are infected — the DOD
+        builder's columnar path — while the OOD reference materializes
+        flows scalar-wise and stays truthful.  The fuzz loop must reach
+        a columnar spec (``wan_twin`` / ``storage``), catch the time
+        shift as a trace divergence, and shrink it small."""
+        with skewed_arrival_stream():
+            result = fuzz(5, 25, NUMPY_ORACLES, do_shrink=True,
+                          artifact_dir=tmp_path)
+        assert not result.ok, "planted bug survived 25 fuzz runs"
+        assert result.shrunk is not None
+        assert result.shrunk.spec.traffic in ("wan_twin", "storage")
+        assert result.shrunk.spec.num_nodes() <= 8
+        div = result.shrunk.divergences[0]
+        assert div.window is not None and div.system and div.entity
+
+        # Per-flow traffic kinds never touch the batch hook: a fixed
+        # spec stays byte-identical with the bug live.
+        with skewed_arrival_stream():
+            assert check_spec(SMALL, FAST_ORACLES).ok
+
+        # The artifact replays: still failing under the bug, clean after.
+        assert result.artifact is not None and result.artifact.exists()
+        with skewed_arrival_stream():
+            assert not replay_file(result.artifact, NUMPY_ORACLES).ok
+        assert replay_file(result.artifact, NUMPY_ORACLES).ok
 
     def test_artifact_round_trip(self, tmp_path):
         report = check_spec(SMALL, FAST_ORACLES)

@@ -126,3 +126,63 @@ class TestGenerators:
         assert [f.start_ps for f in flows] == [0, 10, 20, 30]
         with pytest.raises(ConfigError):
             incast(3, [1, 2, 3], 100)
+
+
+class TestGeneratorCanonicalOrder:
+    """Generators must depend on the host *set*, not container order —
+    and their exact output is pinned so an accidental reordering (or a
+    silent RNG-consumption change) shows up as a digest mismatch, not
+    as a mystery divergence three layers up in the conformance suite."""
+
+    HOSTS = list(range(10, 22))
+
+    @staticmethod
+    def _digest(flows):
+        import hashlib
+        blob = repr([(f.flow_id, f.src, f.dst, f.size_bytes, f.start_ps,
+                      int(f.transport), f.priority) for f in flows]).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def _mesh(self, hosts, weights=None):
+        return full_mesh_dynamic(hosts, duration_ps=200_000_000, load=0.4,
+                                 host_rate_bps=10 * GBPS, sizes=TINY,
+                                 seed=7, max_flows=40, host_weights=weights)
+
+    def test_full_mesh_digest_pinned(self):
+        flows = self._mesh(self.HOSTS)
+        assert len(flows) == 40
+        assert self._digest(flows) == "99da2a3569ee2608"
+
+    def test_full_mesh_weighted_digest_pinned(self):
+        w = zipf_weights(len(self.HOSTS), 1.1)
+        assert self._digest(self._mesh(self.HOSTS, w)) == "53a22e11a9ccb4f4"
+
+    def test_incast_digest_pinned(self):
+        flows = incast(5, list(range(6, 14)), size_bytes=30_000,
+                       stagger_ps=1_000_000)
+        assert self._digest(flows) == "7cddef0f946d3c72"
+
+    def test_full_mesh_ignores_container_order(self):
+        ref = self._digest(self._mesh(self.HOSTS))
+        assert self._digest(self._mesh(list(reversed(self.HOSTS)))) == ref
+        assert self._digest(self._mesh(tuple(self.HOSTS))) == ref
+
+    def test_full_mesh_weights_stay_paired_with_hosts(self):
+        w = zipf_weights(len(self.HOSTS), 1.1)
+        ref = self._digest(self._mesh(self.HOSTS, w))
+        # Reversing hosts AND weights together is the same host->weight
+        # mapping, so the output must be identical.
+        assert self._digest(
+            self._mesh(list(reversed(self.HOSTS)), w[::-1])) == ref
+        # Reversing only the hosts changes the mapping — and the flows.
+        assert self._digest(
+            self._mesh(list(reversed(self.HOSTS)), w)) != ref
+
+    def test_incast_ignores_container_order(self):
+        ref = self._digest(incast(5, list(range(6, 14)), size_bytes=30_000,
+                                  stagger_ps=1_000_000))
+        assert self._digest(incast(5, set(range(6, 14)), size_bytes=30_000,
+                                   stagger_ps=1_000_000)) == ref
+        assert self._digest(incast(5, list(range(13, 5, -1)),
+                                   size_bytes=30_000,
+                                   stagger_ps=1_000_000)) == ref

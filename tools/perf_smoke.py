@@ -24,6 +24,12 @@ fast-forwarded run must reproduce the plain run's event counts exactly,
 record a nonzero hit count, and keep ``ratio_ffwd_over_plain`` under
 ``FFWD_GATE``.
 
+The workload library carries a standing gate on its headline scale: a
+100k-flow DiffServ WAN twin (``wan_twin_s``) is synthesized columnar
+and executed on the preferred backend every repeat; the flow budget
+must be met and the python/numpy backends must agree on its event
+counts exactly.
+
 The distributed stack is measured on the zero-copy shared-memory
 transport (2 process agents, ``transport="shm"``), paired per repeat
 against the best serial engine run of the same iteration, plus a
@@ -143,6 +149,7 @@ def measure() -> dict:
     FULL-trace oracle runs + diff + invariants, so harness overhead is
     tracked like any other hot path)."""
     from repro.bench.scenarios import steady_state_scenario
+    from repro.bench.workloads import wan_twin_smoke
     from repro.cluster import DonsManager
     from repro.conformance.runner import check_spec
     from repro.core.engine import DodEngine, run_dons
@@ -160,6 +167,11 @@ def measure() -> dict:
 
     scenario = smoke_scenario()
     steady = steady_state_scenario()
+    # The workload-library entry: a 100k-flow DiffServ WAN twin
+    # synthesized columnar (the arrival engine's headline scale).  The
+    # duration cut keeps the executed event count smoke-sized; the
+    # synthesis itself covers all 100k flows every repeat.
+    wan_twin = wan_twin_smoke(100_000)
     partitions = {n: contiguous_partition(scenario.topology, n)
                   for n in CLUSTER_CURVE}
     fuzz_spec = fuzz_runner_spec()
@@ -167,9 +179,11 @@ def measure() -> dict:
     cluster_curve_s = {n: [] for n in CLUSTER_CURVE}
     telem_s = []
     steady_s, ffwd_s = [], []
+    wan_s = []
     batch_s = {1: [], 4: [], 8: []}
     ood_res = dons_res = numpy_res = cluster_run = fuzz_report = None
     telem_res = batched_res = steady_res = ffwd_res = None
+    wan_res = wan_py_res = None
     ffwd_hits = 0
     for _ in range(REPEATS):
         t0 = time.perf_counter()
@@ -219,6 +233,17 @@ def measure() -> dict:
             cluster_curve_s[n].append(time.perf_counter() - t0)
             if n == 2:
                 cluster_run = run
+        # The WAN-twin entry times the preferred backend; one untimed
+        # python-backend run backs the cross-backend event-equality gate
+        # (counts are deterministic, so once is enough).
+        wan_backend = "numpy" if have_numpy else "python"
+        t0 = time.perf_counter()
+        wan_res = run_dons(wan_twin, backend=wan_backend, batch_windows=1)
+        wan_s.append(time.perf_counter() - t0)
+        if wan_py_res is None:
+            wan_py_res = (run_dons(wan_twin, backend="python",
+                                   batch_windows=1)
+                          if have_numpy else wan_res)
         t0 = time.perf_counter()
         fuzz_report = check_spec(fuzz_spec, ("ood", "dons"))
         fuzz_s.append(time.perf_counter() - t0)
@@ -237,6 +262,8 @@ def measure() -> dict:
                          if batch_s[1] else None),
         "dons_steady_s": min(steady_s),
         "dons_ffwd_s": min(ffwd_s),
+        "wan_twin_s": min(wan_s),
+        "wan_twin_flows": len(wan_twin.flows),
         "cluster_s": min(cluster_curve_s[2]),
         "cluster_scaling": {str(n): min(v)
                             for n, v in cluster_curve_s.items()},
@@ -278,6 +305,8 @@ def measure() -> dict:
         "cluster_windows": cluster_run.traffic.windows,
         "dons_steady_events": _events(steady_res),
         "dons_ffwd_events": _events(ffwd_res),
+        "wan_twin_events": _events(wan_res),
+        "wan_twin_events_python": _events(wan_py_res),
         "ffwd_hits": ffwd_hits,
         "fuzz_ok": fuzz_report.ok,
         "fuzz_entries": fuzz_report.entry_counts.get("dons", 0),
@@ -314,6 +343,9 @@ def main(argv=None) -> int:
     print(f"ffwd     : {report['dons_ffwd_s']:.3f}s  "
           f"(ratio {report['ratio_ffwd_over_plain']:.3f}, "
           f"gate {FFWD_GATE:.2f}, {report['ffwd_hits']} hits)")
+    print(f"wan twin : {report['wan_twin_s']:.3f}s  "
+          f"({report['wan_twin_flows']} flows synthesized, "
+          f"{report['wan_twin_events']['total']} events)")
     print(f"cluster2 : {report['cluster_s']:.3f}s  "
           f"({report['cluster_events']['total']} events, "
           f"{report['cluster_windows']} windows, shm transport)")
@@ -393,6 +425,22 @@ def main(argv=None) -> int:
               f"by the standing margin", file=sys.stderr)
         return 1
 
+    # The workload library's standing gates (not baseline-relative):
+    # the WAN-twin smoke must synthesize its full flow budget, and the
+    # backends must agree on its event counts exactly — the arrival
+    # engine's columnar build path is only correct if both backends
+    # read the same traffic.
+    if report["wan_twin_flows"] < 100_000:
+        print(f"FAIL: wan twin synthesized only "
+              f"{report['wan_twin_flows']} flows (< 100000)",
+              file=sys.stderr)
+        return 1
+    if report["wan_twin_events"] != report["wan_twin_events_python"]:
+        print(f"FAIL: wan twin backend events diverge: "
+              f"{report['wan_twin_events']} != "
+              f"{report['wan_twin_events_python']}", file=sys.stderr)
+        return 1
+
     # The distributed stack's standing gates: the merged 2-agent run
     # must reproduce the serial event counts exactly, and — when agent
     # parallelism is physically possible — the shm cluster must beat
@@ -429,7 +477,8 @@ def main(argv=None) -> int:
     failures = []
     for key in ("ood_events", "dons_events", "dons_numpy_events",
                 "dons_numpy_batched_events", "cluster_events",
-                "dons_steady_events", "dons_ffwd_events"):
+                "dons_steady_events", "dons_ffwd_events",
+                "wan_twin_events"):
         if report[key] != base.get(key, report[key]):
             failures.append(f"{key} changed: {base[key]} -> {report[key]}")
     if report["cluster_windows"] != base.get("cluster_windows",
