@@ -194,17 +194,27 @@ class _Progress:
             return
         self._last = now
         elapsed = now - self.t0
-        parts = [f"{steps} windows"]
-        events = getattr(getattr(self.engine, "results", None), "events",
+        prog = getattr(self.engine, "progress", None)
+        p = prog() if callable(prog) else {}
+        parts = [f"{p.get('windows', steps)} windows"]
+        events = p.get("events")
+        if events is None:
+            ev = getattr(getattr(self.engine, "results", None), "events",
                          None)
-        if events is not None and events.total and elapsed > 0:
-            parts.append(f"{events.total / elapsed:,.0f} ev/s")
-        cursor = getattr(self.engine, "_cursor", -1)
-        if self.duration and self.lookahead and cursor > 0 and elapsed > 0:
-            frac = min(1.0, cursor * self.lookahead / self.duration)
-            if frac > 0:
-                eta = elapsed * (1.0 - frac) / frac
-                parts.append(f"{frac * 100:3.0f}% eta {eta:5.1f}s")
+            events = ev.total if ev is not None else 0
+        if elapsed > 0:
+            parts.append(f"{events / elapsed:,.0f} ev/s")
+        frac = p.get("done")
+        if frac is None and self.duration and self.lookahead:
+            cursor = getattr(self.engine, "_cursor", -1)
+            if cursor > 0:
+                frac = min(1.0, cursor * self.lookahead / self.duration)
+        if frac and elapsed > 0:
+            eta = elapsed * (1.0 - frac) / frac
+            parts.append(f"{frac * 100:3.0f}% eta {eta:5.1f}s")
+        else:
+            # No duration cut to project against: show elapsed instead.
+            parts.append(f"t+{elapsed:.1f}s")
         times = getattr(getattr(self.engine, "transport", None),
                         "window_times", None)
         if times:
@@ -223,6 +233,27 @@ def _progress_for(args, engine, scenario) -> Optional[_Progress]:
     if not getattr(args, "progress", False):
         return None
     return _Progress(engine, scenario.duration_ps, scenario.lookahead_ps)
+
+
+def _live_for(args, engine):
+    """Attach the live observability plane when the invocation asks for
+    it: ``profile --live FILE`` / ``stats --watch`` (NDJSON stream),
+    ``--metrics-port`` or ``$REPRO_METRICS_PORT`` (OpenMetrics
+    endpoint).  Returns a started ``LivePlane`` or ``None``."""
+    target = getattr(args, "live", None)
+    watch = getattr(args, "watch", False)
+    port = getattr(args, "metrics_port", None)
+    if (target is None and not watch and port is None
+            and not os.environ.get("REPRO_METRICS_PORT")):
+        return None
+    from .metrics.live import LivePlane
+    if watch or target == "-":
+        plane = LivePlane(engine, stream=sys.stderr, metrics_port=port)
+    else:
+        plane = LivePlane(engine, path=target, metrics_port=port)
+    if plane.server is not None:
+        print(f"metrics endpoint: {plane.server.url}", file=sys.stderr)
+    return plane
 
 
 def cmd_run(args) -> int:
@@ -274,26 +305,34 @@ def cmd_profile(args) -> int:
                           telemetry=bool(telemetry))
         engine = mgr._engine(plan_scenario(scenario, mgr.cluster).partition)
         progress = _progress_for(args, engine, scenario)
+        live = _live_for(args, engine)
         try:
-            from .core.runner import EngineRunner
-            EngineRunner(engine, on_step=progress).run()
+            from .core.runner import EngineRunner, chain_hooks
+            EngineRunner(engine, on_step=chain_hooks(
+                progress, live.on_step if live else None)).run()
         finally:
             if progress:
                 progress.close()
+            if live:
+                live.close()
         results, bus = engine.results, engine.bus
         agent_times = measured_machine_times(bus, args.cluster)
     else:
         from .core.engine import DodEngine
-        from .core.runner import EngineRunner
+        from .core.runner import EngineRunner, chain_hooks
         eng = DodEngine(scenario, workers=args.workers,
                         backend=args.backend, telemetry=telemetry,
                         ffwd=args.ffwd)
         progress = _progress_for(args, eng, scenario)
+        live = _live_for(args, eng)
         try:
-            results = EngineRunner(eng, on_step=progress).run()
+            results = EngineRunner(eng, on_step=chain_hooks(
+                progress, live.on_step if live else None)).run()
         finally:
             if progress:
                 progress.close()
+            if live:
+                live.close()
         bus = eng.bus
         agent_times = None
     if args.timeline:
@@ -349,21 +388,29 @@ def cmd_stats(args) -> int:
     cluster runs) the per-agent busy / barrier-wait series — as JSON or
     CSV, to stdout or ``--out FILE`` (with a provenance manifest)."""
     import json
+    from .core.runner import EngineRunner
     scenario = build_scenario(args)
     if args.cluster:
         from .cluster import DonsManager
-        from .partition import ClusterSpec
+        from .partition import ClusterSpec, plan_scenario
         mgr = DonsManager(scenario, ClusterSpec.homogeneous(args.cluster),
                           workers_per_agent=args.workers,
                           transport=args.transport,
                           backend=args.backend, telemetry=True)
-        bus = mgr.run().bus
+        engine = mgr._engine(plan_scenario(scenario, mgr.cluster).partition)
     else:
         from .core.engine import DodEngine
-        eng = DodEngine(scenario, workers=args.workers,
-                        backend=args.backend, telemetry=True)
-        eng.run()
-        bus = eng.bus
+        engine = DodEngine(scenario, workers=args.workers,
+                           backend=args.backend, telemetry=True,
+                           ffwd=args.ffwd)
+    live = _live_for(args, engine)
+    try:
+        EngineRunner(engine,
+                     on_step=live.on_step if live else None).run()
+    finally:
+        if live:
+            live.close()
+    bus = engine.bus
     from .metrics.timeline import stats_csv, stats_dict, write_stats
     if args.out:
         write_stats(bus, args.out, fmt=args.format, manifest=dict(
@@ -491,6 +538,17 @@ def make_parser() -> argparse.ArgumentParser:
                               "cross-agent traffic is pending)")
     profile.add_argument("--progress", action="store_true",
                          help="stderr progress/ETA line (TTY only)")
+    profile.add_argument("--live", metavar="FILE",
+                         help="stream NDJSON progress records to FILE "
+                              "('-' = stderr) while the run executes; with "
+                              "--timeline the flight recorder also arms and "
+                              "dumps FILE.flight.json on crash/SIGUSR1")
+    profile.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve OpenMetrics text at "
+                              "http://127.0.0.1:PORT/metrics during the run "
+                              "(0 = ephemeral port, printed to stderr; "
+                              "default: $REPRO_METRICS_PORT)")
     profile.set_defaults(fn=cmd_profile)
 
     stats = sub.add_parser(
@@ -505,6 +563,22 @@ def make_parser() -> argparse.ArgumentParser:
                        help="write to FILE (plus FILE.manifest.json) "
                             "instead of stdout")
     stats.add_argument("--format", choices=["json", "csv"], default="json")
+    stats.add_argument("--watch", action="store_true",
+                       help="stream NDJSON progress records to stderr "
+                            "while the run executes (the live plane; "
+                            "stdout still gets the final stats)")
+    stats.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve OpenMetrics text at "
+                            "http://127.0.0.1:PORT/metrics during the run "
+                            "(0 = ephemeral port; default: "
+                            "$REPRO_METRICS_PORT)")
+    stats.add_argument("--ffwd", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="window-signature memo fast-forwarding, as in "
+                            "profile --ffwd — lets the memo.* counters "
+                            "show up in the exported stats (default: "
+                            "$REPRO_FFWD, then off)")
     stats.set_defaults(fn=cmd_stats)
 
     plan = sub.add_parser("plan", parents=[common],

@@ -134,6 +134,7 @@ class DonsManager:
         backend: Optional[str] = None,
         telemetry: bool = False,
         batch_windows: Optional[int] = None,
+        watchdog: Union[bool, None, object] = None,
     ) -> None:
         self.scenario = scenario
         self.cluster = cluster
@@ -145,6 +146,7 @@ class DonsManager:
         self.backend = backend
         self.telemetry = telemetry
         self.batch_windows = batch_windows
+        self.watchdog = watchdog
 
     def _specs(self, partition: Partition) -> List[AgentSpec]:
         return [
@@ -166,6 +168,7 @@ class DonsManager:
             checkpoint_every=self.checkpoint_every,
             fault=self.fault,
             batch_windows=self.batch_windows,
+            watchdog=self.watchdog,
         )
 
     def run(

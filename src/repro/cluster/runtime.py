@@ -67,6 +67,7 @@ class ClusterEngine:
         checkpoint_every: Optional[int] = None,
         fault: Optional[FaultPlan] = None,
         batch_windows: Optional[int] = None,
+        watchdog: Union[bool, None, "object"] = None,
     ) -> None:
         if not specs:
             raise ClusterError("no agents")
@@ -107,6 +108,16 @@ class ClusterEngine:
         #: ``measured_times``.
         self._busy_s = [0.0] * len(self.specs)
         self._wait_s = [0.0] * len(self.specs)
+        #: Stall/slowness detector over the same measured window times
+        #: (:class:`repro.metrics.live.ClusterWatchdog`).  ``None`` off,
+        #: ``True`` forced on, default (``None`` argument) arms it when
+        #: the bus is telemetered or ``$REPRO_WATCHDOG`` is set; an
+        #: instance is adopted as-is.  An armed watchdog makes the
+        #: transport measure ``window_times`` even with telemetry off
+        #: (``track_times``) — reply timing without span capture.
+        self.watchdog = self._make_watchdog(watchdog)
+        if self.watchdog is not None:
+            self.transport.track_times = True
         self.results = SimResults(self.name, self.specs[0].scenario.name, 0)
         self.per_agent: List[SimResults] = []
         self.migrations: List = []
@@ -122,6 +133,20 @@ class ClusterEngine:
         self._snap_window = -1
         self._replay_log: Dict[int, List[Record]] = {}
         self._windows_since_snap: List[int] = []
+
+    def _make_watchdog(self, arg: Union[bool, None, "object"]):
+        if arg is False:
+            return None
+        if arg is None:
+            armed = self.bus.telemetry or os.environ.get(
+                "REPRO_WATCHDOG", "") not in ("", "0", "false", "off")
+            if not armed:
+                return None
+            arg = True
+        if arg is True:
+            from ..metrics.live import ClusterWatchdog
+            return ClusterWatchdog(len(self.specs))
+        return arg
 
     # --- convenience views ------------------------------------------------
 
@@ -235,6 +260,8 @@ class ClusterEngine:
         for agent_id, out in enumerate(outboxes):
             if isinstance(out, AgentFailure):
                 outboxes[agent_id] = self._recover(agent_id, window)
+        if self.watchdog is not None:
+            self.watchdog.observe(window, transport.window_times, bus)
         if telemetry:
             self._window_telemetry(window)
             _f0 = bus.now()
@@ -305,6 +332,8 @@ class ClusterEngine:
                     f"agent {agent_id} emitted cross-agent records inside "
                     f"a quiet span [{window}, {horizon})"
                 )
+        if self.watchdog is not None:
+            self.watchdog.observe(window, transport.window_times, bus)
         if telemetry:
             self._window_telemetry(window)
         transport.barrier()
@@ -316,6 +345,24 @@ class ClusterEngine:
                          {"index": window, "span": horizon - window})
         self._cursor = horizon - 1
         return True
+
+    def progress(self) -> Dict[str, object]:
+        """In-flight progress snapshot, same shape as
+        :meth:`repro.core.engine.DodEngine.progress`.
+
+        Per-agent event counts only merge at ``finalize()``, so the
+        ``events`` field stays 0 mid-run on a cluster engine — the live
+        plane documents this and consumers fall back to window progress.
+        """
+        sim_ps = (self._cursor + 1) * self._lookahead if self._cursor >= 0 else 0
+        duration = self.specs[0].scenario.duration_ps
+        return {
+            "windows": self.bus.counters.get("cluster.windows", 0),
+            "sim_ps": sim_ps,
+            "duration_ps": duration,
+            "events": self.results.events.total,
+            "done": min(1.0, sim_ps / duration) if duration else None,
+        }
 
     def _window_telemetry(self, window: int) -> None:
         """Split the window the coordinator just ran into per-agent busy
@@ -361,6 +408,15 @@ class ClusterEngine:
                                            self._busy_s[agent_id])
                     self.bus.metrics.gauge(f"a{agent_id}:barrier_wait_s",
                                            self._wait_s[agent_id])
+            elif self.watchdog is not None:
+                # Telemetry off but the watchdog measured reply times:
+                # export its accumulated busy/wait so the measure →
+                # refit_cluster_spec loop still closes.
+                for agent_id in range(len(self.specs)):
+                    self.bus.metrics.gauge(f"a{agent_id}:busy_s",
+                                           self.watchdog.busy_s[agent_id])
+                    self.bus.metrics.gauge(f"a{agent_id}:barrier_wait_s",
+                                           self.watchdog.wait_s[agent_id])
             self.transport.finalize_stats()
         finally:
             self.transport.close()

@@ -63,6 +63,7 @@ import dataclasses
 import multiprocessing
 import os
 import struct
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -84,6 +85,13 @@ from ..protocols.packet import Row
 
 #: One remote delivery: (arrival_time_ps, node, row).
 Record = Tuple[int, int, Row]
+
+#: Test hook for the watchdog drill: when set, called as
+#: ``stall_injector(agent_id, window)`` just before a LocalTransport
+#: agent executes a window — a test makes it sleep for a chosen agent to
+#: simulate a stalled machine and assert the watchdog flags it.  Always
+#: ``None`` in production.
+stall_injector = None
 
 
 def _env_flag(name: str) -> bool:
@@ -138,9 +146,17 @@ class Transport:
         #: (coordinator-observed; filled only when ``bus`` telemetry is
         #: on) — the runtime turns these into barrier-wait slices.
         self.window_times: List[float] = []
+        #: Force ``window_times`` measurement even with telemetry off —
+        #: set by the runtime when a cluster watchdog is armed, which
+        #: needs per-agent reply times without paying for span capture.
+        self.track_times = False
 
     def _telemetry(self) -> bool:
         return self.bus is not None and self.bus.telemetry
+
+    def _timed(self) -> bool:
+        """Whether ``run_window_all`` should fill ``window_times``."""
+        return self.track_times or self._telemetry()
 
     def _count(self, name: str, n: int = 1) -> None:
         if self.bus is not None:
@@ -335,29 +351,31 @@ class LocalTransport(Transport):
                 for a in range(len(self.engines))]
 
     def run_window(self, agent_id: int, window: int) -> Dict[int, List[Record]]:
+        if stall_injector is not None:
+            stall_injector(agent_id, window)
         return self._engine(agent_id, window).run_window(window)
 
     def run_window_all(self, window: int,
                        active: Optional[Sequence[bool]] = None):
         out: List[Union[Dict[int, List[Record]], AgentFailure]] = []
-        telemetry = self._telemetry()
-        if telemetry:
+        timed = self._timed()
+        if timed:
             self.window_times = []
         for agent_id in range(len(self.engines)):
             if active is not None and not active[agent_id]:
                 out.append({})
-                if telemetry:
+                if timed:
                     self.window_times.append(0.0)
                 continue
-            t0 = self.bus.now() if telemetry else 0.0
+            t0 = time.perf_counter() if timed else 0.0
             try:
                 out.append(self.run_window(agent_id, window))
             except AgentFailure as failure:
                 out.append(failure)
-            if telemetry:
+            if timed:
                 # Serial execution: each agent's busy time is exactly its
                 # own wall time; the runtime derives barrier waits.
-                self.window_times.append(self.bus.now() - t0)
+                self.window_times.append(time.perf_counter() - t0)
         return out
 
     def quiet_all(self, current: int, limit: int) -> List[int]:
@@ -366,15 +384,15 @@ class LocalTransport(Transport):
 
     def run_windows_all(self, current: int, end_window: int):
         out: List[Tuple[int, Dict[int, List[Record]]]] = []
-        telemetry = self._telemetry()
-        if telemetry:
+        timed = self._timed()
+        if timed:
             self.window_times = []
         for agent_id in range(len(self.engines)):
-            t0 = self.bus.now() if telemetry else 0.0
+            t0 = time.perf_counter() if timed else 0.0
             out.append(self._engine(agent_id, current)
                        .run_windows(current, end_window))
-            if telemetry:
-                self.window_times.append(self.bus.now() - t0)
+            if timed:
+                self.window_times.append(time.perf_counter() - t0)
         return out
 
     def accept(self, agent_id: int, records: List[Record]) -> None:
@@ -762,7 +780,7 @@ class ProcessTransport(Transport):
                        active: Optional[Sequence[bool]] = None):
         results: List[Union[Dict[int, List[Record]], AgentFailure]] = []
         sent: List[Optional[bool]] = []
-        telemetry = self._telemetry()
+        timed = self._timed()
         t_sent = 0.0
         for agent_id in range(len(self._workers)):
             if active is not None and not active[agent_id]:
@@ -773,18 +791,18 @@ class ProcessTransport(Transport):
                 sent.append(True)
             except AgentFailure:
                 sent.append(False)
-        if telemetry:
-            t_sent = self.bus.now()
+        if timed:
+            t_sent = time.perf_counter()
             self.window_times = []
         for agent_id in range(len(self._workers)):
             if sent[agent_id] is None:
                 results.append({})
-                if telemetry:
+                if timed:
                     self.window_times.append(0.0)
                 continue
             if not sent[agent_id]:
                 results.append(AgentFailure(agent_id, window))
-                if telemetry:
+                if timed:
                     self.window_times.append(0.0)
                 continue
             try:
@@ -793,32 +811,32 @@ class ProcessTransport(Transport):
                 results.append(self._decode_outbox(agent_id, ref))
             except AgentFailure as failure:
                 results.append(failure)
-            if telemetry:
+            if timed:
                 # Reply-arrival time since fan-out: an upper bound on the
                 # agent's busy time (a fast agent's reply can sit in the
                 # pipe while an earlier recv blocks), good enough for the
                 # runtime's barrier-wait split.
-                self.window_times.append(self.bus.now() - t_sent)
+                self.window_times.append(time.perf_counter() - t_sent)
         return results
 
     def quiet_all(self, current: int, limit: int) -> List[int]:
         return self._fan_out(("quiet", current, limit), current)
 
     def run_windows_all(self, current: int, end_window: int):
-        telemetry = self._telemetry()
+        timed = self._timed()
         t_sent = 0.0
         for agent_id in range(len(self._workers)):
             self._send(agent_id, ("windows", current, end_window), current)
-        if telemetry:
-            t_sent = self.bus.now()
+        if timed:
+            t_sent = time.perf_counter()
             self.window_times = []
         out: List[Tuple[int, Dict[int, List[Record]]]] = []
         for agent_id in range(len(self._workers)):
             last, ref, peek = self._recv(agent_id, current)
             self._note_window_reply(agent_id, peek)
             out.append((last, self._decode_outbox(agent_id, ref)))
-            if telemetry:
-                self.window_times.append(self.bus.now() - t_sent)
+            if timed:
+                self.window_times.append(time.perf_counter() - t_sent)
         return out
 
     def accept_sections(self, agent_id: int, sections: List[Section],

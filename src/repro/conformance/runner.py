@@ -137,6 +137,28 @@ def write_failure_timeline(report: CheckReport,
     return path
 
 
+def write_failure_flight(report: CheckReport,
+                         directory: Path) -> Optional[Path]:
+    """Re-run a failing spec with the flight recorder attached and
+    archive the last-N-windows Chrome-trace dump next to the full
+    timeline — the bounded view a live run would have produced at the
+    moment of failure (and the quickest artifact to eyeball when the
+    full timeline is tens of MB)."""
+    from ..core.engine import DodEngine
+    from ..metrics.live import FlightRecorder
+    directory.mkdir(parents=True, exist_ok=True)
+    try:
+        engine = DodEngine(report.spec.build(), telemetry=True)
+        engine.run()
+    except ReproError:  # a failure can make the re-run itself unrunnable
+        return None
+    path = directory / f"{report.spec.scenario_name()}.flight.json"
+    recorder = FlightRecorder(engine.bus)
+    if recorder.dump(str(path)) is None:
+        return None
+    return path
+
+
 @dataclass
 class FuzzResult:
     """Aggregate outcome of one fuzz campaign."""
@@ -146,6 +168,7 @@ class FuzzResult:
     shrunk: Optional[CheckReport] = None
     artifact: Optional[Path] = None
     timeline: Optional[Path] = None
+    flight: Optional[Path] = None
 
     @property
     def ok(self) -> bool:
@@ -198,6 +221,9 @@ def fuzz(
             result.timeline = write_failure_timeline(final, artifact_dir)
             if result.timeline is not None:
                 emit(f"failure timeline: {result.timeline}")
+            result.flight = write_failure_flight(final, artifact_dir)
+            if result.flight is not None:
+                emit(f"failure flight dump: {result.flight}")
         break
     return result
 

@@ -632,6 +632,26 @@ class DodEngine:
             self._note_batch(progressed)
         return progressed > 0 and budget == 0
 
+    def progress(self) -> Dict[str, Any]:
+        """In-flight progress snapshot (read-only; safe mid-run).
+
+        The live observability plane (:mod:`repro.metrics.live`) and the
+        ``--progress`` meter sample this between ``advance()`` calls:
+        windows executed, simulated time reached, events committed, and
+        the completed fraction of the duration cut (``None`` when the
+        scenario has no cut to measure against).
+        """
+        cursor = self._cursor
+        sim_ps = (cursor + 1) * self.lookahead if cursor >= 0 else 0
+        duration = self.scenario.duration_ps
+        return {
+            "windows": self._windows_run,
+            "sim_ps": sim_ps,
+            "duration_ps": duration,
+            "events": self.results.events.total,
+            "done": min(1.0, sim_ps / duration) if duration else None,
+        }
+
     def _note_batch(self, n: int) -> None:
         """Batched-advance observability: counter always, histogram when
         telemetry is live (neither feeds the trace digest)."""

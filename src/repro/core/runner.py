@@ -106,6 +106,27 @@ class EngineRunner:
         return engine.results
 
 
+def chain_hooks(*hooks):
+    """Compose per-step callbacks into one ``on_step``.
+
+    ``EngineRunner`` takes a single hook; the CLI sometimes needs two on
+    the same run (the ``--progress`` stderr meter *and* the live
+    observability sampler).  ``None`` entries are dropped; a single
+    survivor is returned as-is so the common one-hook path pays nothing.
+    """
+    live = [h for h in hooks if h is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def chained(steps: int) -> None:
+        for hook in live:
+            hook(steps)
+
+    return chained
+
+
 def run_engine(engine: "Engine") -> "SimResults":
     """One-shot convenience: ``EngineRunner(engine).run()``."""
     return EngineRunner(engine).run()

@@ -13,6 +13,10 @@ from .timeline import (
     validate_chrome_trace, validate_timeline_file, write_manifest,
     write_stats, write_timeline,
 )
+from .live import (
+    ClusterWatchdog, FlightRecorder, LivePlane, MetricsServer,
+    openmetrics_text, validate_openmetrics,
+)
 
 __all__ = [
     "Entry", "TraceKind", "TraceLevel", "TraceRecorder",
@@ -25,4 +29,6 @@ __all__ = [
     "validate_chrome_trace", "validate_timeline_file",
     "stats_dict", "stats_csv", "write_stats",
     "run_manifest", "write_manifest",
+    "LivePlane", "MetricsServer", "FlightRecorder", "ClusterWatchdog",
+    "openmetrics_text", "validate_openmetrics",
 ]

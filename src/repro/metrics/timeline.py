@@ -47,7 +47,11 @@ __all__ = [
 #: v2: perf-smoke reports grew the fast-forward entries (dons_steady_s,
 #: dons_ffwd_s, ratio_ffwd_over_plain, ffwd_hits, batch_best_k) and the
 #: counter set gained the memo.* family with the memo.apply_ms histogram.
-TELEMETRY_SCHEMA_VERSION = 2
+#: v3: stats reports grew the derived ``memo`` (hit/miss/hit_rate) and
+#: ``transport_shm`` (frames/bytes/fallbacks) sections, and the live
+#: observability plane (repro.metrics.live) started stamping its flight
+#: recorder dumps with this version.
+TELEMETRY_SCHEMA_VERSION = 3
 TIMELINE_FORMAT = "chrome-trace-events"
 MANIFEST_FORMAT = "repro-run-manifest-v1"
 
@@ -248,6 +252,24 @@ def stats_dict(bus: Any) -> Dict[str, Any]:
         n = max(len(busy or ()), len(wait or ()))
         out["agent_busy_s"] = (busy or [0.0] * n)
         out["agent_barrier_wait_s"] = (wait or [0.0] * n)
+    counters = bus.counters
+    hits = counters.get("memo.hit", 0)
+    lookups = hits + counters.get("memo.miss", 0)
+    if lookups or any(k.startswith("memo.") for k in counters):
+        out["memo"] = {
+            "hit": hits,
+            "miss": counters.get("memo.miss", 0),
+            "ineligible": counters.get("memo.ineligible", 0),
+            "uncacheable": counters.get("memo.uncacheable", 0),
+            "validate_fail": counters.get("memo.validate_fail", 0),
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+    if any(k.startswith("transport.shm_") for k in counters):
+        out["transport_shm"] = {
+            "frames": counters.get("transport.shm_frames", 0),
+            "bytes": counters.get("transport.shm_bytes", 0),
+            "fallbacks": counters.get("transport.shm_fallbacks", 0),
+        }
     return out
 
 
@@ -276,6 +298,9 @@ def stats_csv(bus: Any) -> str:
     for key in ("agent_busy_s", "agent_barrier_wait_s"):
         for agent, value in enumerate(report.get(key, ())):
             writer.writerow(["agent", f"a{agent}", key[6:], value])
+    for section in ("memo", "transport_shm"):
+        for field_name, value in sorted(report.get(section, {}).items()):
+            writer.writerow([section, section, field_name, value])
     return buf.getvalue()
 
 

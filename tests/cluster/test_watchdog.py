@@ -1,0 +1,179 @@
+"""Cluster watchdog: stall/slowness detection over measured reply times.
+
+The drill the issue prescribes: inject a sleep into one agent via the
+transport test hook and assert the watchdog flags it within two
+sampling intervals (here: windows — the watchdog observes every cluster
+window the transport timed).
+"""
+
+import io
+import json
+import time
+
+import pytest
+
+import repro.cluster.transport as transport_mod
+from repro.cluster import DonsManager
+from repro.core.runner import EngineRunner
+from repro.metrics.live import ClusterWatchdog, LivePlane
+from repro.partition import ClusterSpec, plan_scenario, refit_cluster_spec
+from repro.scenario import make_scenario
+from repro.topology import dumbbell
+from repro.traffic import Transport, fixed_flows
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topo = dumbbell(3)
+    flows = fixed_flows(topo.hosts, n_flows=6, size_bytes=40_000,
+                        transport=Transport.DCTCP, seed=5)
+    return make_scenario(topo, flows)
+
+
+@pytest.fixture
+def stall_hook():
+    """Install-and-restore for the transport's stall_injector test hook."""
+    def install(fn):
+        transport_mod.stall_injector = fn
+    yield install
+    transport_mod.stall_injector = None
+
+
+def _cluster_engine(scenario, **kwargs):
+    mgr = DonsManager(scenario, ClusterSpec.homogeneous(2), **kwargs)
+    return mgr._engine(plan_scenario(scenario, mgr.cluster).partition)
+
+
+# --- unit-level ------------------------------------------------------------
+
+def test_watchdog_classifies_slow_and_stalled():
+    dog = ClusterWatchdog(2, slow_factor=4.0, stall_factor=20.0,
+                          min_slow_s=1e-3, min_stall_s=0.05, warmup=2)
+    for window in range(4):  # learn a ~10ms baseline
+        assert dog.observe(window, [0.01, 0.01]) == []
+    slow = dog.observe(4, [0.01, 0.045])
+    assert [e["event"] for e in slow] == ["slow"]
+    stalled = dog.observe(5, [0.01, 0.3])
+    assert [(e["event"], e["agent"], e["window"]) for e in stalled] \
+        == [("stalled", 1, 5)]
+    # Flagged samples never update the baseline that caught them.
+    healthy = dog.observe(6, [0.01, 0.011])
+    assert healthy == []
+    assert dog.flags == [0, 2]
+    # pop_events drains the queue once.
+    assert len(dog.pop_events()) == 2
+    assert dog.pop_events() == []
+
+
+def test_watchdog_warmup_suppresses_flags():
+    dog = ClusterWatchdog(1, warmup=3)
+    assert dog.observe(0, [0.5]) == []
+    assert dog.observe(1, [0.5]) == []
+    assert dog.observe(2, [0.5]) == []
+
+
+def test_watchdog_accumulates_busy_and_wait():
+    dog = ClusterWatchdog(2, warmup=100)
+    dog.observe(0, [0.01, 0.03])
+    dog.observe(1, [0.02, 0.01])
+    assert dog.busy_s == pytest.approx([0.03, 0.04])
+    assert dog.wait_s == pytest.approx([0.02, 0.01])
+    assert dog.measured_times() == pytest.approx([0.03, 0.04])
+
+
+# --- the drill -------------------------------------------------------------
+
+def test_watchdog_drill_detects_stalled_agent(scenario, stall_hook):
+    """A deliberately stalled agent (60ms, above the 50ms stall floor)
+    is flagged ``stalled`` within 2 sampling intervals of the stall."""
+    engine = _cluster_engine(scenario, watchdog=True)
+    assert engine.watchdog is not None
+    assert engine.transport.track_times is True
+    stall_from = 8
+    injected = []
+
+    def inject(agent_id, window):
+        if agent_id == 1 and window >= stall_from and len(injected) < 2:
+            injected.append(window)
+            time.sleep(0.06)
+
+    stall_hook(inject)
+    buf = io.StringIO()
+    plane = LivePlane(engine, stream=buf, interval_ms=0)
+    try:
+        EngineRunner(engine, on_step=plane.on_step).run()
+    finally:
+        plane.close()
+    assert injected, "the drill never fired"
+    counters = engine.bus.counters
+    assert counters.get("watchdog.stalled", 0) >= 1
+    assert counters.get("watchdog.checks", 0) > 0
+    stalled = [json.loads(line) for line in buf.getvalue().splitlines()
+               if json.loads(line).get("event") == "stalled"]
+    assert stalled, "no stalled event reached the live stream"
+    first = stalled[0]
+    assert first["kind"] == "watchdog"
+    assert first["agent"] == 1
+    # Detected within 2 sampling intervals of the injected stall.
+    assert first["window"] <= injected[0] + 1
+    assert first["window_s"] >= 0.05
+
+
+def test_watchdog_without_telemetry_feeds_refit(scenario, stall_hook):
+    """Telemetry off + watchdog on: the transport still measures reply
+    times, finalize still exports the busy/wait gauges, and the
+    accumulated times drive refit_cluster_spec."""
+    engine = _cluster_engine(scenario, watchdog=True)
+    assert engine.bus.telemetry is False
+
+    def inject(agent_id, _window):
+        if agent_id == 1:
+            time.sleep(0.0005)  # skew agent 1 so the refit can see it
+
+    stall_hook(inject)
+    EngineRunner(engine).run()
+    gauges = engine.bus.metrics.gauges
+    assert gauges["a1:busy_s"] > gauges["a0:busy_s"] > 0
+    assert gauges["a0:barrier_wait_s"] > 0
+    measured = engine.watchdog.measured_times()
+    assert measured == pytest.approx(
+        [engine.watchdog.busy_s[0], engine.watchdog.busy_s[1]])
+    from repro.partition.loadest import estimate_scenario_loads
+    cluster = ClusterSpec.homogeneous(2)
+    loads = estimate_scenario_loads(scenario)
+    plan = plan_scenario(scenario, cluster, loads)
+    refit = refit_cluster_spec(cluster, scenario.topology, plan.partition,
+                               loads, measured)
+    assert refit is not None
+
+
+def test_watchdog_defaults(scenario):
+    # Default: armed iff the bus is telemetered.
+    assert _cluster_engine(scenario).watchdog is None
+    assert _cluster_engine(scenario, telemetry=True).watchdog is not None
+    # Explicit off wins even with telemetry.
+    engine = _cluster_engine(scenario, telemetry=True, watchdog=False)
+    assert engine.watchdog is None
+    # An instance is adopted as-is.
+    dog = ClusterWatchdog(2)
+    assert _cluster_engine(scenario, watchdog=dog).watchdog is dog
+
+
+def test_watchdog_env_switch(scenario, monkeypatch):
+    monkeypatch.setenv("REPRO_WATCHDOG", "1")
+    engine = _cluster_engine(scenario)
+    assert engine.watchdog is not None
+    monkeypatch.setenv("REPRO_WATCHDOG", "0")
+    assert _cluster_engine(scenario).watchdog is None
+
+
+def test_watchdog_digest_neutral(scenario):
+    """The watchdog's counters/gauges never move the simulation trace."""
+    from repro.metrics import TraceLevel
+
+    def run(**kwargs):
+        mgr = DonsManager(scenario, ClusterSpec.homogeneous(2),
+                          TraceLevel.FULL, **kwargs)
+        return mgr.run().results.trace.digest()
+
+    assert run(watchdog=False) == run(watchdog=True)

@@ -246,3 +246,57 @@ class TestClusterExport:
         assert hists["cluster.barrier_wait_ms"].count > 0
         # agent-side samples merged in across the pipe
         assert "port.queue_depth_bytes" in hists
+
+
+class TestDerivedSections:
+    """PR 10 satellite: memo.* and transport.shm_* counters surface as
+    derived ``memo`` / ``transport_shm`` stats sections instead of
+    staying bus-only."""
+
+    @pytest.fixture(scope="class")
+    def memo_scenario(self):
+        # The memo cache only arms for UDP-carrying scenarios (see
+        # DodEngine._maybe_init_memo); steady periodic UDP is its home
+        # regime and guarantees nonzero lookup counters.
+        from repro.traffic import Flow, Transport
+        from repro.units import GBPS, us
+        topo = dumbbell(4, edge_rate_bps=12 * GBPS,
+                        bottleneck_rate_bps=100 * GBPS, delay_ps=us(1))
+        flows = [Flow(i, i, 4 + i, 200_000, 0, Transport.UDP)
+                 for i in range(4)]
+        return make_scenario(topo, flows, name="memo-steady")
+
+    def test_memo_section_from_ffwd_run(self, memo_scenario):
+        engine = DodEngine(memo_scenario, telemetry=True, ffwd=True)
+        engine.run()
+        report = stats_dict(engine.bus)
+        memo = report["memo"]
+        lookups = memo["hit"] + memo["miss"]
+        assert lookups > 0
+        assert memo["hit_rate"] == pytest.approx(memo["hit"] / lookups)
+
+    def test_sections_absent_without_counters(self, telemetered_run):
+        report = stats_dict(telemetered_run.bus)
+        assert "memo" not in report
+        assert "transport_shm" not in report
+
+    def test_shm_section_from_counters(self):
+        from repro.core.instrument import InstrumentationBus
+        bus = InstrumentationBus()
+        bus.count("transport.shm_frames", 12)
+        bus.count("transport.shm_bytes", 4096)
+        bus.count("transport.shm_fallbacks", 1)
+        report = stats_dict(bus)
+        assert report["transport_shm"] == {
+            "frames": 12, "bytes": 4096, "fallbacks": 1}
+
+    def test_sections_flatten_to_csv(self, memo_scenario):
+        engine = DodEngine(memo_scenario, telemetry=True, ffwd=True)
+        engine.run()
+        engine.bus.count("transport.shm_frames", 3)
+        rows = stats_csv(engine.bus).splitlines()
+        kinds = {line.split(",", 1)[0] for line in rows[1:]}
+        assert {"memo", "transport_shm"} <= kinds
+        memo_fields = {line.split(",")[2] for line in rows[1:]
+                       if line.startswith("memo,")}
+        assert {"hit", "miss", "hit_rate"} <= memo_fields

@@ -18,6 +18,13 @@ instrumented run (``ratio_telemetry_over_plain``) must stay under
 ``TELEMETRY_GATE`` and must reproduce the plain run's event counts
 exactly.
 
+The live observability plane (``repro.metrics.live``) is gated the
+same way: a plain (untelemetered) run with the full plane attached —
+NDJSON sampler at a 50 ms interval plus a live OpenMetrics endpoint —
+must stay under ``LIVE_GATE`` of the bare run beside it
+(``ratio_live_over_plain``, paired per repeat) and must reproduce its
+event counts exactly.
+
 The window-signature memo (``repro.core.memo``) is gated on a separate
 steady-state UDP scenario where its hit rate is near 100%: the
 fast-forwarded run must reproduce the plain run's event counts exactly,
@@ -76,6 +83,12 @@ REPEATS = 3
 #: into every run), so it is held by the baseline-relative dons/ood
 #: ratio check instead.
 TELEMETRY_GATE = 1.15
+#: Standing gate on the live observability plane: a plain run with the
+#: NDJSON sampler (50 ms interval) + OpenMetrics endpoint attached may
+#: cost at most 5% over the bare run beside it.  The sampler reads
+#: engine state between windows and is wall-clock throttled, so its
+#: steady-state cost is one perf_counter comparison per window.
+LIVE_GATE = 1.05
 #: Standing gate on the vectorized backend: numpy/python wall-clock on
 #: the smoke scenario.  The columnar pipeline (raw-column plan pass,
 #: fused serial forward, three-tier FIFO replay with inline column
@@ -153,7 +166,9 @@ def measure() -> dict:
     from repro.cluster import DonsManager
     from repro.conformance.runner import check_spec
     from repro.core.engine import DodEngine, run_dons
+    from repro.core.runner import EngineRunner
     from repro.des import run_baseline
+    from repro.metrics.live import LivePlane
     from repro.des.partition_types import contiguous_partition
     from repro.partition import ClusterSpec
 
@@ -177,12 +192,13 @@ def measure() -> dict:
     fuzz_spec = fuzz_runner_spec()
     ood_s, dons_s, numpy_s, fuzz_s = [], [], [], []
     cluster_curve_s = {n: [] for n in CLUSTER_CURVE}
-    telem_s = []
+    telem_s, live_s = [], []
     steady_s, ffwd_s = [], []
     wan_s = []
     batch_s = {1: [], 4: [], 8: []}
     ood_res = dons_res = numpy_res = cluster_run = fuzz_report = None
     telem_res = batched_res = steady_res = ffwd_res = None
+    live_res = None
     wan_res = wan_py_res = None
     ffwd_hits = 0
     for _ in range(REPEATS):
@@ -199,6 +215,22 @@ def measure() -> dict:
         telem_res = run_dons(scenario, backend="python", telemetry=True,
                              batch_windows=1)
         telem_s.append(time.perf_counter() - t0)
+        # The live-plane entry: the same plain (untelemetered) run with
+        # the full plane attached — NDJSON sampler at the 50 ms default
+        # interval and a live OpenMetrics endpoint.  Plane construction
+        # and teardown (server bind/join) stay outside the timed region;
+        # the gate measures the per-window sampling cost a production
+        # run would pay.
+        eng = DodEngine(scenario, backend="python", batch_windows=1)
+        plane = LivePlane(eng, path=os.devnull, interval_ms=50,
+                          metrics_port=0)
+        try:
+            t0 = time.perf_counter()
+            EngineRunner(eng, on_step=plane.on_step).run()
+            live_s.append(time.perf_counter() - t0)
+        finally:
+            plane.close()
+        live_res = eng.results
         if have_numpy:
             for k in (1, 4, 8):
                 t0 = time.perf_counter()
@@ -254,6 +286,7 @@ def measure() -> dict:
         "ood_s": min(ood_s),
         "dons_s": min(dons_s),
         "dons_telemetry_s": min(telem_s),
+        "dons_live_s": min(live_s),
         "dons_numpy_s": min(numpy_s) if numpy_s else None,
         "dons_numpy_batched_s": min(batch_s[8]) if batch_s[8] else None,
         "batch_scaling": ({str(k): min(v) for k, v in batch_s.items()}
@@ -279,6 +312,10 @@ def measure() -> dict:
         # across repeats cannot fake (or mask) an overhead regression.
         "ratio_telemetry_over_plain": min(
             t / p for t, p in zip(telem_s, dons_s)),
+        # Paired per-repeat, same rationale: live plane vs the bare run
+        # of the same iteration.
+        "ratio_live_over_plain": min(
+            lv / p for lv, p in zip(live_s, dons_s)),
         "ratio_numpy_over_python": (min(numpy_s) / min(dons_s)
                                     if numpy_s else None),
         # Paired per-repeat against the serial run measured in the same
@@ -298,6 +335,7 @@ def measure() -> dict:
         "ood_events": _events(ood_res),
         "dons_events": _events(dons_res),
         "dons_telemetry_events": _events(telem_res),
+        "dons_live_events": _events(live_res),
         "dons_numpy_events": _events(numpy_res) if numpy_res else None,
         "dons_numpy_batched_events": (_events(batched_res)
                                       if batched_res else None),
@@ -332,6 +370,9 @@ def main(argv=None) -> int:
     print(f"telemetry: {report['dons_telemetry_s']:.3f}s  "
           f"(ratio {report['ratio_telemetry_over_plain']:.3f}, "
           f"gate {TELEMETRY_GATE:.2f})")
+    print(f"live     : {report['dons_live_s']:.3f}s  "
+          f"(ratio {report['ratio_live_over_plain']:.3f}, "
+          f"gate {LIVE_GATE:.2f})")
     if report["dons_numpy_s"] is not None:
         print(f"numpy    : {report['dons_numpy_s']:.3f}s  "
               f"({report['dons_numpy_events']['total']} events)")
@@ -379,6 +420,20 @@ def main(argv=None) -> int:
         print(f"FAIL: telemetry overhead "
               f"{report['ratio_telemetry_over_plain']:.3f} exceeds the "
               f"{TELEMETRY_GATE:.2f} gate", file=sys.stderr)
+        return 1
+
+    # The live plane's standing gates: sampling must not perturb the
+    # simulation (identical event counts) and a run with the plane
+    # attached must stay within LIVE_GATE of the bare run beside it.
+    if report["dons_live_events"] != report["dons_events"]:
+        print(f"FAIL: live plane changed the simulation: "
+              f"{report['dons_live_events']} != "
+              f"{report['dons_events']}", file=sys.stderr)
+        return 1
+    if report["ratio_live_over_plain"] > LIVE_GATE:
+        print(f"FAIL: live plane overhead "
+              f"{report['ratio_live_over_plain']:.3f} exceeds the "
+              f"{LIVE_GATE:.2f} gate", file=sys.stderr)
         return 1
 
     # The vectorized backend's standing gates (not baseline-relative):
@@ -478,7 +533,7 @@ def main(argv=None) -> int:
     for key in ("ood_events", "dons_events", "dons_numpy_events",
                 "dons_numpy_batched_events", "cluster_events",
                 "dons_steady_events", "dons_ffwd_events",
-                "wan_twin_events"):
+                "dons_live_events", "wan_twin_events"):
         if report[key] != base.get(key, report[key]):
             failures.append(f"{key} changed: {base[key]} -> {report[key]}")
     if report["cluster_windows"] != base.get("cluster_windows",
